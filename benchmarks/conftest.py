@@ -1,0 +1,30 @@
+"""Shared configuration for the paper-reproduction benchmarks.
+
+Each ``benchmarks/test_*`` file regenerates one table or figure of the
+paper, prints it, and asserts the paper's *qualitative shape* (who
+wins, roughly by how much, where the crossovers are). Absolute numbers
+differ from the paper — our substrate is a Python cycle-level model,
+not RTL + gem5 + 45 nm synthesis; EXPERIMENTS.md records the deltas.
+
+Problem sizes are scaled down (the paper itself projects results from
+reduced inputs, Section 7.1) and run records are cached process-wide,
+so the full suite completes in a few minutes.
+"""
+
+import pytest
+
+#: scale shared by every experiment so cached runs are reused across
+#: benchmark files within one pytest session
+BENCH_SCALE = 0.5
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return BENCH_SCALE
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """pytest-benchmark pedantic mode: each experiment runs once (the
+    interesting output is the regenerated table, not the wall time)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              iterations=1, rounds=1)

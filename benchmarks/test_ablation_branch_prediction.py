@@ -1,0 +1,87 @@
+"""Ablation — backward-branch prediction / loop fast path (§4.3.2).
+
+DiAG's control unit follows a taken backward branch into the resident
+datapath without waiting for it to resolve (the loop fast path).
+Disabling that makes every loop-closing conditional branch a
+control-flow flush, quantifying the >= 3-cycle penalty per taken
+branch the paper cites in Section 7.3.2.
+
+The kernels here close their loops with conditional branches
+(``blt``-style, the common compiler idiom the mechanism targets).
+"""
+
+from conftest import run_once
+from repro.asm import assemble
+from repro.core import DiAGProcessor, F4C16
+
+KERNELS = {
+    "counted": """
+        li s0, 0
+        li s1, 300
+        loop:
+        addi s0, s0, 1
+        blt s0, s1, loop
+        ebreak
+    """,
+    "nested": """
+        li s0, 0
+        outer:
+        li s1, 0
+        inner:
+        mul t0, s0, s1
+        addi s1, s1, 1
+        li t1, 10
+        blt s1, t1, inner
+        addi s0, s0, 1
+        li t1, 20
+        blt s0, t1, outer
+        ebreak
+    """,
+    "strided": """
+        la s2, buf
+        li s0, 0
+        li s1, 64
+        loop:
+        slli t0, s0, 2
+        add t0, t0, s2
+        lw t1, 0(t0)
+        addi t1, t1, 3
+        sw t1, 0(t0)
+        addi s0, s0, 1
+        blt s0, s1, loop
+        ebreak
+        .data
+        buf: .space 256
+    """,
+}
+
+
+def _run_pairs():
+    rows = {}
+    for name, src in KERNELS.items():
+        program = assemble(src)
+        on = DiAGProcessor(F4C16, program).run()
+        off = DiAGProcessor(
+            F4C16.with_overrides(predict_backward_taken=False),
+            program).run()
+        assert on.halted and off.halted
+        rows[name] = (on, off)
+    return rows
+
+
+def test_ablation_branch_prediction(benchmark):
+    rows = run_once(benchmark, _run_pairs)
+    print()
+    print(f"{'kernel':8s} {'fastpath':>9s} {'flushing':>9s} "
+          f"{'slowdown':>9s} {'mispredicts on/off':>19s}")
+    for name, (on, off) in rows.items():
+        slowdown = off.cycles / on.cycles
+        print(f"{name:8s} {on.cycles:9d} {off.cycles:9d} "
+              f"{slowdown:8.2f}x {on.stats.mispredicts:7d} / "
+              f"{off.stats.mispredicts:<7d}")
+        # without the fast path every taken loop branch flushes
+        assert off.stats.mispredicts > 3 * max(1, on.stats.mispredicts)
+        assert off.cycles > on.cycles
+    # the penalty is substantial on tight loops (>= 3 cycles/branch)
+    assert max(off.cycles / on.cycles
+               for on, off in rows.values()) > 1.5

@@ -1,0 +1,51 @@
+"""Ablation — functional-unit sharing (paper Section 7.5, direction 1).
+
+"The first approach shares functional units within clusters not unlike
+a CPU's back-end. We inevitably sacrifice some performance due to
+structural hazards." The ``fu_share_factor`` knob groups N PEs per
+functional unit; this bench measures the structural-hazard cost on an
+ILP-rich kernel.
+"""
+
+from conftest import run_once
+from repro.asm import assemble
+from repro.core import DiAGProcessor, F4C16
+
+# eight independent long-latency divides per iteration: dedicated FUs
+# start them all in parallel; shared FUs serialize them
+ILP_KERNEL = """
+li s0, 0
+li s1, 64
+li s2, 97
+li s3, 7
+loop:
+""" + "".join(f"    div t{i % 4}, s2, s3\n" for i in range(4)) \
+    + "".join(f"    div s{4 + i}, s2, s3\n" for i in range(4)) + """
+    addi s0, s0, 1
+    blt s0, s1, loop
+ebreak
+"""
+
+
+def _run_sweep():
+    program = assemble(ILP_KERNEL)
+    results = {}
+    for share in (1, 2, 4, 8):
+        cfg = F4C16.with_overrides(fu_share_factor=share)
+        result = DiAGProcessor(cfg, program).run()
+        assert result.halted
+        results[share] = result.cycles
+    return results
+
+
+def test_ablation_fu_sharing(benchmark):
+    results = run_once(benchmark, _run_sweep)
+    print()
+    print("FUs per group -> cycles: "
+          + "  ".join(f"{k}:{v}" for k, v in results.items()))
+    # sharing costs performance monotonically-ish; the extreme point
+    # (one FU per 8 PEs) is clearly slower than dedicated FUs
+    assert results[8] > results[1] * 1.1
+    assert results[4] >= results[1]
+    # but the area story is the paper's motivation: dedicated FPUs are
+    # ~68% of PE area, so 8-way sharing would cut cluster area ~2.4x

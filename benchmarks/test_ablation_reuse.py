@@ -1,0 +1,44 @@
+"""Ablation — datapath reuse (paper Section 4.3.2, Figure 4).
+
+Reuse is DiAG's central mechanism: a backward branch whose target line
+is resident re-activates the decoded datapath. Disabling it forces
+refetch + decode on every loop iteration; this bench quantifies both
+the fetch-traffic collapse and the cycle cost on the Rodinia set.
+"""
+
+from conftest import BENCH_SCALE, run_once
+from repro.harness import run_diag
+
+
+def _run_pair():
+    rows = {}
+    for name in ("nn", "kmeans", "hotspot", "lud"):
+        on = run_diag(name, config="F4C16", scale=BENCH_SCALE)
+        off = run_diag(name, config="F4C16", scale=BENCH_SCALE,
+                       config_overrides={"enable_reuse": False,
+                                         "enable_simt": False})
+        rows[name] = (on, off)
+    return rows
+
+
+def test_ablation_reuse(benchmark):
+    rows = run_once(benchmark, _run_pair)
+    print()
+    print(f"{'benchmark':10s} {'reuse':>8s} {'no-reuse':>9s} "
+          f"{'slowdown':>9s} {'fetches on/off':>16s}")
+    for name, (on, off) in rows.items():
+        assert on.verified and off.verified, name
+        slowdown = off.cycles / on.cycles
+        print(f"{name:10s} {on.cycles:8d} {off.cycles:9d} "
+              f"{slowdown:8.2f}x "
+              f"{on.extra['lines_fetched']:7d}/"
+              f"{off.extra['lines_fetched']:<8d}")
+        # reuse never hurts and fetch traffic collapses with it
+        assert off.cycles >= on.cycles * 0.98, name
+        assert on.extra["lines_fetched"] \
+            < off.extra["lines_fetched"] / 3, name
+        assert on.extra["reuse_hits"] > 0
+        assert off.extra["reuse_hits"] == 0
+    # at least one loopy benchmark speeds up noticeably from reuse
+    assert max(off.cycles / on.cycles
+               for on, off in rows.values()) > 1.05

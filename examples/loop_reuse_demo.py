@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Datapath reuse — the paper's central mechanism (Section 4.3.2).
+
+A backward branch whose target line is still resident re-activates the
+already-decoded cluster: no fetch, no decode, dependencies pre-wired.
+This demo runs the same loop with reuse enabled and disabled and shows
+the fetch-traffic collapse, the cycle savings, and the energy effect.
+
+Run:  python examples/loop_reuse_demo.py
+"""
+
+from repro.asm import assemble
+from repro.core import DiAGProcessor, EnergyModel, F4C2
+
+LOOP = """
+# 400 iterations of a small mixed loop
+main:
+    li   s0, 0
+    li   s1, 400
+    la   s2, buf
+loop:
+    andi t0, s0, 63
+    slli t0, t0, 2
+    add  t0, t0, s2
+    lw   t1, 0(t0)
+    add  t1, t1, s0
+    sw   t1, 0(t0)
+    addi s0, s0, 1
+    blt  s0, s1, loop
+    ebreak
+.data
+buf: .space 256
+"""
+
+
+def run(config, label):
+    program = assemble(LOOP)
+    processor = DiAGProcessor(config, program)
+    result = processor.run()
+    energy = EnergyModel(config).energy_report(result,
+                                               processor.hierarchy)
+    stats = result.stats
+    print(f"{label:18s} cycles={result.cycles:6d}  "
+          f"I-lines fetched={stats.lines_fetched:5d}  "
+          f"reuse activations={stats.reuse_hits:5d}  "
+          f"energy={energy.total_j * 1e6:6.2f} uJ")
+    return result, energy
+
+
+def main():
+    print("The same 400-iteration loop, with and without datapath reuse")
+    print("(paper Table 1: under reuse, Fetch and Decode become 'No'):\n")
+    with_reuse, e_on = run(F4C2, "reuse enabled")
+    without, e_off = run(F4C2.with_overrides(enable_reuse=False,
+                                             enable_simt=False),
+                         "reuse disabled")
+
+    saved_fetches = (without.stats.lines_fetched
+                     - with_reuse.stats.lines_fetched)
+    print(f"\nreuse eliminated {saved_fetches} instruction-line fetches "
+          f"({100 * saved_fetches / without.stats.lines_fetched:.0f}% of "
+          "front-end traffic)")
+    print(f"cycle savings : "
+          f"{without.cycles / with_reuse.cycles:.2f}x")
+    print(f"energy savings: {e_off.total_j / e_on.total_j:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Run any registered workload on every machine and compare.
+
+Usage:
+    python examples/run_benchmark.py [workload] [scale]
+
+e.g.  python examples/run_benchmark.py hotspot 0.5
+      python examples/run_benchmark.py --list
+"""
+
+import sys
+
+from repro.harness import run_baseline, run_diag
+from repro.workloads import all_workloads, get_workload
+
+
+def main():
+    args = sys.argv[1:]
+    if args and args[0] == "--list":
+        print("available workloads:")
+        for name, cls in sorted(all_workloads().items()):
+            flags = []
+            if cls.SIMT_CAPABLE:
+                flags.append("simt")
+            if cls.MT_CAPABLE:
+                flags.append("mt")
+            print(f"  {name:14s} [{cls.SUITE}] {cls.CATEGORY:8s} "
+                  f"{'+'.join(flags)}")
+        return
+
+    name = args[0] if args else "hotspot"
+    scale = float(args[1]) if len(args) > 1 else 0.5
+    cls = get_workload(name)
+    print(f"workload: {name}  ({cls.SUITE}, {cls.CATEGORY}), "
+          f"scale {scale}\n")
+
+    base = run_baseline(name, scale=scale, threads=1)
+    print(f"{'machine':26s} {'cycles':>9s} {'IPC':>6s} "
+          f"{'vs OoO':>7s} {'energy':>10s} {'ok':>3s}")
+    print(f"{'OoO 8-issue (1 core)':26s} {base.cycles:9d} "
+          f"{base.ipc:6.2f} {'1.00x':>7s} "
+          f"{base.energy_j * 1e6:8.2f}uJ {'Y' if base.verified else 'N':>3s}")
+
+    for config in ("F4C2", "F4C16", "F4C32"):
+        rec = run_diag(name, config=config, scale=scale)
+        print(f"{'DiAG ' + config:26s} {rec.cycles:9d} {rec.ipc:6.2f} "
+              f"{base.cycles / rec.cycles:6.2f}x "
+              f"{rec.energy_j * 1e6:8.2f}uJ "
+              f"{'Y' if rec.verified else 'N':>3s}")
+
+    if cls.SIMT_CAPABLE:
+        rec = run_diag(name, config="F4C32", scale=scale, simt=True)
+        print(f"{'DiAG F4C32 + SIMT':26s} {rec.cycles:9d} {rec.ipc:6.2f} "
+              f"{base.cycles / rec.cycles:6.2f}x "
+              f"{rec.energy_j * 1e6:8.2f}uJ "
+              f"{'Y' if rec.verified else 'N':>3s}"
+              f"   ({rec.extra['simt_regions']} pipelined regions)")
+
+    if cls.MT_CAPABLE:
+        base12 = run_baseline(name, scale=scale, threads=12)
+        mt = run_diag(name, config="F4C32", scale=scale, threads=16,
+                      num_clusters=2)
+        print(f"\n{'OoO 12-core':26s} {base12.cycles:9d} "
+              f"{base12.ipc:6.2f}")
+        print(f"{'DiAG 16 rings x 2':26s} {mt.cycles:9d} {mt.ipc:6.2f} "
+              f"{base12.cycles / mt.cycles:6.2f}x vs 12-core")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Thread-level pipelining with the simt_s / simt_e ISA extensions.
+
+Paper Sections 4.4 and 5.4: a parallelizable loop bracketed by
+``simt_s``/``simt_e`` is executed as a pipeline of thread contexts
+flowing through the PE array, with throughput scaling with the number
+of PEs. This demo writes out[i] = i*i for 512 elements and sweeps the
+cluster count, comparing pipelined and sequential execution of the
+same binary.
+
+Run:  python examples/simt_pipelining.py
+"""
+
+from repro.asm import assemble
+from repro.core import DiAGProcessor, F4C32
+from repro.iss import ISS
+
+KERNEL = """
+main:
+    la   a2, out
+    li   t2, 0          # rc: loop induction variable
+    li   t3, 1          # step
+    li   t4, 512        # end
+    simt_s t2, t3, t4, 1
+    mul  t0, t2, t2
+    slli t1, t2, 2
+    add  t1, t1, a2
+    sw   t0, 0(t1)
+    simt_e t2, t4
+    ebreak
+.data
+out: .space 2048
+"""
+
+
+def main():
+    program = assemble(KERNEL)
+
+    # Golden reference: the extensions have sequential semantics on the
+    # ISS, so one binary runs everywhere.
+    iss = ISS(program)
+    iss.run()
+    expected = [i * i for i in range(512)]
+    out = program.symbol("out")
+    assert iss.memory.snapshot_words(out, 512) == expected
+    print(f"ISS reference OK ({iss.stats.instructions} instructions, "
+          f"{iss.stats.simt_iterations} simt iterations)\n")
+
+    print(f"{'clusters':>9s} {'PEs':>5s} {'pipelined':>10s} "
+          f"{'sequential':>11s} {'speedup':>8s}")
+    for num_clusters in (2, 4, 8, 16, 32):
+        config = F4C32.with_overrides(num_clusters=num_clusters)
+        pipelined = DiAGProcessor(config, program).run()
+        sequential = DiAGProcessor(
+            config.with_overrides(enable_simt=False), program).run()
+        speedup = sequential.cycles / pipelined.cycles
+        print(f"{num_clusters:9d} {16 * num_clusters:5d} "
+              f"{pipelined.cycles:10d} {sequential.cycles:11d} "
+              f"{speedup:7.2f}x")
+
+    print("\nThroughput saturates once pipeline replication covers the")
+    print("spawn interval — the paper's 'no gain beyond 256 PEs' effect.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""DiAG: A Dataflow-Inspired Architecture for General-Purpose Processors.
+
+Full Python reproduction of Wang & Kim, ASPLOS 2021. See README.md for
+a tour; the main entry points are:
+
+* ``repro.core`` — the DiAG dataflow processor model (the paper's
+  contribution): configs, processor, energy model.
+* ``repro.baseline`` — the out-of-order CPU baseline.
+* ``repro.iss`` — the functional golden-reference simulator.
+* ``repro.asm`` — RV32IMF assembler for writing workloads.
+* ``repro.workloads`` — Rodinia + SPEC proxy kernels.
+* ``repro.harness`` — regenerates every table and figure.
+"""
+
+__version__ = "1.0.0"

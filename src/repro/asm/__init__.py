@@ -1,0 +1,18 @@
+"""Two-pass RV32IMF assembler, disassembler, and program image support.
+
+The workload kernels in :mod:`repro.workloads` are written in textual
+RISC-V assembly (with the DiAG ``simt_s``/``simt_e`` extensions) and
+assembled by this package into flat :class:`Program` images that every
+simulator executes.
+"""
+
+from repro.asm.assembler import AsmError, assemble
+from repro.asm.disassembler import (
+    disassemble,
+    disassemble_program,
+    format_instruction,
+)
+from repro.asm.program import Program
+
+__all__ = ["AsmError", "Program", "assemble", "disassemble",
+           "disassemble_program", "format_instruction"]

@@ -1,0 +1,512 @@
+"""Two-pass RV32IMF assembler.
+
+Pass 1 expands pseudo-instructions, lays out sections, and collects the
+symbol table. Pass 2 evaluates operand expressions, encodes instruction
+words, and fills data directives. The output is a flat
+:class:`repro.asm.program.Program`.
+
+Supported syntax:
+
+* labels (``name:``), comments (``#``, ``//``, ``;``)
+* sections ``.text`` / ``.data`` and directives ``.word``, ``.half``,
+  ``.byte``, ``.float``, ``.space``/``.zero``, ``.align``, ``.asciz``/
+  ``.string``, ``.equ``/``.set``, ``.globl`` (accepted, ignored)
+* operand expressions: integers (dec/hex/bin/char), symbols, ``sym+off``,
+  ``%hi(...)`` / ``%lo(...)``, and memory operands ``offset(reg)``
+* the standard RISC-V pseudo-instructions (see :mod:`repro.asm.pseudo`)
+* DiAG's ``simt_s rc, r_step, r_end, interval`` / ``simt_e rc, r_end``
+"""
+
+import re
+import struct
+
+from repro.asm.program import Program
+from repro.asm.pseudo import expand_pseudo
+from repro.isa.encoder import EncodeError, encode
+from repro.isa.encoding import fits_signed
+from repro.isa.instructions import Instruction, InstrFormat, MNEMONICS
+from repro.isa.registers import (
+    is_fp_register_name,
+    parse_fp_register,
+    parse_register,
+)
+
+CSR_NAMES = {
+    "fflags": 0x001, "frm": 0x002, "fcsr": 0x003,
+    "cycle": 0xC00, "time": 0xC01, "instret": 0xC02,
+    "cycleh": 0xC80, "timeh": 0xC81, "instreth": 0xC82,
+    "mhartid": 0xF14,
+}
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*)\s*:\s*(.*)$")
+_MEM_RE = re.compile(r"^(.*)\(\s*([A-Za-z]\w*)\s*\)$")
+_SYM_RE = re.compile(r"^[A-Za-z_.$][\w.$]*$")
+
+
+class AsmError(Exception):
+    """Assembly failure, annotated with the source line number."""
+
+    def __init__(self, message, line_no=None):
+        prefix = f"line {line_no}: " if line_no is not None else ""
+        super().__init__(prefix + message)
+        self.line_no = line_no
+
+
+def _strip_comment(line):
+    for marker in ("#", "//", ";"):
+        # Respect character literals like '#' when stripping.
+        idx = 0
+        while True:
+            idx = line.find(marker, idx)
+            if idx < 0:
+                break
+            before = line[:idx]
+            if before.count("'") % 2 == 1:
+                idx += 1
+                continue
+            line = before
+            break
+    return line.strip()
+
+
+def _split_operands(text):
+    """Split an operand string on top-level commas (parens nest)."""
+    ops = []
+    depth = 0
+    current = []
+    for ch in text:
+        if ch == "," and depth == 0:
+            ops.append("".join(current).strip())
+            current = []
+            continue
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        ops.append(tail)
+    return [op for op in ops if op]
+
+
+class _Expr:
+    """A deferred operand expression evaluated against the symbol table."""
+
+    __slots__ = ("text", "line_no")
+
+    def __init__(self, text, line_no):
+        self.text = text.strip()
+        self.line_no = line_no
+
+    def evaluate(self, symbols, pc=None, reloc=None):
+        """Evaluate to an integer.
+
+        ``reloc``: None for a plain value, 'hi' / 'lo' for %hi/%lo, and
+        'pcrel' to turn an absolute target into an offset from ``pc``.
+        """
+        text = self.text
+        match = re.match(r"^%(hi|lo)\((.*)\)$", text)
+        if match:
+            reloc_kind, inner = match.groups()
+            value = _Expr(inner, self.line_no).evaluate(symbols)
+            if reloc_kind == "hi":
+                return (value + 0x800) & 0xFFFFF000
+            return (((value & 0xFFF) ^ 0x800) - 0x800)
+        value = self._evaluate_plain(text, symbols)
+        if reloc == "pcrel" and self._has_symbol(text):
+            return value - pc
+        return value
+
+    def _has_symbol(self, text):
+        try:
+            int(text, 0)
+            return False
+        except ValueError:
+            return True
+
+    def _evaluate_plain(self, text, symbols):
+        # char literal
+        if len(text) >= 3 and text[0] == "'" and text[-1] == "'":
+            body = text[1:-1].encode().decode("unicode_escape")
+            if len(body) != 1:
+                raise AsmError(f"bad char literal {text}", self.line_no)
+            return ord(body)
+        try:
+            return int(text, 0)
+        except ValueError:
+            pass
+        # sym+off / sym-off
+        match = re.match(r"^([A-Za-z_.$][\w.$]*)\s*([+-])\s*(\w+)$", text)
+        if match:
+            sym, sign, off = match.groups()
+            base = self._lookup(sym, symbols)
+            delta = int(off, 0)
+            return base + delta if sign == "+" else base - delta
+        if _SYM_RE.match(text):
+            return self._lookup(text, symbols)
+        raise AsmError(f"cannot evaluate expression '{text}'", self.line_no)
+
+    def _lookup(self, name, symbols):
+        if name not in symbols:
+            raise AsmError(f"undefined symbol '{name}'", self.line_no)
+        return symbols[name]
+
+
+class _InstrItem:
+    __slots__ = ("addr", "mnemonic", "operands", "line_no", "section")
+
+    def __init__(self, addr, mnemonic, operands, line_no):
+        self.addr = addr
+        self.mnemonic = mnemonic
+        self.operands = operands
+        self.line_no = line_no
+
+
+class _DataItem:
+    __slots__ = ("addr", "kind", "payload", "line_no", "section")
+
+    def __init__(self, addr, kind, payload, line_no):
+        self.addr = addr
+        self.kind = kind  # 'word'|'half'|'byte'|'float'|'bytes'|'zero'
+        self.payload = payload
+        self.line_no = line_no
+
+    @property
+    def size(self):
+        if self.kind == "word":
+            return 4 * len(self.payload)
+        if self.kind == "half":
+            return 2 * len(self.payload)
+        if self.kind == "byte":
+            return len(self.payload)
+        if self.kind == "float":
+            return 4 * len(self.payload)
+        if self.kind == "bytes":
+            return len(self.payload)
+        if self.kind == "zero":
+            return self.payload
+        raise AssertionError(self.kind)
+
+
+def _parse_reg(text, regfile, line_no):
+    text = text.strip()
+    try:
+        if regfile == "f":
+            return parse_fp_register(text)
+        return parse_register(text)
+    except KeyError:
+        raise AsmError(f"bad {'fp ' if regfile == 'f' else ''}register "
+                       f"'{text}'", line_no) from None
+
+
+def _parse_csr(text, line_no):
+    text = text.strip().lower()
+    if text in CSR_NAMES:
+        return CSR_NAMES[text]
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AsmError(f"unknown CSR '{text}'", line_no) from None
+
+
+def _split_mem_operand(text, line_no):
+    """Split 'offset(reg)' into (offset_expr_text, reg_text)."""
+    match = _MEM_RE.match(text.strip())
+    if match:
+        offset, reg = match.groups()
+        offset = offset.strip() or "0"
+        # Only treat as memory operand when the paren body is a register.
+        try:
+            parse_register(reg)
+            return offset, reg
+        except KeyError:
+            try:
+                parse_fp_register(reg)
+                return offset, reg
+            except KeyError:
+                pass
+    return text, None
+
+
+class Assembler:
+    """Stateful two-pass assembler. Use :func:`assemble` unless you need
+    to assemble multiple sources into one image."""
+
+    def __init__(self, text_base=0x1000, data_base=0x10000):
+        self.text_base = text_base
+        self.data_base = data_base
+        self.symbols = {}
+        self.items = []
+        self._section = "text"
+        self._cursor = {"text": text_base, "data": data_base}
+
+    # ------------------------------------------------------------- pass 1
+
+    def feed(self, source):
+        """Run pass 1 over ``source`` (a multi-line assembly string)."""
+        for line_no, raw in enumerate(source.splitlines(), start=1):
+            line = _strip_comment(raw)
+            while line:
+                match = _LABEL_RE.match(line)
+                if match and not line.startswith("."):
+                    name, line = match.groups()
+                    self._define_symbol(name, self._cursor[self._section],
+                                        line_no)
+                    line = line.strip()
+                    continue
+                break
+            if not line:
+                continue
+            if line.startswith("."):
+                self._directive(line, line_no)
+            else:
+                self._instruction(line, line_no)
+
+    def _define_symbol(self, name, value, line_no):
+        if name in self.symbols:
+            raise AsmError(f"duplicate symbol '{name}'", line_no)
+        self.symbols[name] = value
+
+    def _directive(self, line, line_no):
+        parts = line.split(None, 1)
+        name = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+        if name == ".text":
+            self._section = "text"
+        elif name == ".data":
+            self._section = "data"
+        elif name in (".globl", ".global", ".option", ".type", ".size",
+                      ".file", ".ident", ".attribute", ".p2align",
+                      ".section"):
+            pass  # accepted and ignored
+        elif name in (".equ", ".set"):
+            ops = _split_operands(rest)
+            if len(ops) != 2:
+                raise AsmError(".equ needs name, value", line_no)
+            value = _Expr(ops[1], line_no).evaluate(self.symbols)
+            self._define_symbol(ops[0], value, line_no)
+        elif name == ".align":
+            power = int(rest.strip(), 0)
+            self._align(1 << power, line_no)
+        elif name in (".word", ".half", ".byte", ".float"):
+            exprs = [_Expr(op, line_no) for op in _split_operands(rest)]
+            self._emit_data(name[1:], exprs, line_no)
+        elif name in (".space", ".zero"):
+            size = int(rest.strip(), 0)
+            self._emit_data("zero", size, line_no)
+        elif name in (".asciz", ".string", ".ascii"):
+            text = rest.strip()
+            if len(text) < 2 or text[0] != '"' or text[-1] != '"':
+                raise AsmError("string directive needs a quoted string",
+                               line_no)
+            payload = text[1:-1].encode().decode("unicode_escape").encode()
+            if name != ".ascii":
+                payload += b"\x00"
+            self._emit_data("bytes", payload, line_no)
+        else:
+            raise AsmError(f"unknown directive '{name}'", line_no)
+
+    def _align(self, boundary, line_no):
+        cursor = self._cursor[self._section]
+        pad = (-cursor) % boundary
+        if pad:
+            self._emit_data("zero", pad, line_no)
+
+    def _emit_data(self, kind, payload, line_no):
+        if self._section != "data" and kind != "zero":
+            # Allow data in .text (jump tables), keep it simple and legal.
+            pass
+        item = _DataItem(self._cursor[self._section], kind, payload, line_no)
+        item.section = self._section
+        self.items.append(item)
+        self._cursor[self._section] += item.size
+
+    def _instruction(self, line, line_no):
+        if self._section != "text":
+            raise AsmError("instruction outside .text", line_no)
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = _split_operands(parts[1]) if len(parts) > 1 else []
+        try:
+            expanded = expand_pseudo(mnemonic, operands)
+        except (IndexError, ValueError):
+            raise AsmError(f"bad operands for '{mnemonic}'",
+                           line_no) from None
+        for mnem, ops in expanded:
+            if mnem not in MNEMONICS:
+                raise AsmError(f"unknown instruction '{mnem}'", line_no)
+            addr = self._cursor["text"]
+            item = _InstrItem(addr, mnem, ops, line_no)
+            item.section = "text"
+            self.items.append(item)
+            self._cursor["text"] += 4
+
+    # ------------------------------------------------------------- pass 2
+
+    def finish(self):
+        """Run pass 2 and return the assembled :class:`Program`."""
+        program = Program(symbols=dict(self.symbols))
+        images = {
+            "text": bytearray(self._cursor["text"] - self.text_base),
+            "data": bytearray(self._cursor["data"] - self.data_base),
+        }
+        bases = {"text": self.text_base, "data": self.data_base}
+        for item in self.items:
+            offset = item.addr - bases[item.section]
+            blob = (self._encode_instr(item, program)
+                    if isinstance(item, _InstrItem)
+                    else self._encode_data(item))
+            images[item.section][offset:offset + len(blob)] = blob
+        if images["text"]:
+            program.add_segment(self.text_base, images["text"])
+        if images["data"]:
+            program.add_segment(self.data_base, images["data"])
+        entry = self.symbols.get("_start", self.symbols.get("main"))
+        program.entry = entry if entry is not None else self.text_base
+        return program
+
+    def _encode_instr(self, item, program):
+        instr = self._build_instruction(item)
+        try:
+            word = encode(instr)
+        except EncodeError as exc:
+            raise AsmError(str(exc), item.line_no) from None
+        instr.raw = word
+        program.listing[item.addr] = instr
+        return struct.pack("<I", word)
+
+    def _encode_data(self, item):
+        if item.kind == "zero":
+            return bytes(item.payload)
+        if item.kind == "bytes":
+            return bytes(item.payload)
+        out = bytearray()
+        for expr in item.payload:
+            if item.kind == "float":
+                value = float(expr.text)
+                out += struct.pack("<f", value)
+                continue
+            value = expr.evaluate(self.symbols)
+            if item.kind == "word":
+                out += struct.pack("<I", value & 0xFFFFFFFF)
+            elif item.kind == "half":
+                out += struct.pack("<H", value & 0xFFFF)
+            elif item.kind == "byte":
+                out += struct.pack("<B", value & 0xFF)
+        return bytes(out)
+
+    def _build_instruction(self, item):
+        info = MNEMONICS[item.mnemonic]
+        instr = Instruction(item.mnemonic, addr=item.addr)
+        ops = item.operands
+        line_no = item.line_no
+        fmt = info.fmt
+
+        def need(count):
+            if len(ops) != count:
+                raise AsmError(
+                    f"{item.mnemonic}: expected {count} operands, "
+                    f"got {len(ops)}", line_no)
+
+        def imm(text, reloc=None):
+            return _Expr(text, line_no).evaluate(
+                self.symbols, pc=item.addr, reloc=reloc)
+
+        if fmt is InstrFormat.R:
+            arity = 1 + sum(f is not None
+                            for f in (info.rs1_file, info.rs2_file))
+            need(arity)
+            instr.rd = _parse_reg(ops[0], info.rd_file, line_no)
+            instr.rs1 = _parse_reg(ops[1], info.rs1_file, line_no)
+            if info.rs2_file is not None:
+                instr.rs2 = _parse_reg(ops[2], info.rs2_file, line_no)
+        elif fmt is InstrFormat.R4:
+            need(4)
+            instr.rd = _parse_reg(ops[0], "f", line_no)
+            instr.rs1 = _parse_reg(ops[1], "f", line_no)
+            instr.rs2 = _parse_reg(ops[2], "f", line_no)
+            instr.rs3 = _parse_reg(ops[3], "f", line_no)
+        elif fmt is InstrFormat.I:
+            if info.fu_class.value == "load":
+                need(2)
+                instr.rd = _parse_reg(ops[0], info.rd_file, line_no)
+                offset, base = _split_mem_operand(ops[1], line_no)
+                if base is None:
+                    raise AsmError(f"{item.mnemonic}: expected offset(base)",
+                                   line_no)
+                instr.rs1 = _parse_reg(base, "x", line_no)
+                instr.imm = imm(offset)
+            elif item.mnemonic == "jalr":
+                need(3)
+                instr.rd = _parse_reg(ops[0], "x", line_no)
+                instr.rs1 = _parse_reg(ops[1], "x", line_no)
+                instr.imm = imm(ops[2])
+            else:
+                need(3)
+                instr.rd = _parse_reg(ops[0], "x", line_no)
+                instr.rs1 = _parse_reg(ops[1], "x", line_no)
+                instr.imm = imm(ops[2])
+        elif fmt is InstrFormat.S:
+            need(2)
+            instr.rs2 = _parse_reg(ops[0], info.rs2_file, line_no)
+            offset, base = _split_mem_operand(ops[1], line_no)
+            if base is None:
+                raise AsmError(f"{item.mnemonic}: expected offset(base)",
+                               line_no)
+            instr.rs1 = _parse_reg(base, "x", line_no)
+            instr.imm = imm(offset)
+        elif fmt is InstrFormat.B:
+            need(3)
+            instr.rs1 = _parse_reg(ops[0], "x", line_no)
+            instr.rs2 = _parse_reg(ops[1], "x", line_no)
+            instr.imm = imm(ops[2], reloc="pcrel")
+            instr.label = ops[2] if _SYM_RE.match(ops[2]) else None
+            if not fits_signed(instr.imm, 13):
+                raise AsmError(f"branch target out of range ({instr.imm})",
+                               line_no)
+        elif fmt is InstrFormat.U:
+            need(2)
+            instr.rd = _parse_reg(ops[0], "x", line_no)
+            instr.imm = imm(ops[1])
+            if abs(instr.imm) < (1 << 20) and instr.imm % (1 << 12):
+                # Plain small constant: treat as the value for the upper
+                # immediate field (matches GNU as for 'lui rd, 5').
+                instr.imm <<= 12
+        elif fmt is InstrFormat.J:
+            need(2)
+            instr.rd = _parse_reg(ops[0], "x", line_no)
+            instr.imm = imm(ops[1], reloc="pcrel")
+            instr.label = ops[1] if _SYM_RE.match(ops[1]) else None
+        elif fmt is InstrFormat.CSR:
+            need(3)
+            instr.rd = _parse_reg(ops[0], "x", line_no)
+            instr.csr = _parse_csr(ops[1], line_no)
+            instr.rs1 = _parse_reg(ops[2], "x", line_no)
+        elif fmt is InstrFormat.CSRI:
+            need(3)
+            instr.rd = _parse_reg(ops[0], "x", line_no)
+            instr.csr = _parse_csr(ops[1], line_no)
+            instr.imm = imm(ops[2])
+        elif fmt in (InstrFormat.FENCE, InstrFormat.SYS):
+            pass  # operands ignored
+        elif fmt is InstrFormat.SIMT_S:
+            need(4)
+            instr.rd = _parse_reg(ops[0], "x", line_no)   # rc
+            instr.rs1 = _parse_reg(ops[1], "x", line_no)  # r_step
+            instr.rs2 = _parse_reg(ops[2], "x", line_no)  # r_end
+            instr.imm = imm(ops[3])                       # interval
+        elif fmt is InstrFormat.SIMT_E:
+            need(2)
+            instr.rs1 = _parse_reg(ops[0], "x", line_no)  # rc
+            instr.rs2 = _parse_reg(ops[1], "x", line_no)  # r_end
+        else:  # pragma: no cover
+            raise AsmError(f"unhandled format {fmt}", line_no)
+        return instr
+
+
+def assemble(source, text_base=0x1000, data_base=0x10000):
+    """Assemble ``source`` into a :class:`Program`."""
+    asm = Assembler(text_base=text_base, data_base=data_base)
+    asm.feed(source)
+    return asm.finish()

@@ -1,0 +1,82 @@
+"""Instruction formatting and word-level disassembly (debug aid)."""
+
+from repro.isa.decoder import DecodeError, decode
+from repro.isa.instructions import InstrFormat, MNEMONICS
+from repro.isa.registers import fp_reg_name, reg_name
+
+
+def format_instruction(instr):
+    """Render ``instr`` in canonical assembly syntax."""
+    info = MNEMONICS[instr.mnemonic]
+    fmt = info.fmt
+    mnem = instr.mnemonic
+
+    def reg(regfile, index):
+        return fp_reg_name(index) if regfile == "f" else reg_name(index)
+
+    if fmt is InstrFormat.R:
+        ops = [reg(info.rd_file, instr.rd), reg(info.rs1_file, instr.rs1)]
+        if info.rs2_file is not None:
+            ops.append(reg(info.rs2_file, instr.rs2))
+        return f"{mnem} " + ", ".join(ops)
+    if fmt is InstrFormat.R4:
+        return (f"{mnem} {fp_reg_name(instr.rd)}, {fp_reg_name(instr.rs1)}, "
+                f"{fp_reg_name(instr.rs2)}, {fp_reg_name(instr.rs3)}")
+    if fmt is InstrFormat.I:
+        if info.fu_class.value == "load":
+            return (f"{mnem} {reg(info.rd_file, instr.rd)}, "
+                    f"{instr.imm}({reg_name(instr.rs1)})")
+        return (f"{mnem} {reg_name(instr.rd)}, {reg_name(instr.rs1)}, "
+                f"{instr.imm}")
+    if fmt is InstrFormat.S:
+        return (f"{mnem} {reg(info.rs2_file, instr.rs2)}, "
+                f"{instr.imm}({reg_name(instr.rs1)})")
+    if fmt is InstrFormat.B:
+        target = instr.label or f".{instr.imm:+d}"
+        return (f"{mnem} {reg_name(instr.rs1)}, {reg_name(instr.rs2)}, "
+                f"{target}")
+    if fmt is InstrFormat.U:
+        return f"{mnem} {reg_name(instr.rd)}, {instr.imm:#x}"
+    if fmt is InstrFormat.J:
+        target = instr.label or f".{instr.imm:+d}"
+        return f"{mnem} {reg_name(instr.rd)}, {target}"
+    if fmt is InstrFormat.CSR:
+        return (f"{mnem} {reg_name(instr.rd)}, {instr.csr:#x}, "
+                f"{reg_name(instr.rs1)}")
+    if fmt is InstrFormat.CSRI:
+        return f"{mnem} {reg_name(instr.rd)}, {instr.csr:#x}, {instr.imm}"
+    if fmt in (InstrFormat.FENCE, InstrFormat.SYS):
+        return mnem
+    if fmt is InstrFormat.SIMT_S:
+        return (f"{mnem} {reg_name(instr.rd)}, {reg_name(instr.rs1)}, "
+                f"{reg_name(instr.rs2)}, {instr.imm}")
+    if fmt is InstrFormat.SIMT_E:
+        return f"{mnem} {reg_name(instr.rs1)}, {reg_name(instr.rs2)}"
+    return mnem  # pragma: no cover
+
+
+def disassemble(word, addr=None):
+    """Decode + format a raw instruction word; '<invalid>' on failure."""
+    try:
+        return format_instruction(decode(word, addr=addr))
+    except DecodeError:
+        return f"<invalid {word:#010x}>"
+
+
+def disassemble_program(program):
+    """Render a full program listing with addresses and labels.
+
+    Returns a list of text lines in address order; symbol definitions
+    appear as label lines, matching objdump-style output.
+    """
+    by_addr = {}
+    for name, addr in program.symbols.items():
+        by_addr.setdefault(addr, []).append(name)
+    lines = []
+    for addr in sorted(program.listing):
+        for name in sorted(by_addr.get(addr, [])):
+            lines.append(f"{name}:")
+        instr = program.listing[addr]
+        lines.append(f"  {addr:#010x}:  {instr.raw:08x}  "
+                     f"{format_instruction(instr)}")
+    return lines

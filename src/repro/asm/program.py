@@ -1,0 +1,61 @@
+"""Assembled program images.
+
+A :class:`Program` is the unit of work handed to a simulator: a flat
+byte image organized as (address, bytes) segments, an entry point, and a
+symbol table. It deliberately resembles a linked bare-metal ELF without
+the container format (the paper runs bare-metal binaries preloaded in
+memory, Section 6.2).
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Segment:
+    """A contiguous run of initialized memory."""
+
+    base: int
+    data: bytearray
+
+    @property
+    def end(self):
+        return self.base + len(self.data)
+
+
+@dataclass
+class Program:
+    """An assembled program: segments + symbols + entry point."""
+
+    segments: list = field(default_factory=list)
+    symbols: dict = field(default_factory=dict)
+    entry: int = 0
+    #: instruction listing for debugging: addr -> Instruction
+    listing: dict = field(default_factory=dict)
+
+    def add_segment(self, base, data):
+        self.segments.append(Segment(base, bytearray(data)))
+
+    def symbol(self, name):
+        """Address of symbol ``name``; raises KeyError when undefined."""
+        return self.symbols[name]
+
+    @property
+    def text_range(self):
+        """(base, end) covering instruction memory, or (0, 0) if empty."""
+        if not self.listing:
+            return (0, 0)
+        addrs = sorted(self.listing)
+        return (addrs[0], addrs[-1] + 4)
+
+    def load_into(self, memory):
+        """Copy all segments into a memory object exposing ``write_bytes``."""
+        for seg in self.segments:
+            memory.write_bytes(seg.base, bytes(seg.data))
+
+    def instruction_at(self, addr):
+        """Decoded instruction at ``addr``, or None outside .text."""
+        return self.listing.get(addr)
+
+    @property
+    def num_instructions(self):
+        return len(self.listing)

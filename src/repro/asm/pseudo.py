@@ -1,0 +1,124 @@
+"""Pseudo-instruction expansion for the assembler.
+
+Each expander maps an operand list to a list of (mnemonic, operands)
+pairs using only canonical mnemonics from the ISA table. Expansion
+happens in pass 1, so every expansion must have a size that is
+deterministic from its operand strings alone.
+"""
+
+from repro.isa.encoding import fits_signed
+
+
+def _try_int(text):
+    """Parse a literal integer operand, or return None (symbols etc.)."""
+    text = text.strip()
+    try:
+        return int(text, 0)
+    except ValueError:
+        return None
+
+
+def expand_li(ops):
+    rd, imm_text = ops
+    value = _try_int(imm_text)
+    if value is not None:
+        # Accept unsigned-style 32-bit literals like 0xFFFF0000.
+        if value >= 1 << 31:
+            value -= 1 << 32
+        if fits_signed(value, 12):
+            return [("addi", [rd, "x0", str(value)])]
+        lo = ((value & 0xFFF) ^ 0x800) - 0x800
+        if lo == 0:
+            return [("lui", [rd, f"%hi({value})"])]
+        return [("lui", [rd, f"%hi({value})"]),
+                ("addi", [rd, rd, f"%lo({value})"])]
+    # Symbolic: same shape as la.
+    return expand_la(ops)
+
+
+def expand_la(ops):
+    rd, sym = ops
+    return [("lui", [rd, f"%hi({sym})"]),
+            ("addi", [rd, rd, f"%lo({sym})"])]
+
+
+def _unary(mnem, extra):
+    def expander(ops):
+        rd, rs = ops
+        return [(mnem, [rd] + extra(rs))]
+    return expander
+
+
+def _branch_zero(mnem, rs_first):
+    def expander(ops):
+        rs, label = ops
+        regs = [rs, "x0"] if rs_first else ["x0", rs]
+        return [(mnem, regs + [label])]
+    return expander
+
+
+def _branch_swap(mnem):
+    def expander(ops):
+        a, b, label = ops
+        return [(mnem, [b, a, label])]
+    return expander
+
+
+def _fp_unary(mnem):
+    def expander(ops):
+        rd, rs = ops
+        return [(mnem, [rd, rs, rs])]
+    return expander
+
+
+PSEUDO_EXPANDERS = {
+    "nop": lambda ops: [("addi", ["x0", "x0", "0"])],
+    "li": expand_li,
+    "la": expand_la,
+    "mv": _unary("addi", lambda rs: [rs, "0"]),
+    "not": _unary("xori", lambda rs: [rs, "-1"]),
+    "neg": lambda ops: [("sub", [ops[0], "x0", ops[1]])],
+    "seqz": _unary("sltiu", lambda rs: [rs, "1"]),
+    "snez": lambda ops: [("sltu", [ops[0], "x0", ops[1]])],
+    "sltz": _unary("slt", lambda rs: [rs, "x0"]),
+    "sgtz": lambda ops: [("slt", [ops[0], "x0", ops[1]])],
+    "beqz": _branch_zero("beq", True),
+    "bnez": _branch_zero("bne", True),
+    "bgez": _branch_zero("bge", True),
+    "bltz": _branch_zero("blt", True),
+    "blez": _branch_zero("bge", False),
+    "bgtz": _branch_zero("blt", False),
+    "bgt": _branch_swap("blt"),
+    "ble": _branch_swap("bge"),
+    "bgtu": _branch_swap("bltu"),
+    "bleu": _branch_swap("bgeu"),
+    "j": lambda ops: [("jal", ["x0", ops[0]])],
+    "jr": lambda ops: [("jalr", ["x0", ops[0], "0"])],
+    "ret": lambda ops: [("jalr", ["x0", "ra", "0"])],
+    "call": lambda ops: [("jal", ["ra", ops[0]])],
+    "tail": lambda ops: [("jal", ["x0", ops[0]])],
+    "fmv.s": _fp_unary("fsgnj.s"),
+    "fabs.s": _fp_unary("fsgnjx.s"),
+    "fneg.s": _fp_unary("fsgnjn.s"),
+    "csrr": lambda ops: [("csrrs", [ops[0], ops[1], "x0"])],
+    "csrw": lambda ops: [("csrrw", ["x0", ops[0], ops[1]])],
+    "halt": lambda ops: [("ebreak", [])],
+}
+
+
+def expand_pseudo(mnemonic, operands):
+    """Expand one (possibly pseudo) instruction.
+
+    ``jal``/``jalr`` short forms are handled here too since their arity
+    differs from the canonical encodings. Returns a list of
+    (mnemonic, operands) pairs; canonical instructions pass through.
+    """
+    mnemonic = mnemonic.lower()
+    if mnemonic == "jal" and len(operands) == 1:
+        return [("jal", ["ra", operands[0]])]
+    if mnemonic == "jalr" and len(operands) == 1:
+        return [("jalr", ["ra", operands[0], "0"])]
+    expander = PSEUDO_EXPANDERS.get(mnemonic)
+    if expander is None:
+        return [(mnemonic, list(operands))]
+    return expander(list(operands))

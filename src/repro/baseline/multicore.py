@@ -1,0 +1,123 @@
+"""Multicore wrapper: N out-of-order cores with private L1s, shared L2.
+
+The paper's baseline is a 12-core 8-issue out-of-order CPU with 64 KB
+L1s and a 4-8 MB unified L2 (Section 7.1). Cores run in lockstep; the
+shared L2 and DRAM path carry cross-core contention. Threads follow
+the same SPMD convention as DiAG rings (a0 = thread id, a1 = nthreads,
+private stacks).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.baseline.ooo import OoOConfig, OoOCore, OoOStats
+from repro.core.lanes import ArchLanes
+from repro.memory.cache import Cache
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.main_memory import MainMemory
+
+
+def build_shared_hierarchies(config, num_cores):
+    """Per-core hierarchies with private L1I/L1D over one shared L2."""
+    memory = MainMemory()
+    hcfg = config.hierarchy_config()
+    shared_l2 = Cache("L2", hcfg.l2_size, hcfg.l2_ways, hcfg.line_bytes,
+                      hcfg.timings.l2_hit, lower=None,
+                      lower_latency=hcfg.timings.dram)
+    hierarchies = []
+    for __ in range(num_cores):
+        hier = MemoryHierarchy(hcfg, memory=memory)
+        hier.l2 = shared_l2
+        hier.l1i.lower = shared_l2
+        hier.l1d.lower = shared_l2
+        hierarchies.append(hier)
+    return memory, shared_l2, hierarchies
+
+
+@dataclass
+class MulticoreResult:
+    cycles: int = 0
+    stats: OoOStats = field(default_factory=OoOStats)
+    core_stats: list = field(default_factory=list)
+    halted: bool = False
+
+    @property
+    def instructions(self):
+        return self.stats.retired
+
+    @property
+    def ipc(self):
+        return self.stats.retired / self.cycles if self.cycles else 0.0
+
+
+class MulticoreCPU:
+    """N lockstep out-of-order cores sharing L2 and main memory."""
+
+    STACK_BYTES_PER_THREAD = 64 * 1024
+
+    def __init__(self, config, program, num_cores, thread_regs=None):
+        self.config = config
+        self.program = program
+        self.memory, self.shared_l2, hierarchies = \
+            build_shared_hierarchies(config, num_cores)
+        program.load_into(self.memory)
+        self.cores = []
+        for tid in range(num_cores):
+            arch = ArchLanes()
+            arch.x[2] = ArchLanes.STACK_TOP \
+                - tid * self.STACK_BYTES_PER_THREAD
+            arch.x[10] = tid
+            arch.x[11] = num_cores
+            if thread_regs is not None and tid < len(thread_regs):
+                for reg, value in thread_regs[tid].items():
+                    arch.x[reg] = value & 0xFFFFFFFF
+            self.cores.append(OoOCore(config, program,
+                                      hierarchy=hierarchies[tid],
+                                      arch=arch, core_id=tid,
+                                      load_image=False))
+
+    def run(self, max_cycles=None):
+        budget = max_cycles if max_cycles is not None \
+            else self.config.max_cycles
+        live = list(self.cores)
+        cycle = 0
+        while live and cycle < budget:
+            for core in live:
+                core.step()
+            live = [c for c in live if not c.halted]
+            cycle += 1
+        return self._collect()
+
+    def _collect(self):
+        result = MulticoreResult()
+        merged = OoOStats()
+        for core in self.cores:
+            stats = core.stats
+            result.core_stats.append(stats)
+            merged.retired += stats.retired
+            merged.fetched += stats.fetched
+            merged.branches += stats.branches
+            merged.taken_branches += stats.taken_branches
+            merged.mispredicts += stats.mispredicts
+            merged.loads += stats.loads
+            merged.stores += stats.stores
+            merged.store_forwards += stats.store_forwards
+            merged.fp_ops += stats.fp_ops
+            merged.renames += stats.renames
+            merged.issues += stats.issues
+            merged.rob_writes += stats.rob_writes
+            merged.regfile_reads += stats.regfile_reads
+            merged.cycles = max(merged.cycles, stats.cycles)
+        result.stats = merged
+        result.cycles = merged.cycles
+        result.halted = all(c.halted for c in self.cores)
+        return result
+
+
+def run_multicore(program, num_cores, config=None, thread_regs=None,
+                  max_cycles=None):
+    """Run ``program`` SPMD-style on ``num_cores`` baseline cores."""
+    cpu = MulticoreCPU(config or OoOConfig(), program, num_cores,
+                       thread_regs=thread_regs)
+    result = cpu.run(max_cycles=max_cycles)
+    result.cpu = cpu
+    return result

@@ -1,0 +1,675 @@
+"""Cycle-level out-of-order core (the gem5 baseline substitute).
+
+Pipeline structure per paper Section 7.1: 8-wide fetch / issue /
+dispatch / retire with a 2-cycle latency per front-end stage (fetch,
+decode, rename, dispatch — 8 cycles from fetch to issue-eligible), a
+reorder buffer, unified issue queue discipline (oldest-ready-first up
+to the FU pool), a conservative LSQ with store-to-load forwarding, and
+a gshare + BTB + return-address-stack front end. Instruction latencies
+and the memory hierarchy are shared with the DiAG model so comparisons
+isolate the microarchitecture.
+"""
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+from repro.baseline.predictor import GSharePredictor
+from repro.core.lanes import ArchLanes
+from repro.iss.semantics import compute, finish_load
+from repro.memory.lsu import resolve_store_access
+from repro.isa.instructions import FUClass
+from repro.memory.hierarchy import MemoryHierarchy
+
+MASK32 = 0xFFFFFFFF
+
+
+@dataclass
+class OoOConfig:
+    """Baseline core parameters (paper Section 7.1)."""
+
+    name: str = "ooo8"
+    fetch_width: int = 8
+    issue_width: int = 8
+    retire_width: int = 8
+    frontend_latency: int = 8   # fetch+decode+rename+dispatch @ 2cyc each
+    rob_size: int = 224
+    lsq_size: int = 72
+    mispredict_penalty: int = 9  # redirect through the front end
+    # functional-unit pool
+    num_alu: int = 4
+    num_mul: int = 2
+    num_div: int = 1
+    num_fpu: int = 2
+    num_load_ports: int = 2
+    num_store_ports: int = 1
+    freq_ghz: float = 2.0
+    l1i_size: int = 64 * 1024
+    l1d_size: int = 64 * 1024
+    l2_size: int = 4 * 1024 * 1024
+    max_cycles: int = 50_000_000
+
+    def hierarchy_config(self):
+        from repro.memory.hierarchy import HierarchyConfig
+        return HierarchyConfig(l1i_size=self.l1i_size, l1i_ways=2,
+                               l1d_size=self.l1d_size, l1d_ways=4,
+                               l2_size=self.l2_size)
+
+
+_FU_POOL_OF = {
+    FUClass.ALU: "alu", FUClass.BRANCH: "alu", FUClass.JUMP: "alu",
+    FUClass.CSR: "alu", FUClass.SYSTEM: "alu", FUClass.SIMT: "alu",
+    FUClass.MUL: "mul", FUClass.DIV: "div",
+    FUClass.FP_ADD: "fpu", FUClass.FP_MUL: "fpu", FUClass.FP_FMA: "fpu",
+    FUClass.FP_DIV: "fpu", FUClass.FP_SQRT: "fpu", FUClass.FP_MISC: "fpu",
+    FUClass.LOAD: "load", FUClass.STORE: "store",
+}
+
+
+@dataclass
+class OoOStats:
+    cycles: int = 0
+    retired: int = 0
+    fetched: int = 0
+    branches: int = 0
+    taken_branches: int = 0
+    mispredicts: int = 0
+    loads: int = 0
+    stores: int = 0
+    store_forwards: int = 0
+    fp_ops: int = 0
+    # event counters for the McPAT-style power model
+    renames: int = 0
+    issues: int = 0
+    rob_writes: int = 0
+    regfile_reads: int = 0
+    fu_cycles: int = 0      # FU-occupancy cycles (ALU/MUL/DIV/FPU)
+    fpu_cycles: int = 0     # subset of fu_cycles on the FP pipes
+
+    @property
+    def ipc(self):
+        return self.retired / self.cycles if self.cycles else 0.0
+
+
+@dataclass
+class OoOResult:
+    cycles: int = 0
+    stats: OoOStats = field(default_factory=OoOStats)
+    halted: bool = False
+    halt_reason: str = None
+
+    @property
+    def instructions(self):
+        return self.stats.retired
+
+    @property
+    def ipc(self):
+        return self.stats.ipc
+
+
+class _RobEntry:
+    __slots__ = ("seq", "instr", "addr", "state", "sources", "value",
+                 "result", "done_cycle", "predicted_taken",
+                 "predicted_target", "pending_producers", "waiters",
+                 "ready_time", "dispatch_cycle", "store_drained",
+                 "simt_region", "simt_latched", "store_addr")
+
+    WAITING = 0
+    READY = 1
+    EXECUTING = 2
+    DONE = 3
+    SQUASHED = 4
+
+    def __init__(self, seq, instr, addr, dispatch_cycle):
+        self.seq = seq
+        self.instr = instr
+        self.addr = addr
+        self.state = self.WAITING
+        self.sources = []
+        self.value = None
+        self.result = None
+        self.done_cycle = None
+        self.predicted_taken = False
+        self.predicted_target = None
+        self.pending_producers = 0
+        self.waiters = []
+        self.ready_time = dispatch_cycle
+        self.dispatch_cycle = dispatch_cycle
+        self.store_drained = False
+        self.simt_region = None
+        self.simt_latched = None
+        self.store_addr = None
+
+    @property
+    def executed(self):
+        return self.state == self.DONE
+
+
+class OoOCore:
+    """One out-of-order core running one software thread."""
+
+    def __init__(self, config, program, hierarchy=None, arch=None,
+                 core_id=0, load_image=True):
+        self.config = config
+        self.program = program
+        self.core_id = core_id
+        self.hierarchy = hierarchy if hierarchy is not None \
+            else MemoryHierarchy(config.hierarchy_config())
+        if load_image:
+            program.load_into(self.hierarchy.memory)
+        if arch is None:
+            arch = ArchLanes()
+            arch.x[10] = core_id  # a0: SPMD thread id
+            arch.x[11] = 1        # a1: thread count
+        self.arch = arch
+        self.stats = OoOStats()
+        self.predictor = GSharePredictor()
+        self.btb = {}
+        self.ras = []
+        self.cycle = 0
+        self.halted = False
+        self.halt_reason = None
+
+        self.fetch_pc = program.entry
+        self._fetch_stalled_until = 0
+        self._fetch_blocked = None  # unresolved indirect jump entry
+
+        self.rob = []
+        self.lane_tail = {}
+        self.pending_stores = []
+        self._ready_heap = []
+        self._executing = []
+        self._blocked_loads = []
+        self._seq = itertools.count()
+        # simt sequential support (baseline has no pipelining extension;
+        # it executes simt regions as plain loops)
+        self._active_simt_s = {}
+        self._line_buffer = None
+        self._pending_interrupt = None
+        self.csrs = {}
+        #: optional callable(addr, instr) invoked at each retirement
+        self.retire_hook = None
+
+    # ---------------------------------------------------------------- run
+
+    def run(self, max_cycles=None):
+        budget = max_cycles if max_cycles is not None \
+            else self.config.max_cycles
+        while not self.halted and self.cycle < budget:
+            self.step()
+        return OoOResult(cycles=self.cycle, stats=self.stats,
+                         halted=self.halted, halt_reason=self.halt_reason)
+
+    def post_interrupt(self, vector):
+        """Request a precise interrupt (taken at the next cycle)."""
+        self._pending_interrupt = vector
+
+    def _take_interrupt(self):
+        vector = self._pending_interrupt
+        self._pending_interrupt = None
+        if self.halted:
+            return
+        live = [e for e in self.rob if e.state != _RobEntry.SQUASHED]
+        mepc = live[0].addr if live else self.fetch_pc
+        self.csrs[0x341] = (mepc or 0) & MASK32
+        for entry in self.rob:
+            entry.state = _RobEntry.SQUASHED
+        self.rob = []
+        self.pending_stores = []
+        self._blocked_loads = []
+        self.lane_tail = {}
+        self._active_simt_s = {}
+        self._fetch_blocked = None
+        self._line_buffer = None
+        self.fetch_pc = vector & MASK32
+        self._fetch_stalled_until = self.cycle \
+            + self.config.mispredict_penalty
+
+    def step(self):
+        if self._pending_interrupt is not None:
+            self._take_interrupt()
+        self._complete()
+        self._issue()
+        self._retry_loads()
+        self._fetch()
+        self._retire()
+        self.cycle += 1
+        self.stats.cycles = self.cycle
+
+    # -------------------------------------------------------------- fetch
+
+    def _fetch(self):
+        if self.halted or self._fetch_blocked is not None:
+            return
+        if self.cycle < self._fetch_stalled_until:
+            return
+        if len(self.rob) >= self.config.rob_size:
+            return
+        fetched = 0
+        while fetched < self.config.fetch_width:
+            if len(self.rob) >= self.config.rob_size:
+                break
+            pc = self.fetch_pc
+            if pc is None:
+                break
+            line = pc - (pc % self.hierarchy.config.line_bytes)
+            if line != self._line_buffer:
+                latency = self.hierarchy.fetch_latency(line)
+                self._line_buffer = line
+                if latency > self.hierarchy.config.timings.l1i_hit:
+                    # I-cache miss: stall the front end.
+                    self._fetch_stalled_until = self.cycle + latency
+                    break
+            instr = self.program.instruction_at(pc)
+            if instr is None:
+                self._fetch_stalled_until = self.cycle + 1
+                break
+            entry = self._dispatch_entry(instr, pc)
+            fetched += 1
+            self.stats.fetched += 1
+            if entry is None:  # halt-type instruction reached decode
+                break
+            if self._fetch_blocked is not None:
+                break
+
+    def _dispatch_entry(self, instr, pc):
+        """Create a ROB entry (rename) and choose the next fetch PC."""
+        ready_at = self.cycle + self.config.frontend_latency
+        entry = _RobEntry(next(self._seq), instr, pc, ready_at)
+        self.rob.append(entry)
+        self.stats.renames += 1
+        self.stats.rob_writes += 1
+        if instr.mnemonic == "simt_e":
+            # Pair with the in-flight simt_s before wiring sources.
+            entry.predicted_target = self._simt_region_start(entry)
+        self._resolve_sources(entry, ready_at)
+        self._register_dest(entry)
+        self.fetch_pc = self._predict_next(entry, instr, pc)
+        if instr.mnemonic in ("ebreak", "ecall"):
+            self.fetch_pc = None
+            self._fetch_stalled_until = float("inf")
+        if entry.pending_producers == 0:
+            self._push_ready(entry)
+        return entry
+
+    def _predict_next(self, entry, instr, pc):
+        mnem = instr.mnemonic
+        if mnem == "jal":
+            entry.predicted_taken = True
+            entry.predicted_target = (pc + instr.imm) & MASK32
+            if instr.rd == 1:
+                self.ras.append((pc + 4) & MASK32)
+            return entry.predicted_target
+        if mnem == "jalr":
+            entry.predicted_taken = True
+            if instr.rd == 0 and instr.rs1 == 1 and self.ras:
+                entry.predicted_target = self.ras.pop()
+                return entry.predicted_target
+            predicted = self.btb.get(pc)
+            if predicted is not None:
+                entry.predicted_target = predicted
+                return predicted
+            entry.predicted_target = None
+            self._fetch_blocked = entry
+            return pc  # unused while blocked
+        if instr.is_branch:
+            self.stats.branches += 1
+            target = (pc + instr.imm) & MASK32
+            take = self.predictor.predict(pc)
+            entry.predicted_taken = take
+            entry.predicted_target = target
+            return target if take else (pc + 4) & MASK32
+        if mnem == "simt_e":
+            # The baseline treats simt_e as a loop backward branch,
+            # statically predicted taken (paired in _dispatch_entry).
+            self.stats.branches += 1
+            region_start = entry.predicted_target
+            entry.predicted_taken = region_start is not None
+            return region_start if region_start is not None \
+                else (pc + 4) & MASK32
+        if mnem == "simt_s":
+            self._active_simt_s[pc] = entry
+        return (pc + 4) & MASK32
+
+    def _simt_region_start(self, entry):
+        """Find the matching simt_s for a simt_e by static backward scan."""
+        addr = entry.addr - 4
+        depth = 0
+        while addr >= 0:
+            instr = self.program.instruction_at(addr)
+            if instr is None:
+                return None
+            if instr.mnemonic == "simt_e":
+                depth += 1
+            elif instr.mnemonic == "simt_s":
+                if depth == 0:
+                    entry.simt_region = self._active_simt_s.get(addr)
+                    return addr + 4
+                depth -= 1
+            addr -= 4
+        return None
+
+    def _resolve_sources(self, entry, ready_at):
+        for regfile, index in entry.instr.sources:
+            producer = self.lane_tail.get((regfile, index))
+            entry.sources.append((regfile, index, producer))
+            self.stats.regfile_reads += 1
+            if producer is not None and not producer.executed:
+                entry.pending_producers += 1
+                producer.waiters.append(entry)
+            elif producer is not None:
+                entry.ready_time = max(entry.ready_time,
+                                       producer.done_cycle + 1)
+        if entry.instr.mnemonic == "simt_e":
+            simt_s = entry.simt_region
+            if simt_s is not None and not simt_s.executed:
+                entry.sources.append((None, None, simt_s))
+                entry.pending_producers += 1
+                simt_s.waiters.append(entry)
+
+    def _register_dest(self, entry):
+        instr = entry.instr
+        dest = instr.dest
+        if instr.mnemonic == "simt_e":
+            dest = ("x", instr.rs1)
+        if dest is not None:
+            self.lane_tail[dest] = entry
+        if instr.is_store:
+            self.pending_stores.append(entry)
+            self.stats.stores += 1
+        elif instr.is_load:
+            self.stats.loads += 1
+        if instr.is_fp:
+            self.stats.fp_ops += 1
+
+    def _push_ready(self, entry):
+        heapq.heappush(self._ready_heap,
+                       (max(entry.ready_time, entry.dispatch_cycle),
+                        entry.seq, entry))
+
+    # -------------------------------------------------------------- issue
+
+    def _fu_pool(self):
+        cfg = self.config
+        return {"alu": cfg.num_alu, "mul": cfg.num_mul, "div": cfg.num_div,
+                "fpu": cfg.num_fpu, "load": cfg.num_load_ports,
+                "store": cfg.num_store_ports}
+
+    def _issue(self):
+        pool = self._fu_pool()
+        issued = 0
+        deferred = []
+        while (self._ready_heap and issued < self.config.issue_width
+               and self._ready_heap[0][0] <= self.cycle):
+            __, __, entry = heapq.heappop(self._ready_heap)
+            if entry.state not in (_RobEntry.WAITING, _RobEntry.READY):
+                continue
+            fu = _FU_POOL_OF[entry.instr.fu_class]
+            if pool[fu] <= 0:
+                deferred.append(entry)
+                continue
+            started = self._start(entry)
+            if started:
+                pool[fu] -= 1
+                issued += 1
+                self.stats.issues += 1
+        for entry in deferred:
+            heapq.heappush(self._ready_heap,
+                           (self.cycle + 1, entry.seq, entry))
+
+    def _retry_loads(self):
+        blocked, self._blocked_loads = self._blocked_loads, []
+        pool = self._fu_pool()
+        for entry in blocked:
+            if entry.state not in (_RobEntry.WAITING, _RobEntry.READY):
+                continue
+            if pool["load"] > 0:
+                if self._start(entry):
+                    pool["load"] -= 1
+            else:
+                self._blocked_loads.append(entry)
+
+    def _source_values(self, entry):
+        values = []
+        for regfile, index, producer in entry.sources:
+            if regfile is None:
+                continue
+            if producer is not None:
+                values.append(producer.value if producer.value is not None
+                              else 0)
+            else:
+                values.append(self.arch.read(regfile, index))
+        return values
+
+    def _start(self, entry):
+        """Begin execution; returns False if the load must re-try."""
+        instr = entry.instr
+        values = self._source_values(entry)
+        rs1 = values[0] if values else 0
+        rs2 = values[1] if len(values) > 1 else 0
+        rs3 = values[2] if len(values) > 2 else 0
+        mnem = instr.mnemonic
+        latency = instr.latency
+
+        if mnem == "simt_s":
+            entry.simt_latched = (rs1, rs2)
+            entry.result = None
+        elif mnem == "simt_e":
+            self._exec_simt_e(entry, rs1)
+        elif mnem.startswith("csr"):
+            entry.value = self._csr_read(instr.csr)
+        elif instr.is_load:
+            outcome = self._exec_load(entry, instr, rs1)
+            if outcome is None:
+                return False
+            latency = outcome
+        elif instr.is_store:
+            entry.result = compute(instr, entry.addr, rs1, rs2)
+            latency = 1
+        else:
+            result = compute(instr, entry.addr, rs1, rs2, rs3)
+            entry.result = result
+            entry.value = result.value
+        entry.state = _RobEntry.EXECUTING
+        entry.done_cycle = self.cycle + max(1, latency)
+        if not instr.is_mem:
+            self.stats.fu_cycles += max(1, latency)
+            if instr.is_fp:
+                self.stats.fpu_cycles += max(1, latency)
+        heapq.heappush(self._executing,
+                       (entry.done_cycle, entry.seq, entry))
+        return True
+
+    def _exec_load(self, entry, instr, rs1):
+        """LSQ discipline; returns latency, or None if blocked."""
+        result = compute(instr, entry.addr, rs1)
+        entry.result = result
+        addr, size = result.mem_addr, result.mem_size
+        forward = None
+        for store in reversed(self.pending_stores):
+            if store.seq >= entry.seq or store.state == _RobEntry.SQUASHED:
+                continue
+            access = resolve_store_access(store, self.arch)
+            if access is None:
+                self._blocked_loads.append(entry)
+                return None
+            s_addr, s_size = access
+            overlap = s_addr < addr + size and addr < s_addr + s_size
+            if not overlap:
+                continue
+            s_res = store.result
+            if s_res is not None and s_addr == addr and s_size == size:
+                forward = s_res.store_value
+            elif not store.store_drained:
+                self._blocked_loads.append(entry)
+                return None
+            break
+        if forward is not None:
+            self.stats.store_forwards += 1
+            entry.value = finish_load(instr, forward & MASK32)
+            return 1
+        raw = self.hierarchy.memory.load(addr, size)
+        entry.value = finish_load(instr, raw)
+        return self.hierarchy.data_access_latency(addr, self.cycle)
+
+    def _exec_simt_e(self, entry, rc_value):
+        from repro.iss.semantics import ExecResult
+        simt_s = entry.simt_region
+        step, end = (simt_s.simt_latched
+                     if simt_s is not None and simt_s.simt_latched
+                     is not None else (0, 0))
+        def signed(v):
+            return v - 0x100000000 if v & 0x80000000 else v
+        step_s, end_s, rc_s = signed(step), signed(end), signed(rc_value)
+        next_rc = rc_s + step_s
+        more = (next_rc < end_s) if step_s > 0 else \
+               (next_rc > end_s) if step_s < 0 else False
+        entry.value = next_rc & MASK32 if more else rc_value
+        entry.result = ExecResult(taken=more,
+                                  target=entry.predicted_target
+                                  if entry.predicted_target is not None
+                                  else (entry.addr + 4) & MASK32)
+
+    def _csr_read(self, number):
+        if number == 0x341:  # mepc
+            return self.csrs.get(0x341, 0)
+        if number in (0xC00, 0xC01):
+            return self.cycle & MASK32
+        if number == 0xC02:
+            return self.stats.retired & MASK32
+        if number in (0xC80, 0xC81, 0xC82):
+            return (self.cycle >> 32) & MASK32
+        if number == 0xF14:
+            return self.core_id
+        return 0
+
+    # ----------------------------------------------------------- complete
+
+    def _complete(self):
+        while self._executing and self._executing[0][0] <= self.cycle:
+            __, __, entry = heapq.heappop(self._executing)
+            if entry.state != _RobEntry.EXECUTING:
+                continue
+            entry.state = _RobEntry.DONE
+            for waiter in entry.waiters:
+                if waiter.state != _RobEntry.WAITING:
+                    continue
+                waiter.ready_time = max(waiter.ready_time,
+                                        entry.done_cycle + 1)
+                waiter.pending_producers -= 1
+                if waiter.pending_producers == 0:
+                    self._push_ready(waiter)
+            entry.waiters = []
+            self._resolve_control(entry)
+
+    def _resolve_control(self, entry):
+        instr = entry.instr
+        if entry is self._fetch_blocked:
+            self._fetch_blocked = None
+            self.fetch_pc = entry.result.target
+            self.btb[entry.addr] = entry.result.target
+            self._fetch_stalled_until = \
+                self.cycle + self.config.mispredict_penalty
+            self.stats.taken_branches += 1
+            return
+        if not (instr.is_control or instr.mnemonic == "simt_e"):
+            return
+        result = entry.result
+        actual_taken = result.taken
+        actual_target = result.target if actual_taken \
+            else (entry.addr + 4) & MASK32
+        predicted_target = entry.predicted_target if entry.predicted_taken \
+            else (entry.addr + 4) & MASK32
+        if instr.is_branch:
+            self.predictor.update(entry.addr, actual_taken)
+        if actual_taken:
+            self.stats.taken_branches += 1
+            self.btb[entry.addr] = actual_target
+        if (actual_taken != entry.predicted_taken
+                or (actual_taken and actual_target != predicted_target)):
+            self._squash_after(entry, actual_target)
+
+    def _squash_after(self, entry, correct_target):
+        self.stats.mispredicts += 1
+        keep = []
+        for e in self.rob:
+            if e.seq <= entry.seq:
+                keep.append(e)
+            else:
+                e.state = _RobEntry.SQUASHED
+        self.rob = keep
+        self.pending_stores = [s for s in self.pending_stores
+                               if s.state != _RobEntry.SQUASHED]
+        self._blocked_loads = [l for l in self._blocked_loads
+                               if l.state != _RobEntry.SQUASHED]
+        self.lane_tail = {}
+        for e in self.rob:
+            if e.state == _RobEntry.SQUASHED:
+                continue
+            dest = e.instr.dest
+            if e.instr.mnemonic == "simt_e":
+                dest = ("x", e.instr.rs1)
+            if dest is not None:
+                self.lane_tail[dest] = e
+        self._active_simt_s = {
+            addr: ent for addr, ent in self._active_simt_s.items()
+            if ent.state != _RobEntry.SQUASHED}
+        self._fetch_blocked = None
+        self.fetch_pc = correct_target
+        self._fetch_stalled_until = \
+            self.cycle + self.config.mispredict_penalty
+        self._line_buffer = None
+
+    # ------------------------------------------------------------- retire
+
+    def _retire(self):
+        retired = 0
+        while self.rob and retired < self.config.retire_width:
+            head = self.rob[0]
+            if head.state == _RobEntry.SQUASHED:
+                self.rob.pop(0)
+                continue
+            if head.state != _RobEntry.DONE:
+                break
+            self._commit(head)
+            if self.retire_hook is not None:
+                self.retire_hook(head.addr, head.instr)
+            self.rob.pop(0)
+            retired += 1
+            self.stats.retired += 1
+            if self.halted:
+                break
+
+    def _commit(self, entry):
+        instr = entry.instr
+        if instr.mnemonic == "ebreak":
+            self.halted = True
+            self.halt_reason = "ebreak"
+        elif instr.mnemonic == "ecall":
+            self.halted = True
+            self.halt_reason = "ecall"
+        if instr.is_store and not entry.store_drained:
+            result = entry.result
+            self.hierarchy.memory.store(result.mem_addr,
+                                        result.store_value,
+                                        result.mem_size)
+            self.hierarchy.data_access_latency(result.mem_addr, self.cycle,
+                                               is_write=True)
+            entry.store_drained = True
+            if entry in self.pending_stores:
+                self.pending_stores.remove(entry)
+        dest = instr.dest
+        if instr.mnemonic == "simt_e":
+            dest = ("x", instr.rs1)
+        if dest is not None and entry.value is not None:
+            self.arch.write(dest[0], dest[1], entry.value)
+            if self.lane_tail.get(dest) is entry:
+                del self.lane_tail[dest]
+
+
+def run_ooo(program, config=None, max_cycles=None):
+    """Run ``program`` to completion on a single out-of-order core."""
+    core = OoOCore(config or OoOConfig(), program)
+    result = core.run(max_cycles=max_cycles)
+    result.core = core
+    return result

@@ -1,0 +1,59 @@
+"""Branch predictors for the out-of-order baseline."""
+
+
+class AlwaysTakenPredictor:
+    """Trivial predictor (testing / ablation)."""
+
+    def predict(self, pc):
+        return True
+
+    def update(self, pc, taken):
+        pass
+
+
+class BimodalPredictor:
+    """Per-PC 2-bit saturating counters."""
+
+    def __init__(self, entries=4096):
+        self.entries = entries
+        self.table = [2] * entries  # weakly taken
+
+    def _index(self, pc):
+        return (pc >> 2) % self.entries
+
+    def predict(self, pc):
+        return self.table[self._index(pc)] >= 2
+
+    def update(self, pc, taken):
+        index = self._index(pc)
+        counter = self.table[index]
+        if taken:
+            self.table[index] = min(3, counter + 1)
+        else:
+            self.table[index] = max(0, counter - 1)
+
+
+class GSharePredictor:
+    """Global-history XOR-indexed 2-bit counters (the default)."""
+
+    def __init__(self, entries=8192, history_bits=12):
+        self.entries = entries
+        self.history_bits = history_bits
+        self.table = [2] * entries
+        self.ghr = 0
+
+    def _index(self, pc):
+        return ((pc >> 2) ^ self.ghr) % self.entries
+
+    def predict(self, pc):
+        return self.table[self._index(pc)] >= 2
+
+    def update(self, pc, taken):
+        index = self._index(pc)
+        counter = self.table[index]
+        if taken:
+            self.table[index] = min(3, counter + 1)
+        else:
+            self.table[index] = max(0, counter - 1)
+        mask = (1 << self.history_bits) - 1
+        self.ghr = ((self.ghr << 1) | int(taken)) & mask

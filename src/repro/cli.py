@@ -1,0 +1,142 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list``                      — available workloads and configurations
+* ``run <workload> [options]``  — run one workload on DiAG + baseline
+* ``experiment <id> [options]`` — regenerate a paper table/figure
+* ``fpga``                      — run the I4C2 bring-up suite (§6.2)
+* ``sweep <knob> <workload>``   — design-space sensitivity sweep
+
+Everything the CLI does is also available as a library; see README.md.
+"""
+
+import argparse
+import sys
+
+EXPERIMENTS = ("table1", "table2", "table3", "fig9a", "fig9b", "fig10a",
+               "fig10b", "fig11", "fig12", "stalls", "headline")
+
+
+def _cmd_list(args):
+    from repro.core import CONFIG_PRESETS
+    from repro.workloads import all_workloads
+
+    print("workloads:")
+    for name, cls in sorted(all_workloads().items()):
+        flags = [cls.CATEGORY]
+        if cls.SIMT_CAPABLE:
+            flags.append("simt")
+        if cls.MT_CAPABLE:
+            flags.append("mt")
+        print(f"  {name:14s} [{cls.SUITE:7s}] {', '.join(flags)}")
+    print("\nDiAG configurations (paper Table 2):")
+    for name, cfg in CONFIG_PRESETS.items():
+        print(f"  {name:6s} {cfg.isa:8s} {cfg.total_pes:4d} PEs "
+              f"({cfg.num_clusters} clusters x {cfg.pes_per_cluster})")
+    print("\nexperiments:", ", ".join(EXPERIMENTS))
+    return 0
+
+
+def _cmd_run(args):
+    from repro.harness import run_baseline, run_diag
+
+    base = run_baseline(args.workload, scale=args.scale,
+                        threads=args.threads)
+    diag = run_diag(args.workload, config=args.config, scale=args.scale,
+                    threads=args.threads, simt=args.simt)
+    print(f"workload {args.workload} (scale {args.scale}, "
+          f"{args.threads} thread(s)):")
+    print(f"  baseline : {base.cycles:8d} cycles  IPC {base.ipc:5.2f}  "
+          f"{base.energy_j * 1e6:8.2f} uJ  "
+          f"verified={base.verified}")
+    print(f"  DiAG {args.config:5s}: {diag.cycles:8d} cycles  "
+          f"IPC {diag.ipc:5.2f}  {diag.energy_j * 1e6:8.2f} uJ  "
+          f"verified={diag.verified}")
+    if diag.cycles:
+        print(f"  speedup {base.cycles / diag.cycles:.2f}x   "
+              f"energy efficiency "
+              f"{base.energy_j / diag.energy_j:.2f}x")
+    return 0 if (base.verified and diag.verified) else 1
+
+
+def _cmd_experiment(args):
+    from repro import harness
+
+    runner = getattr(harness, f"run_{args.id}", None)
+    if args.id == "stalls":
+        runner = harness.run_stall_breakdown
+    if runner is None:
+        print(f"unknown experiment '{args.id}'; one of: "
+              f"{', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    kwargs = {} if args.id in ("table2", "table3") \
+        else {"scale": args.scale}
+    result = runner(**kwargs)
+    print(harness.render_experiment(args.id, result))
+    return 0
+
+
+def _cmd_sweep(args):
+    from repro.harness.sweeps import ALL_SWEEPS
+
+    sweep = ALL_SWEEPS[args.knob]
+    result = sweep(args.workload, scale=args.scale)
+    print(result.render())
+    return 0 if result.all_verified() else 1
+
+
+def _cmd_fpga(args):
+    from repro.core.fpga import run_fpga_proof
+
+    report = run_fpga_proof()
+    print(report.summary())
+    return 0 if report.all_passed else 1
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DiAG (ASPLOS 2021) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads / configs / experiments")
+
+    run_p = sub.add_parser("run", help="run one workload")
+    run_p.add_argument("workload")
+    run_p.add_argument("--config", default="F4C16",
+                       choices=("I4C2", "F4C2", "F4C16", "F4C32"))
+    run_p.add_argument("--scale", type=float, default=0.5)
+    run_p.add_argument("--threads", type=int, default=1)
+    run_p.add_argument("--simt", action="store_true")
+
+    exp_p = sub.add_parser("experiment",
+                           help="regenerate a paper table/figure")
+    exp_p.add_argument("id", choices=EXPERIMENTS)
+    exp_p.add_argument("--scale", type=float, default=0.5)
+
+    sub.add_parser("fpga", help="I4C2 bring-up co-simulation (section "
+                                "6.2 substitute)")
+
+    sweep_p = sub.add_parser("sweep", help="design-space sweep")
+    sweep_p.add_argument("knob", choices=("clusters", "threads",
+                                          "lsu_depth", "flush_penalty"))
+    sweep_p.add_argument("workload")
+    sweep_p.add_argument("--scale", type=float, default=0.5)
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    handler = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "experiment": _cmd_experiment,
+        "fpga": _cmd_fpga,
+        "sweep": _cmd_sweep,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

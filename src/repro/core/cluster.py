@@ -1,0 +1,78 @@
+"""Processing clusters: resident instruction lines + activations.
+
+Paper Sections 4.3 and 5.1: a cluster is a row of 16 PEs loaded from a
+single 64-byte I-cache line. The decoded line stays *resident* in the
+cluster so a backward branch can re-activate it without fetch or decode
+(instruction reuse, Figure 4). Loads/stores are queued at the cluster
+level through its LSU, and memory lanes flow store data onward.
+"""
+
+import itertools
+
+from repro.memory.lsu import LoadStoreUnit
+from repro.memory.memory_lanes import MemoryLanes
+
+_activation_counter = itertools.count()
+
+
+class Activation:
+    """One pass of execution through a resident cluster.
+
+    ``seq`` orders activations along the (logical) cluster chain and is
+    the coordinate used for lane-propagation delays.
+    """
+
+    __slots__ = ("seq", "cluster", "arm_cycle", "ready_cycle", "entries",
+                 "entry_pc")
+
+    def __init__(self, seq, cluster, arm_cycle, ready_cycle, entry_pc):
+        self.seq = seq
+        self.cluster = cluster
+        self.arm_cycle = arm_cycle
+        self.ready_cycle = ready_cycle  # decoded; PEs may begin
+        self.entry_pc = entry_pc
+        self.entries = []
+
+    @property
+    def drained(self):
+        return all(e.is_finished for e in self.entries)
+
+
+class Cluster:
+    """A resident cluster: a decoded line plus per-cluster memory state."""
+
+    def __init__(self, slot, base_addr, instrs, hierarchy, config):
+        self.slot = slot               # physical position in the ring
+        self.base_addr = base_addr     # line-aligned
+        self.instrs = instrs           # list of decoded Instruction/None
+        self.lsu = LoadStoreUnit(
+            hierarchy,
+            line_bytes=config.line_bytes,
+            queue_depth=config.lsu_queue_depth,
+            buffer_hit_latency=config.cluster_buffer_latency,
+        )
+        self.memory_lanes = MemoryLanes(capacity=config.memory_lane_capacity)
+        self.active_activation = None
+        self.last_used_cycle = 0
+        self.activation_count = 0
+
+    @property
+    def end_addr(self):
+        return self.base_addr + 4 * len(self.instrs)
+
+    def contains(self, addr):
+        return self.base_addr <= addr < self.end_addr
+
+    @property
+    def busy(self):
+        act = self.active_activation
+        return act is not None and not act.drained
+
+    def arm(self, seq, arm_cycle, ready_cycle, entry_pc):
+        """Begin a new activation (the previous one must have drained)."""
+        assert not self.busy, "cluster re-armed while still executing"
+        activation = Activation(seq, self, arm_cycle, ready_cycle, entry_pc)
+        self.active_activation = activation
+        self.activation_count += 1
+        self.last_used_cycle = arm_cycle
+        return activation

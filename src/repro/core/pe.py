@@ -1,0 +1,80 @@
+"""Processing-element entries: one instruction occupying one PE.
+
+Paper Figure 5: each PE holds an instruction address register, decoded
+instruction state, and control that compares the PC lane against its
+address. A :class:`PEEntry` is one *activation* of one PE — a fresh
+entry is created each time its cluster is (re-)armed, while the decoded
+instruction itself stays resident in the cluster (instruction reuse).
+"""
+
+import enum
+
+
+class PEState(enum.Enum):
+    WAITING = "waiting"      # armed, operands not all valid yet
+    EXECUTING = "executing"  # operation in flight
+    DONE = "done"            # result on the destination lane
+    DISABLED = "disabled"    # PC-lane mismatch (branch shadow / alignment)
+    SQUASHED = "squashed"    # killed by an older mispredicted branch
+    RETIRED = "retired"      # PC lane swept past; stores drained
+
+
+class PEEntry:
+    """One in-flight instruction instance in the window."""
+
+    __slots__ = (
+        "seq", "instr", "addr", "activation", "pe_index", "state",
+        "sources", "value", "result", "start_cycle", "done_cycle",
+        "predicted_taken", "predicted_target", "waiting_on_memory",
+        "simt_region", "simt_latched", "store_drained",
+        "pending_producers", "ready_time", "waiters", "blocked_on",
+        "store_addr",
+    )
+
+    def __init__(self, seq, instr, addr, activation, pe_index):
+        self.seq = seq
+        self.instr = instr
+        self.addr = addr
+        self.activation = activation
+        self.pe_index = pe_index
+        self.state = PEState.WAITING
+        #: list of (regfile, index, producer) where producer is either a
+        #: PEEntry or None (value comes from the architectural lanes).
+        self.sources = []
+        self.value = None
+        self.result = None
+        self.start_cycle = None
+        self.done_cycle = None
+        self.predicted_taken = False
+        self.predicted_target = None
+        #: True while this entry's head-of-window stall is memory-caused
+        self.waiting_on_memory = False
+        #: for simt_e entries: the paired simt_s PEEntry
+        self.simt_region = None
+        self.simt_latched = None
+        self.store_drained = False
+        # scheduler bookkeeping (see repro.core.ring)
+        self.pending_producers = 0
+        self.ready_time = 0
+        self.waiters = []
+        self.blocked_on = None
+        #: lazily resolved (addr, size) once the base register
+        #: is available, before the store's data arrives
+        self.store_addr = None
+
+    @property
+    def position(self):
+        return (self.activation.seq, self.pe_index)
+
+    @property
+    def is_finished(self):
+        return self.state in (PEState.DONE, PEState.DISABLED,
+                              PEState.SQUASHED, PEState.RETIRED)
+
+    @property
+    def executed(self):
+        return self.state in (PEState.DONE, PEState.RETIRED)
+
+    def __repr__(self):  # pragma: no cover - debug aid
+        return (f"<PE #{self.seq} {self.instr.mnemonic}@{self.addr:#x} "
+                f"{self.state.value}>")

@@ -1,0 +1,112 @@
+"""Top-level DiAG processor: dataflow rings + shared memory hierarchy.
+
+Paper Section 5.1: a DiAG processor is organized as dataflow rings
+(each the analogue of a CPU core), each containing processing clusters
+of PEs. Multi-threaded runs allocate one ring per software thread (the
+"16-by-2 format" of Section 7.2.1: each thread gets a ring with
+``num_clusters`` clusters to alternate between); all rings share the
+banked L1D / L2 hierarchy, so inter-thread memory contention is
+modelled through the shared bank/bus timing state.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.core.lanes import ArchLanes
+from repro.core.ring import RingEngine
+from repro.core.stats import RingStats
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+@dataclass
+class DiAGResult:
+    """Outcome of one DiAG run."""
+
+    cycles: int = 0
+    stats: RingStats = field(default_factory=RingStats)
+    ring_stats: list = field(default_factory=list)
+    halted: bool = False
+    halt_reasons: list = field(default_factory=list)
+
+    @property
+    def instructions(self):
+        return self.stats.retired
+
+    @property
+    def ipc(self):
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+class DiAGProcessor:
+    """A DiAG processor instance executing one program."""
+
+    STACK_BYTES_PER_THREAD = 64 * 1024
+
+    def __init__(self, config, program, num_threads=1, thread_regs=None,
+                 hierarchy=None):
+        """``thread_regs``: optional per-thread {reg_index: value} seeds.
+
+        By default thread ``t`` starts with a0 = t and a1 = num_threads
+        (the SPMD convention all multi-threaded workloads use) and a
+        private 64 KiB stack carved below the shared stack top.
+        """
+        self.config = config
+        self.program = program
+        self.num_threads = num_threads
+        self.hierarchy = hierarchy if hierarchy is not None \
+            else MemoryHierarchy(config.hierarchy_config())
+        program.load_into(self.hierarchy.memory)
+        self.rings = []
+        for tid in range(num_threads):
+            arch = ArchLanes()
+            arch.x[2] = ArchLanes.STACK_TOP \
+                - tid * self.STACK_BYTES_PER_THREAD
+            arch.x[10] = tid
+            arch.x[11] = num_threads
+            if thread_regs is not None and tid < len(thread_regs):
+                for reg, value in thread_regs[tid].items():
+                    arch.x[reg] = value & 0xFFFFFFFF
+            self.rings.append(RingEngine(config, self.hierarchy, program,
+                                         arch=arch, ring_id=tid))
+
+    @property
+    def memory(self):
+        return self.hierarchy.memory
+
+    def run(self, max_cycles=None):
+        """Run all rings in lockstep until every thread halts."""
+        budget = max_cycles if max_cycles is not None \
+            else self.config.max_cycles
+        live = list(self.rings)
+        cycle = 0
+        while live and cycle < budget:
+            for ring in live:
+                ring.step()
+            live = [r for r in live if not r.halted]
+            cycle += 1
+        return self._collect()
+
+    def _collect(self):
+        result = DiAGResult()
+        merged = RingStats()
+        for ring in self.rings:
+            merged.merge(ring.stats)
+            result.ring_stats.append(ring.stats)
+            result.halt_reasons.append(ring.halt_reason)
+        result.stats = merged
+        result.cycles = max((r.cycle for r in self.rings), default=0)
+        result.halted = all(r.halted for r in self.rings)
+        return result
+
+
+def run_program(program, config, num_threads=1, thread_regs=None,
+                max_cycles=None):
+    """Convenience wrapper: build a processor, run, return the result.
+
+    The result also exposes the processor (``result.processor``) so
+    callers can inspect memory and cache statistics.
+    """
+    processor = DiAGProcessor(config, program, num_threads=num_threads,
+                              thread_regs=thread_regs)
+    result = processor.run(max_cycles=max_cycles)
+    result.processor = processor
+    return result

@@ -1,0 +1,923 @@
+"""The dataflow ring engine: DiAG's execution core for one hardware thread.
+
+This is the cycle-level model of Sections 4 and 5 of the paper:
+
+* Instructions are assigned to PEs strictly in program order, one
+  64-byte I-line per cluster (Section 5.1.1). The in-flight set of PE
+  entries forms a *window* whose producer/consumer links are exactly
+  the register lanes — each reader is wired to the youngest older
+  writer of its lane, so renaming/issue/dispatch never happen
+  explicitly (Table 1).
+* A PE begins executing the moment its source lanes are valid
+  (Section 4.1); WAR/WAW hazards cannot occur (Section 4.2).
+* The PC lane retires entries in order like a reorder buffer
+  (Section 5.1.4); branch shadows and unaligned entry points leave PEs
+  *disabled* by PC mismatch (Section 4.3, Figure 6).
+* Backward branches whose target line is still resident re-activate
+  the existing cluster — datapath reuse with no fetch or decode
+  (Section 4.3.2, Figure 4).
+* ``simt_s``/``simt_e`` regions that satisfy the Section 4.4.3
+  constraints are handed to the thread pipeliner in
+  :mod:`repro.core.simt`; otherwise they fall back to sequential loop
+  execution with ``simt_e`` acting as a backward branch.
+"""
+
+import heapq
+import itertools
+
+from repro.core.cluster import Cluster
+from repro.core.lanes import ArchLanes, lane_delay
+from repro.core.pe import PEEntry, PEState
+from repro.core.simt import SimtExecutor, analyze_simt_regions
+from repro.core.stats import RingStats, StallReason
+from repro.iss.semantics import compute, finish_load
+from repro.memory.lsu import resolve_store_access
+from repro.isa.decoder import DecodeError, decode
+
+MASK32 = 0xFFFFFFFF
+
+
+class RingEngine:
+    """One dataflow ring executing one software thread."""
+
+    def __init__(self, config, hierarchy, program, entry_pc=None,
+                 arch=None, ring_id=0):
+        self.config = config
+        self.hierarchy = hierarchy
+        self.program = program
+        self.ring_id = ring_id
+        self.arch = arch if arch is not None else ArchLanes()
+        self.stats = RingStats()
+        self.cycle = 0
+        self.halted = False
+        self.halt_reason = None
+
+        # Resident clusters: base line address -> [Cluster, ...].
+        # Several clusters may hold copies of the same line: when a loop
+        # iteration re-enters a line whose cluster is still executing,
+        # the control unit loads a copy into a free cluster so
+        # iterations overlap (this is why the paper likens total PE
+        # count to ROB size, Section 7.2.1).
+        self.clusters = {}
+        self._resident_count = 0
+        self._next_slot = 0
+        self._last_armed_slot = None
+        self._activation_seq = itertools.count()
+        self._entry_seq = itertools.count()
+
+        # The in-flight window and lane wiring
+        self.window = []
+        self.lane_tail = {}
+        self.pending_stores = []
+
+        # Scheduling structures
+        self._ready_heap = []    # (time, seq, entry) operands known-ready
+        self._executing = []     # (done_cycle, seq, entry)
+        self._blocked_loads = []
+        self._retry = []         # entries retried next cycle (FU share)
+
+        # Dispatch state
+        self.next_fetch_pc = entry_pc if entry_pc is not None \
+            else program.entry
+        self._arm_pending = None   # (cluster, ready_cycle, entry_pc, reuse)
+        self._arm_stall_reason = None
+        self._waiting_redirect = None
+        self._flush_inflight = False
+        self._ras = []
+        self._bus_busy_until = 0
+
+        # SIMT
+        self.simt_regions = analyze_simt_regions(program, config)
+        self._active_simt_s = {}   # simt_s addr -> latest simt_s entry
+        self._simt_until = None
+        self._simt_pending_entry = None
+        self._simt_active_pes = 0.0
+        self._simt_active_fpus = 0.0
+
+        self._redirect_at = None
+        self._redirect_pc = None
+        self._retired_this_cycle = 0
+        self._pending_interrupt = None
+        self.csrs = {}
+        #: optional callable(addr, instr) invoked at each retirement,
+        #: in program order (test/trace hook)
+        self.retire_hook = None
+
+    # ================================================================ API
+
+    def run(self, max_cycles=None):
+        """Run to completion (or the cycle budget); returns stats."""
+        budget = max_cycles if max_cycles is not None \
+            else self.config.max_cycles
+        while not self.halted and self.cycle < budget:
+            self.step()
+        return self.stats
+
+    def step(self):
+        """Advance one cycle."""
+        self._retired_this_cycle = 0
+        if self._pending_interrupt is not None and self._simt_until is None:
+            self._take_interrupt()
+        if self._simt_until is not None:
+            self._step_simt()
+        else:
+            self._complete_executions()
+            self._start_ready()
+            self._retry_blocked()
+            self._dispatch()
+            self._retire()
+            self._account_stall()
+        self._account_energy()
+        self.cycle += 1
+        self.stats.cycles = self.cycle
+
+    # =========================================================== dispatch
+
+    def _line_base(self, addr):
+        return addr - (addr % self.config.line_bytes)
+
+    def _dispatch(self):
+        if self.halted or self._waiting_redirect is not None:
+            return
+        if self._arm_pending is not None:
+            cluster, ready, entry_pc, reuse = self._arm_pending
+            if self.cycle >= ready:
+                self._arm_pending = None
+                self._flush_inflight = False
+                self._fill_activation(cluster, ready, entry_pc)
+            return
+        if self.next_fetch_pc is None:
+            return
+        self._begin_arm(self.next_fetch_pc)
+
+    def _begin_arm(self, pc):
+        """Start arming a cluster holding ``pc``'s line."""
+        cfg = self.config
+        line = self._line_base(pc)
+        residents = self.clusters.get(line, [])
+        idle = [c for c in residents if not c.busy]
+        if idle and cfg.enable_reuse:
+            # Datapath reuse: instructions already loaded and decoded.
+            cluster = max(idle, key=lambda c: c.last_used_cycle)
+            self.stats.reuse_hits += 1
+            adjacent = (self._last_armed_slot is not None and
+                        (self._last_armed_slot + 1) % cfg.num_clusters
+                        == cluster.slot)
+            delay = cfg.reuse_adjacent_delay if adjacent \
+                else self._bus_transfer(cfg.reuse_bus_delay)
+            self._arm_pending = (cluster, self.cycle + delay, pc, True)
+            self.next_fetch_pc = None
+            return
+        if idle and not cfg.enable_reuse:
+            # Reuse disabled (ablation): drop residency, reload below.
+            for cluster in idle:
+                self._drop_cluster(cluster)
+        if residents and not idle:
+            self.stats.reuse_misses += 1
+            if (cfg.enable_reuse and len(residents) >= 2
+                    and self._resident_count >= cfg.num_clusters):
+                # Several copies of this line are already executing and
+                # another duplicate would evict other resident lines
+                # (self-thrash): wait for a copy to drain instead. A
+                # single busy copy on a small ring is still duplicated
+                # — refetching is cheaper than serializing on it.
+                self._arm_stall_reason = StallReason.STRUCTURAL
+                return
+        cluster = self._allocate_cluster(line)
+        if cluster is None:
+            self._arm_stall_reason = StallReason.STRUCTURAL
+            return
+        self.stats.lines_fetched += 1
+        fetch = self.hierarchy.fetch_latency(line)
+        delay = self._bus_transfer(fetch) + self.config.decode_latency
+        self._arm_pending = (cluster, self.cycle + delay, pc, False)
+        self.next_fetch_pc = None
+
+    def _drop_cluster(self, cluster):
+        residents = self.clusters.get(cluster.base_addr)
+        if residents and cluster in residents:
+            residents.remove(cluster)
+            self._resident_count -= 1
+            if not residents:
+                del self.clusters[cluster.base_addr]
+
+    def _bus_transfer(self, base_delay):
+        """Serialize a transaction on the shared 512-bit bus."""
+        start = max(self.cycle, self._bus_busy_until)
+        wait = start - self.cycle
+        self._bus_busy_until = start + self.config.bus_occupancy
+        return wait + base_delay
+
+    def _allocate_cluster(self, line):
+        """Find or evict a cluster slot and decode ``line`` into it."""
+        cfg = self.config
+        if self._resident_count >= cfg.num_clusters:
+            victims = [c for group in self.clusters.values()
+                       for c in group if not c.busy]
+            if not victims:
+                return None
+            victim = min(victims, key=lambda c: c.last_used_cycle)
+            self._drop_cluster(victim)
+            slot = victim.slot
+        else:
+            slot = self._next_slot
+            self._next_slot = (self._next_slot + 1) % cfg.num_clusters
+        instrs = []
+        for i in range(cfg.pes_per_cluster):
+            addr = line + 4 * i
+            instr = self.program.instruction_at(addr)
+            if instr is None:
+                instr = self._decode_raw(addr)
+            instrs.append(instr)
+        cluster = Cluster(slot, line, instrs, self.hierarchy, cfg)
+        self.clusters.setdefault(line, []).append(cluster)
+        self._resident_count += 1
+        return cluster
+
+    def _decode_raw(self, addr):
+        word = self.hierarchy.memory.read_word(addr)
+        try:
+            return decode(word, addr=addr)
+        except DecodeError:
+            return None
+
+    def _fill_activation(self, cluster, ready_cycle, entry_pc):
+        """Assign the cluster's instructions to PEs along the predicted
+        path and append the entries to the window (Figure 6)."""
+        cfg = self.config
+        activation = cluster.arm(next(self._activation_seq), self.cycle,
+                                 ready_cycle, entry_pc)
+        self._last_armed_slot = cluster.slot
+        path_pc = entry_pc
+        stop_after = None
+        for pe_index, instr in enumerate(cluster.instrs):
+            addr = cluster.base_addr + 4 * pe_index
+            entry = PEEntry(next(self._entry_seq), instr, addr,
+                            activation, pe_index)
+            activation.entries.append(entry)
+            disabled = (instr is None or addr != path_pc
+                        or stop_after is not None)
+            if disabled:
+                entry.state = PEState.DISABLED
+                self.window.append(entry)
+                self.stats.disabled_slots += 1
+                continue
+            self.window.append(entry)
+            path_pc, stop_after = self._wire_entry(entry, path_pc)
+            if stop_after == "halt-dispatch":
+                break
+        if stop_after is None or stop_after != "halt-dispatch":
+            if self._waiting_redirect is None and self.next_fetch_pc is None:
+                self.next_fetch_pc = path_pc
+
+    def _wire_entry(self, entry, path_pc):
+        """Resolve lane producers + predict the path after this entry.
+
+        Returns (next_path_pc, stop_marker)."""
+        instr = entry.instr
+        self._resolve_sources(entry)
+        self._register_dest(entry)
+        next_pc = (path_pc + 4) & MASK32
+        stop = None
+
+        if instr.mnemonic in ("ebreak", "ecall"):
+            self.next_fetch_pc = None
+            stop = "halt-dispatch"
+        elif instr.mnemonic == "jal":
+            entry.predicted_taken = True
+            entry.predicted_target = (entry.addr + instr.imm) & MASK32
+            next_pc = entry.predicted_target
+            if instr.rd == 1:
+                self._ras.append((entry.addr + 4) & MASK32)
+        elif instr.mnemonic == "jalr":
+            predicted = None
+            if instr.rd == 0 and instr.rs1 == 1 and self._ras:
+                predicted = self._ras.pop()
+            if predicted is not None:
+                entry.predicted_taken = True
+                entry.predicted_target = predicted
+                next_pc = predicted
+            else:
+                # Unpredictable indirect jump: stall dispatch until the
+                # PE resolves the PC lane (Section 4.3).
+                entry.predicted_taken = True
+                entry.predicted_target = None
+                self._waiting_redirect = entry
+                self.next_fetch_pc = None
+                stop = "halt-dispatch"
+        elif instr.is_branch:
+            self.stats.branches += 1
+            target = (entry.addr + instr.imm) & MASK32
+            backward = instr.imm < 0
+            take = (backward and self.config.predict_backward_taken
+                    and self.config.enable_reuse)
+            entry.predicted_taken = take
+            entry.predicted_target = target
+            if take:
+                next_pc = target
+            if self.config.enable_dual_path:
+                alternate = (entry.addr + 4) & MASK32 if take else target
+                self._prearm_alternate(alternate)
+        elif instr.mnemonic == "simt_s":
+            region = self.simt_regions.get(entry.addr)
+            self._active_simt_s[entry.addr] = entry
+            if (region is not None and region.pipelineable
+                    and self.config.enable_simt
+                    and self._simt_profitable(region)):
+                # Pipelined region: stop dispatch; the pipeliner takes
+                # over once this entry reaches the window head.
+                self._simt_pending_entry = entry
+                self.next_fetch_pc = None
+                stop = "halt-dispatch"
+        elif instr.mnemonic == "simt_e":
+            region = self.simt_regions.get(entry.addr)
+            start_addr = region.start_addr if region is not None else None
+            simt_s_entry = (self._active_simt_s.get(start_addr - 4)
+                            if start_addr is not None else None)
+            entry.simt_region = simt_s_entry
+            if simt_s_entry is not None:
+                entry.sources.append((None, None, simt_s_entry))
+                if not simt_s_entry.executed:
+                    entry.pending_producers += 1
+                    simt_s_entry.waiters.append(entry)
+            # Sequential fallback: simt_e is a backward branch,
+            # statically predicted taken (the loop fast path).
+            entry.predicted_taken = True
+            entry.predicted_target = start_addr
+            if start_addr is not None:
+                next_pc = start_addr
+            self.stats.branches += 1
+
+        if entry.pending_producers == 0:
+            self._push_ready(entry)
+        return next_pc, stop
+
+    def _resolve_sources(self, entry):
+        for regfile, index in entry.instr.sources:
+            producer = self.lane_tail.get((regfile, index))
+            entry.sources.append((regfile, index, producer))
+            if producer is not None and not producer.executed:
+                entry.pending_producers += 1
+                producer.waiters.append(entry)
+            elif producer is not None:
+                entry.ready_time = max(
+                    entry.ready_time, self._value_arrival(producer, entry))
+
+    def _register_dest(self, entry):
+        instr = entry.instr
+        dest = instr.dest
+        if instr.mnemonic == "simt_e":
+            dest = ("x", instr.rs1)  # simt_e steps the control register
+        if dest is not None:
+            self.lane_tail[dest] = entry
+        if instr.is_store:
+            self.pending_stores.append(entry)
+            self.stats.stores += 1
+        elif instr.is_load:
+            self.stats.loads += 1
+
+    def _value_arrival(self, producer, consumer):
+        return producer.done_cycle + lane_delay(
+            producer.position, consumer.position,
+            self.config.pes_per_cluster, self.config.lane_buffer_every,
+            self.config.inter_cluster_delay)
+
+    def _push_ready(self, entry):
+        ready = max(entry.ready_time, entry.activation.ready_cycle)
+        entry.ready_time = ready
+        heapq.heappush(self._ready_heap, (ready, entry.seq, entry))
+
+    # ============================================================ execute
+
+    def _start_ready(self):
+        deferred = []
+        while self._ready_heap and self._ready_heap[0][0] <= self.cycle:
+            __, __, entry = heapq.heappop(self._ready_heap)
+            if entry.state is not PEState.WAITING:
+                continue
+            if not self._fu_available(entry):
+                deferred.append(entry)
+                continue
+            self._try_start(entry)
+        for entry in deferred:
+            self._retry.append(entry)
+
+    def _retry_blocked(self):
+        retry, self._retry = self._retry, []
+        for entry in retry:
+            if entry.state is PEState.WAITING:
+                if self._fu_available(entry):
+                    self._try_start(entry)
+                else:
+                    self._retry.append(entry)
+        blocked, self._blocked_loads = self._blocked_loads, []
+        for entry in blocked:
+            if entry.state is PEState.WAITING:
+                self._try_start(entry)
+
+    def _fu_available(self, entry):
+        share = self.config.fu_share_factor
+        if share <= 1:
+            return True
+        group = entry.pe_index // share
+        used = sum(1 for e in entry.activation.entries
+                   if e.state is PEState.EXECUTING
+                   and e.pe_index // share == group)
+        return used < 1
+
+    def _source_values(self, entry):
+        values = []
+        for regfile, index, producer in entry.sources:
+            if regfile is None:
+                continue  # pseudo-dependency (simt pairing)
+            if producer is not None:
+                values.append(producer.value if producer.value is not None
+                              else 0)
+            else:
+                values.append(self.arch.read(regfile, index))
+        return values
+
+    def _operand(self, entry, position):
+        values = self._source_values(entry)
+        return values[position] if position < len(values) else 0
+
+    def _try_start(self, entry):
+        """Operands are lane-valid; attempt to begin execution."""
+        instr = entry.instr
+        if instr.is_mem:
+            self._start_memory(entry)
+            return
+        self._start_compute(entry)
+
+    def _start_compute(self, entry):
+        instr = entry.instr
+        values = self._source_values(entry)
+        rs1 = values[0] if values else 0
+        rs2 = values[1] if len(values) > 1 else 0
+        rs3 = values[2] if len(values) > 2 else 0
+        mnem = instr.mnemonic
+        latency = instr.latency
+
+        if mnem == "simt_s":
+            entry.simt_latched = (rs1, rs2)  # (step, end) at spawn time
+            entry.value = None
+            entry.result = None
+        elif mnem == "simt_e":
+            self._exec_simt_e(entry, rs1)
+        elif mnem.startswith("csr"):
+            old = self._csr_read(instr.csr)
+            entry.value = old
+            write_val = instr.imm if mnem.endswith("i") else rs1
+            if mnem.startswith("csrrw"):
+                self.csrs[instr.csr] = write_val & MASK32
+            elif mnem.startswith("csrrs") and write_val:
+                self.csrs[instr.csr] = (old | write_val) & MASK32
+            elif mnem.startswith("csrrc") and write_val:
+                self.csrs[instr.csr] = old & ~write_val & MASK32
+        else:
+            result = compute(instr, entry.addr, rs1, rs2, rs3)
+            entry.result = result
+            entry.value = result.value
+        entry.state = PEState.EXECUTING
+        entry.start_cycle = self.cycle
+        done = self.cycle + latency
+        entry.done_cycle = done
+        heapq.heappush(self._executing, (done, entry.seq, entry))
+
+    def _exec_simt_e(self, entry, rc_value):
+        simt_s = entry.simt_region
+        step, end = (simt_s.simt_latched if simt_s is not None
+                     and simt_s.simt_latched is not None else (0, 0))
+        step_s = step - 0x100000000 if step & 0x80000000 else step
+        end_s = end - 0x100000000 if end & 0x80000000 else end
+        rc_s = rc_value - 0x100000000 if rc_value & 0x80000000 else rc_value
+        next_rc = rc_s + step_s
+        more = (next_rc < end_s) if step_s > 0 else \
+               (next_rc > end_s) if step_s < 0 else False
+        entry.value = next_rc & MASK32 if more else rc_value
+        from repro.iss.semantics import ExecResult
+        entry.result = ExecResult(
+            taken=more,
+            target=entry.predicted_target
+            if entry.predicted_target is not None else entry.addr + 4)
+        self.stats.simt_threads += more
+
+    def post_interrupt(self, vector):
+        """Request a precise interrupt (paper Section 5.1.4).
+
+        "When an interrupt is encountered at instruction i, all
+        instructions from i+1, i+2, ... are automatically disabled
+        because the PE for instruction i modifies the PC lane to the
+        target trap vector." Deferred past an active pipelined region
+        (regions retire atomically, like the paper's reuse commits).
+        """
+        self._pending_interrupt = vector
+
+    def _take_interrupt(self):
+        """Squash every un-retired PE entry and redirect to the trap
+        vector; mepc gets the next-to-retire PC (precise state: the
+        architectural lanes hold exactly the retired prefix)."""
+        vector = self._pending_interrupt
+        self._pending_interrupt = None
+        if self.halted:
+            return
+        # the interrupted PC = oldest un-retired instruction, or the
+        # next fetch target when the window is empty
+        if self.window:
+            live = [e for e in self.window
+                    if e.state is not PEState.SQUASHED]
+            mepc = live[0].addr if live else self.next_fetch_pc
+        else:
+            mepc = self.next_fetch_pc
+            if mepc is None and self._arm_pending is not None:
+                mepc = self._arm_pending[2]
+        self.csrs[0x341] = (mepc or 0) & MASK32
+        for entry in self.window:
+            if entry.state is not PEState.DISABLED:
+                self.stats.squashed += 1
+            entry.state = PEState.SQUASHED
+        self.window = []
+        self.pending_stores = []
+        self._blocked_loads = []
+        self._retry = []
+        self.lane_tail = {}
+        self._active_simt_s = {}
+        self._arm_pending = None
+        self._waiting_redirect = None
+        self._simt_pending_entry = None
+        self._redirect_at = None
+        self._flush_inflight = True
+        self.next_fetch_pc = vector & MASK32
+
+    def _csr_read(self, number):
+        if number == 0x341:  # mepc
+            return self.csrs.get(0x341, 0)
+        if number in (0xC00, 0xC01):
+            return self.cycle & MASK32
+        if number == 0xC02:
+            return self.stats.retired & MASK32
+        if number in (0xC80, 0xC81, 0xC82):
+            return (self.cycle >> 32) & MASK32
+        if number == 0xF14:
+            return self.ring_id
+        return 0
+
+    # ------------------------------------------------------------ memory
+
+    def _start_memory(self, entry):
+        instr = entry.instr
+        values = self._source_values(entry)
+        rs1 = values[0] if values else 0
+        rs2 = values[1] if len(values) > 1 else 0
+        result = compute(instr, entry.addr, rs1, rs2)
+        entry.result = result
+        if instr.is_store:
+            self._start_store(entry)
+            return
+        self._start_load(entry)
+
+    def _start_store(self, entry):
+        cluster = entry.activation.cluster
+        result = entry.result
+        if self.config.enable_memory_lanes:
+            cluster.memory_lanes.record_store(
+                result.mem_addr, result.store_value, result.mem_size)
+        entry.state = PEState.EXECUTING
+        entry.start_cycle = self.cycle
+        entry.done_cycle = self.cycle + 1
+        heapq.heappush(self._executing, (entry.done_cycle, entry.seq, entry))
+
+    def _start_load(self, entry):
+        """Loads order against older stores through the memory lanes:
+        the store's *address* resolves as soon as its base register is
+        valid; an overlapping store must supply data (exact match) or
+        drain to memory before the load proceeds."""
+        result = entry.result
+        addr, size = result.mem_addr, result.mem_size
+        forward_value = None
+        for store in reversed(self.pending_stores):
+            if store.seq >= entry.seq or store.state is PEState.SQUASHED:
+                continue
+            access = resolve_store_access(store, self.arch)
+            if access is None:
+                self._block_load(entry, store)
+                return
+            s_addr, s_size = access
+            overlap = s_addr < addr + size and addr < s_addr + s_size
+            if not overlap:
+                continue
+            s_res = store.result
+            if (s_res is not None and s_addr == addr and s_size == size
+                    and self.config.enable_memory_lanes):
+                forward_value = s_res.store_value
+            elif not store.store_drained:
+                # Data not yet available (or partial overlap / lanes
+                # disabled): wait for the store.
+                self._block_load(entry, store)
+                return
+            break
+
+        entry.blocked_on = None
+        cluster = entry.activation.cluster
+        if forward_value is not None:
+            self.stats.store_forwards += 1
+            cluster.memory_lanes.stats_forwards += 1
+            raw = forward_value
+            latency = 1
+        else:
+            raw = self.hierarchy.memory.load(addr, size)
+            latency, __ = cluster.lsu.access(addr, self.cycle,
+                                             is_write=False)
+            if self.config.enable_prefetch:
+                self._prefetch(entry, addr)
+        entry.value = finish_load(entry.instr, raw)
+        entry.waiting_on_memory = True
+        entry.state = PEState.EXECUTING
+        entry.start_cycle = self.cycle
+        entry.done_cycle = self.cycle + max(1, latency)
+        heapq.heappush(self._executing, (entry.done_cycle, entry.seq, entry))
+
+    def _block_load(self, entry, store):
+        entry.blocked_on = store
+        entry.waiting_on_memory = True
+        self._blocked_loads.append(entry)
+
+    def _prefetch(self, entry, addr):
+        prefetcher = getattr(self, "_prefetcher", None)
+        if prefetcher is None:
+            from repro.memory.prefetch import StridePrefetcher
+            prefetcher = StridePrefetcher(self.hierarchy.l1d,
+                                          degree=self.config.prefetch_degree)
+            self._prefetcher = prefetcher
+        prefetcher.observe((entry.activation.cluster.base_addr,
+                            entry.pe_index), addr)
+
+    # -------------------------------------------------------- completion
+
+    def _complete_executions(self):
+        while self._executing and self._executing[0][0] <= self.cycle:
+            __, __, entry = heapq.heappop(self._executing)
+            if entry.state is not PEState.EXECUTING:
+                continue
+            self._complete(entry)
+
+    def _complete(self, entry):
+        entry.state = PEState.DONE
+        entry.waiting_on_memory = False
+        instr = entry.instr
+
+        # Wake lane consumers.
+        for waiter in entry.waiters:
+            if waiter.state is not PEState.WAITING:
+                continue
+            waiter.ready_time = max(waiter.ready_time,
+                                    self._value_arrival(entry, waiter))
+            waiter.pending_producers -= 1
+            if waiter.pending_producers == 0:
+                self._push_ready(waiter)
+        entry.waiters = []
+
+        if entry is self._waiting_redirect:
+            self._waiting_redirect = None
+            self.next_fetch_pc = entry.result.target
+            self.stats.taken_branches += 1
+            return
+
+        result = entry.result
+        if result is None:
+            return
+        if instr.is_control or instr.mnemonic == "simt_e":
+            actual_taken = result.taken
+            actual_target = result.target if actual_taken \
+                else (entry.addr + 4) & MASK32
+            predicted_target = entry.predicted_target \
+                if entry.predicted_taken else (entry.addr + 4) & MASK32
+            if actual_taken:
+                self.stats.taken_branches += 1
+            if (actual_taken != entry.predicted_taken
+                    or (actual_taken and actual_target != predicted_target)):
+                self._mispredict(entry, actual_target)
+
+    def _mispredict(self, entry, correct_target):
+        """Squash everything younger and redirect (Section 5.1.4)."""
+        self.stats.mispredicts += 1
+        keep = []
+        for e in self.window:
+            if e.seq <= entry.seq:
+                keep.append(e)
+            else:
+                if e.state not in (PEState.DISABLED,):
+                    self.stats.squashed += 1
+                e.state = PEState.SQUASHED
+        self.window = keep
+        self.pending_stores = [s for s in self.pending_stores
+                               if s.state is not PEState.SQUASHED]
+        self._blocked_loads = [l for l in self._blocked_loads
+                               if l.state is PEState.WAITING]
+        self._retry = [e for e in self._retry
+                       if e.state is PEState.WAITING]
+        # Rebuild lane wiring from the surviving window.
+        self.lane_tail = {}
+        for e in self.window:
+            if e.state is PEState.SQUASHED or e.state is PEState.DISABLED:
+                continue
+            dest = e.instr.dest
+            if e.instr.mnemonic == "simt_e":
+                dest = ("x", e.instr.rs1)
+            if dest is not None:
+                self.lane_tail[dest] = e
+        self._active_simt_s = {
+            addr: ent for addr, ent in self._active_simt_s.items()
+            if ent.state is not PEState.SQUASHED}
+        self._arm_pending = None
+        self._waiting_redirect = None
+        self._simt_pending_entry = None
+        self._flush_inflight = True
+        # Reload costs at least flush_penalty cycles (Section 7.3.2);
+        # the arm path adds fetch/decode or reuse latency on top.
+        self.next_fetch_pc = None
+        self._redirect_at = self.cycle + self.config.flush_penalty
+        self._redirect_pc = correct_target
+
+    # ============================================================= retire
+
+    def _retire(self):
+        # Apply any pending post-flush redirect.
+        redirect_at = getattr(self, "_redirect_at", None)
+        if redirect_at is not None and self.cycle >= redirect_at:
+            self.next_fetch_pc = self._redirect_pc
+            self._redirect_at = None
+            self._redirect_pc = None
+
+        limit = self.config.pes_per_cluster
+        retired = 0
+        while self.window and retired < limit:
+            head = self.window[0]
+            if head.state is PEState.DISABLED:
+                self.window.pop(0)
+                retired += 1
+                continue
+            if head.state is PEState.SQUASHED:
+                self.window.pop(0)
+                continue
+            if head.state is not PEState.DONE:
+                break
+            self._commit(head)
+            if self.retire_hook is not None:
+                self.retire_hook(head.addr, head.instr)
+            self.window.pop(0)
+            retired += 1
+            self.stats.retired += 1
+            self._retired_this_cycle += 1
+            if self.halted:
+                break
+
+    def _prearm_alternate(self, pc):
+        """Speculative dual-path construction (Section 7.3.2 future
+        work): load the not-followed path's line into a FREE cluster so
+        a mispredict re-arms a resident datapath instead of refetching.
+        Never evicts — it only uses spare capacity."""
+        line = self._line_base(pc)
+        if line in self.clusters:
+            return
+        if self._resident_count >= self.config.num_clusters:
+            return
+        cluster = self._allocate_cluster(line)
+        if cluster is not None:
+            self.stats.lines_fetched += 1
+            self.hierarchy.fetch_latency(line)
+
+    def _simt_profitable(self, region):
+        """Pipeline only when the ring can replicate the pipeline
+        enough for throughput to beat sequential dataflow overlap."""
+        copies = self.config.num_clusters // max(1, region.clusters_needed)
+        return copies >= self.config.simt_min_copies
+
+    def _commit(self, entry):
+        instr = entry.instr
+        if instr.mnemonic == "ebreak":
+            self.halted = True
+            self.halt_reason = "ebreak"
+        elif instr.mnemonic == "ecall":
+            self.halted = True
+            self.halt_reason = "ecall"
+        if instr.is_store and not entry.store_drained:
+            result = entry.result
+            self.hierarchy.memory.store(result.mem_addr, result.store_value,
+                                        result.mem_size)
+            # Drains traverse the cluster write path: same-line stores
+            # coalesce in the memory lanes; a new line costs a banked
+            # L1D transaction (timing state + stats, non-blocking).
+            cluster = entry.activation.cluster
+            line = result.mem_addr // self.config.line_bytes
+            if getattr(cluster, "_last_drain_line", None) != line:
+                self.hierarchy.data_access_latency(result.mem_addr,
+                                                   self.cycle,
+                                                   is_write=True)
+                cluster._last_drain_line = line
+            entry.store_drained = True
+            if entry in self.pending_stores:
+                self.pending_stores.remove(entry)
+        dest = instr.dest
+        if instr.mnemonic == "simt_e":
+            dest = ("x", instr.rs1)
+        if dest is not None and entry.value is not None:
+            self.arch.write(dest[0], dest[1], entry.value)
+            if self.lane_tail.get(dest) is entry:
+                del self.lane_tail[dest]
+        if instr.mnemonic == "simt_s":
+            region = self.simt_regions.get(entry.addr)
+            if (entry is self._simt_pending_entry and region is not None
+                    and region.pipelineable and self.config.enable_simt
+                    and self._simt_profitable(region)):
+                self._enter_simt(entry, region)
+        entry.state = PEState.RETIRED
+
+    # =============================================================== simt
+
+    def _enter_simt(self, entry, region):
+        """Hand the region to the thread pipeliner (Section 4.4)."""
+        self._simt_pending_entry = None
+        step, end = entry.simt_latched
+        executor = SimtExecutor(self.config, self.hierarchy, self.program,
+                                region, self.arch, stats=self.stats)
+        outcome = executor.run(start_cycle=self.cycle, rc_value_step_end=(
+            self.arch.read("x", entry.instr.rd), step, end))
+        self.stats.simt_regions += 1
+        self.stats.simt_threads += outcome.threads
+        self.stats.simt_insts += outcome.instructions
+        self.stats.retired += outcome.instructions
+        self._simt_until = outcome.finish_cycle
+        self._simt_active_pes = outcome.avg_active_pes
+        self._simt_active_fpus = outcome.avg_active_fpus
+        self.arch.write("x", entry.instr.rd, outcome.final_rc)
+        self.next_fetch_pc = region.end_addr + 4
+
+    def _step_simt(self):
+        if self.cycle >= self._simt_until:
+            self._simt_until = None
+            return
+        # Utilization is accounted as the pipeline's average activity.
+        self.stats.pe_active_cycles += self._simt_active_pes
+        self.stats.fpu_active_cycles += self._simt_active_fpus
+
+    # ======================================================== accounting
+
+    def _account_stall(self):
+        if self.halted or self._retired_this_cycle:
+            return
+        reason = self._classify_stall()
+        if reason is not None:
+            self.stats.stall(reason)
+
+    def _classify_stall(self):
+        if not self.window:
+            if self._flush_inflight or self._redirect_at is not None:
+                return StallReason.CONTROL
+            if self._arm_pending is not None:
+                # Loop turnaround: re-arming a resident datapath after a
+                # backward branch is a control-flow cost (Section 7.3.2
+                # counts reload of the correct line as control).
+                reuse = self._arm_pending[3]
+                return StallReason.CONTROL if reuse \
+                    else StallReason.STRUCTURAL
+            if self.next_fetch_pc is None:
+                return StallReason.STRUCTURAL
+            return self._arm_stall_reason or StallReason.STRUCTURAL
+        head = self.window[0]
+        if head.state is PEState.EXECUTING:
+            if head.instr.is_mem:
+                return StallReason.MEMORY
+            return None  # useful computation, not a stall
+        if head.state is PEState.WAITING:
+            origin = self._stall_origin(head, depth=0)
+            return origin
+        return None
+
+    def _stall_origin(self, entry, depth):
+        """Walk producer links to the stall source (Section 7.3.2)."""
+        if depth > 64:
+            return StallReason.STRUCTURAL
+        if entry.waiting_on_memory or entry.blocked_on is not None:
+            return StallReason.MEMORY
+        if entry.state is PEState.EXECUTING:
+            if entry.instr.is_mem:
+                return StallReason.MEMORY
+            return None
+        for __, __, producer in entry.sources:
+            if producer is not None and not producer.executed:
+                return self._stall_origin(producer, depth + 1)
+        if entry.state is PEState.WAITING and entry.pending_producers == 0:
+            # All producers done: the value is in flight on the lanes
+            # (propagation latency), not a stall source.
+            return None
+        # Operands ready but not started: FU/structural.
+        return StallReason.STRUCTURAL
+
+    def _account_energy(self):
+        executing = [e for __, __, e in self._executing
+                     if e.state is PEState.EXECUTING]
+        self.stats.pe_active_cycles += len(executing)
+        self.stats.fpu_active_cycles += sum(1 for e in executing
+                                            if e.instr.is_fp)
+        self.stats.resident_cluster_cycles += self._resident_count

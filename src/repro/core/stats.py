@@ -1,0 +1,89 @@
+"""Statistics: stall taxonomy and utilization counters.
+
+The stall classification mirrors Section 7.3.2 of the paper, which
+attributes stalled cycles to three sources: memory (73.6 %), control flow
+changes (21.1 %), and other/structural (5.3 %). We count, each cycle in
+which the ring retires nothing, the reason the *head* instruction is
+stalled ("we only count the source of stalls, not dependent
+instructions that are subsequently stalled").
+"""
+
+import enum
+from dataclasses import dataclass, field
+
+
+class StallReason(enum.Enum):
+    MEMORY = "memory"       # cache misses, LSU queue, busy banks
+    CONTROL = "control"     # flushes, line reload after branch
+    STRUCTURAL = "other"    # bus busy, no free cluster, shared FU
+
+
+@dataclass
+class RingStats:
+    """Counters for one dataflow ring."""
+
+    cycles: int = 0
+    retired: int = 0
+    disabled_slots: int = 0      # PEs occupied by PC-mismatch instructions
+    squashed: int = 0
+    lines_fetched: int = 0
+    reuse_hits: int = 0          # backward branches resolved by reuse
+    reuse_misses: int = 0        # backward branches that reloaded a line
+    branches: int = 0
+    taken_branches: int = 0
+    mispredicts: int = 0
+    simt_regions: int = 0
+    simt_threads: int = 0
+    simt_insts: int = 0
+    loads: int = 0
+    stores: int = 0
+    store_forwards: int = 0
+    stall_cycles: dict = field(default_factory=dict)
+
+    # per-cycle utilization sums for the energy model
+    pe_active_cycles: int = 0     # PE executing (any op)
+    fpu_active_cycles: int = 0    # PE executing an FP op
+    resident_cluster_cycles: int = 0  # clusters powered (lanes + ctrl)
+
+    def stall(self, reason, cycles=1):
+        self.stall_cycles[reason] = self.stall_cycles.get(reason, 0) + cycles
+
+    @property
+    def total_stalls(self):
+        return sum(self.stall_cycles.values())
+
+    @property
+    def ipc(self):
+        return self.retired / self.cycles if self.cycles else 0.0
+
+    def stall_fractions(self):
+        """{reason: fraction of all stall cycles}; empty dict if none."""
+        total = self.total_stalls
+        if not total:
+            return {}
+        return {reason: count / total
+                for reason, count in self.stall_cycles.items()}
+
+    def merge(self, other):
+        """Accumulate another ring's counters into this one (cycles=max)."""
+        self.cycles = max(self.cycles, other.cycles)
+        self.retired += other.retired
+        self.disabled_slots += other.disabled_slots
+        self.squashed += other.squashed
+        self.lines_fetched += other.lines_fetched
+        self.reuse_hits += other.reuse_hits
+        self.reuse_misses += other.reuse_misses
+        self.branches += other.branches
+        self.taken_branches += other.taken_branches
+        self.mispredicts += other.mispredicts
+        self.simt_regions += other.simt_regions
+        self.simt_threads += other.simt_threads
+        self.simt_insts += other.simt_insts
+        self.loads += other.loads
+        self.stores += other.stores
+        self.store_forwards += other.store_forwards
+        self.pe_active_cycles += other.pe_active_cycles
+        self.fpu_active_cycles += other.fpu_active_cycles
+        self.resident_cluster_cycles += other.resident_cluster_cycles
+        for reason, count in other.stall_cycles.items():
+            self.stall(reason, count)

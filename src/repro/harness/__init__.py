@@ -1,0 +1,50 @@
+"""Experiment harness reproducing the paper's tables and figures.
+
+Each ``run_*`` function in :mod:`repro.harness.experiments` regenerates
+one artefact (Table 1-3, Figures 9-12, the Section 7.3.2 stall
+breakdown, and the abstract's headline numbers) and returns a
+structured result that the benchmark suite asserts shape properties
+on. :mod:`repro.harness.report` renders them as text tables matching
+the paper's rows/series.
+"""
+
+from repro.harness.runner import (
+    RunRecord,
+    run_baseline,
+    run_diag,
+    clear_cache,
+)
+from repro.harness.experiments import (
+    run_fig9a,
+    run_fig9b,
+    run_fig10a,
+    run_fig10b,
+    run_fig11,
+    run_fig12,
+    run_headline,
+    run_stall_breakdown,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from repro.harness.report import format_table, render_experiment
+
+__all__ = [
+    "RunRecord",
+    "clear_cache",
+    "format_table",
+    "render_experiment",
+    "run_baseline",
+    "run_diag",
+    "run_fig10a",
+    "run_fig10b",
+    "run_fig11",
+    "run_fig12",
+    "run_fig9a",
+    "run_fig9b",
+    "run_headline",
+    "run_stall_breakdown",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+]

@@ -1,0 +1,117 @@
+"""Text pipeline viewer: per-cycle PE occupancy of a DiAG ring.
+
+A debugging/teaching aid in the spirit of gem5's pipeview: attach a
+:class:`PipeTracer` to a ring, run, and render a per-instruction
+lifetime chart (dispatch -> waiting -> executing -> done -> retired).
+
+    from repro.harness.pipeview import PipeTracer
+    tracer = PipeTracer.attach(processor.rings[0])
+    processor.run()
+    print(tracer.render(limit=40))
+
+Legend: ``.`` waiting on lanes, ``=`` executing, ``-`` done (waiting
+to retire), ``R`` retired, ``x`` squashed, ``d`` disabled slot.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.core.pe import PEState
+
+
+@dataclass
+class _Life:
+    seq: int
+    label: str
+    dispatch: int
+    start: int = None
+    done: int = None
+    retire: int = None
+    final_state: str = ""
+
+
+@dataclass
+class PipeTracer:
+    """Records PE-entry lifetimes by sampling a ring each cycle."""
+
+    ring: object
+    lives: dict = field(default_factory=dict)
+    max_entries: int = 2000
+
+    @classmethod
+    def attach(cls, ring):
+        """Wrap ``ring.step`` to sample entry states each cycle."""
+        tracer = cls(ring=ring)
+        original_step = ring.step
+
+        def traced_step():
+            original_step()
+            tracer.sample()
+
+        ring.step = traced_step
+        return tracer
+
+    def sample(self):
+        ring = self.ring
+        cycle = ring.cycle
+        for entry in ring.window:
+            life = self.lives.get(entry.seq)
+            if life is None:
+                if len(self.lives) >= self.max_entries:
+                    continue
+                life = _Life(seq=entry.seq,
+                             label=f"{entry.addr:#06x} "
+                                   f"{entry.instr.mnemonic if entry.instr else '??'}",
+                             dispatch=cycle)
+                self.lives[entry.seq] = life
+            state = entry.state
+            if state is PEState.EXECUTING and life.start is None:
+                life.start = entry.start_cycle
+            if state is PEState.DONE and life.done is None:
+                life.done = entry.done_cycle
+            life.final_state = state.value
+        # retirement is observed by disappearance from the window
+        present = {e.seq for e in ring.window}
+        for seq, life in self.lives.items():
+            if life.retire is None and seq not in present \
+                    and life.dispatch < cycle:
+                life.retire = cycle
+                if life.final_state not in ("squashed", "disabled"):
+                    life.final_state = "retired"
+
+    def render(self, limit=40, width=80):
+        """An ASCII chart of the first ``limit`` instruction lifetimes."""
+        lives = sorted(self.lives.values(), key=lambda l: l.seq)[:limit]
+        if not lives:
+            return "(no instructions traced)"
+        t0 = min(l.dispatch for l in lives)
+        t1 = max((l.retire or l.dispatch) for l in lives)
+        span = max(1, t1 - t0)
+        scale = min(1.0, (width - 28) / span)
+        lines = [f"cycles {t0}..{t1} "
+                 f"(1 column ~ {max(1, round(1 / scale))} cycles)"]
+        for life in lives:
+            row = [" "] * (width - 28)
+
+            def mark(begin, end, char):
+                if begin is None:
+                    return
+                stop = end if end is not None else t1
+                a = int((begin - t0) * scale)
+                b = max(a + 1, int((stop - t0) * scale))
+                for i in range(a, min(b, len(row))):
+                    row[i] = char
+
+            mark(life.dispatch, life.start or life.done or life.retire,
+                 ".")
+            mark(life.start, life.done, "=")
+            mark(life.done, life.retire, "-")
+            if life.final_state == "retired" and life.retire is not None:
+                index = min(len(row) - 1,
+                            int((life.retire - t0) * scale))
+                row[index] = "R"
+            elif life.final_state == "squashed":
+                row = [c if c == " " else "x" for c in row]
+            elif life.final_state == "disabled":
+                row = ["d" if c != " " else c for c in row]
+            lines.append(f"{life.label:24s} |{''.join(row)}|")
+        return "\n".join(lines)

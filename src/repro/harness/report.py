@@ -1,0 +1,166 @@
+"""Plain-text rendering of experiment results (paper-style tables)."""
+
+
+def format_table(headers, rows, title=None):
+    """Render a list-of-lists as an aligned text table."""
+    table = [list(map(str, headers))] + [list(map(str, r)) for r in rows]
+    widths = [max(len(row[i]) for row in table)
+              for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    for i, row in enumerate(table):
+        lines.append(" | ".join(cell.ljust(width)
+                                for cell, width in zip(row, widths)))
+        if i == 0:
+            lines.append(sep)
+    return "\n".join(lines)
+
+
+def _fmt(x, digits=2):
+    return f"{x:.{digits}f}" if isinstance(x, float) else str(x)
+
+
+def render_experiment(exp_id, result):
+    """Render one experiment's result dict as readable text."""
+    renderer = _RENDERERS.get(exp_id)
+    if renderer is None:
+        return repr(result)
+    return renderer(result)
+
+
+def _render_table1(result):
+    rows = list(result["rows"])
+    text = format_table(
+        ["Stage / Structure", "Out-of-Order", "DiAG (Initial)",
+         "DiAG (Reuse)"], rows,
+        title="Table 1: per-instruction processing comparison")
+    text += (
+        f"\nmeasured I-line fetches per instr: "
+        f"{result['fetch_per_instr_without_reuse']:.3f} without reuse -> "
+        f"{result['fetch_per_instr_with_reuse']:.3f} with reuse "
+        f"({result['reuse_hits']} reuse activations)")
+    return text
+
+
+def _render_table2(result):
+    headers = ["Configuration", "ISA", "PEs/Cluster", "Clusters",
+               "Total PEs", "Freq(Sim)", "L1I", "L1D", "L2"]
+    rows = []
+    for name, row in result["rows"].items():
+        rows.append([name, row["isa"], row["pes_per_cluster"],
+                     row["total_clusters"], row["total_pes"],
+                     f"{row['freq_sim_ghz']}GHz",
+                     f"{row['l1i_kb']}KB", f"{row['l1d_kb']}KB",
+                     f"{row['l2_mb']}MB" if row["l2_mb"] else "N/A"])
+    return format_table(headers, rows,
+                        title="Table 2: DiAG configurations")
+
+
+def _render_table3(result):
+    return format_table(["Component", "Hardware Area"], result["rows"],
+                        title="Table 3: area breakdown (45nm)") + \
+        f"\npeak power (all PEs on): {result['peak_power_w']:.1f} W " \
+        f"(paper: {result['paper_peak_power_w']} W)"
+
+
+def _render_single(result, title):
+    present = next(iter(result["benchmarks"].values())).keys() \
+        - {"baseline_cycles", "baseline_verified"}
+    configs = [c for c in ("F4C2", "F4C16", "F4C32") if c in present]
+    configs += sorted(present - set(configs))
+    headers = ["Benchmark"] + [f"{c} speedup" for c in configs]
+    rows = []
+    for name, row in sorted(result["benchmarks"].items()):
+        rows.append([name] + [_fmt(row[c]["speedup"]) for c in configs])
+    rows.append(["GEOMEAN"] + [_fmt(result["average"][c])
+                               for c in configs])
+    if "paper_average" in result:
+        rows.append(["paper avg"] + [_fmt(result["paper_average"][c])
+                                     for c in configs])
+    return format_table(headers, rows, title=title)
+
+
+def _render_multi(result, title):
+    headers = ["Benchmark", "spatial speedup", "+SIMT speedup"]
+    rows = []
+    for name, row in sorted(result["benchmarks"].items()):
+        rows.append([name, _fmt(row["mt"]["speedup"]),
+                     _fmt(row["simt"]["speedup"])])
+    rows.append(["GEOMEAN", _fmt(result["average"]["mt"]),
+                 _fmt(result["average"]["simt"])])
+    if "paper_average" in result:
+        rows.append(["paper avg", _fmt(result["paper_average"]["mt"]),
+                     _fmt(result["paper_average"]["simt"])])
+    return format_table(headers, rows, title=title)
+
+
+def _render_fig11(result):
+    headers = ["Benchmark", "FP units", "Reg lanes", "Memory", "Control"]
+    rows = []
+    for name, row in result["benchmarks"].items():
+        b = row["breakdown"]
+        rows.append([f"{name} ({row['category']})",
+                     f"{100 * b.get('fp_units', 0):.0f}%",
+                     f"{100 * b.get('register_lanes', 0):.0f}%",
+                     f"{100 * b.get('memory', 0):.0f}%",
+                     f"{100 * b.get('control', 0):.0f}%"])
+    return format_table(headers, rows,
+                        title="Figure 11: energy breakdown by component")
+
+
+def _render_fig12(result):
+    headers = ["Benchmark", "single", "multi", "+SIMT"]
+    rows = []
+    for name, row in sorted(result["benchmarks"].items()):
+        rows.append([name, _fmt(row["single"]), _fmt(row["multi"]),
+                     _fmt(row["simt"])])
+    avg = result["average"]
+    rows.append(["GEOMEAN", _fmt(avg["single"]), _fmt(avg["multi"]),
+                 _fmt(avg["simt"])])
+    paper = result["paper_average"]
+    rows.append(["paper avg", _fmt(paper["single"]), _fmt(paper["multi"]),
+                 _fmt(paper["simt"])])
+    return format_table(headers, rows,
+                        title="Figure 12: energy-efficiency improvement")
+
+
+def _render_stalls(result):
+    headers = ["Source", "Measured", "Paper"]
+    rows = []
+    for key in ("memory", "control", "other"):
+        rows.append([key, f"{100 * result['average'].get(key, 0):.1f}%",
+                     f"{100 * result['paper'][key]:.1f}%"])
+    return format_table(headers, rows,
+                        title="Section 7.3.2: stall breakdown (Rodinia)")
+
+
+def _render_headline(result):
+    headers = ["Metric", "Measured", "Paper"]
+    rows = [
+        ["speedup (512-PE DiAG vs 12-core OoO)",
+         _fmt(result["speedup"]), _fmt(result["paper"]["speedup"])],
+        ["energy efficiency", _fmt(result["efficiency"]),
+         _fmt(result["paper"]["efficiency"])],
+    ]
+    return format_table(headers, rows, title="Headline (abstract)")
+
+
+_RENDERERS = {
+    "table1": _render_table1,
+    "table2": _render_table2,
+    "table3": _render_table3,
+    "fig9a": lambda r: _render_single(
+        r, "Figure 9a: Rodinia single-thread speedup vs OoO"),
+    "fig9b": lambda r: _render_multi(
+        r, "Figure 9b: Rodinia multi-thread speedup vs 12-core OoO"),
+    "fig10a": lambda r: _render_single(
+        r, "Figure 10a: SPEC single-thread speedup vs OoO"),
+    "fig10b": lambda r: _render_multi(
+        r, "Figure 10b: SPEC multi-thread speedup vs 12-core OoO"),
+    "fig11": _render_fig11,
+    "fig12": _render_fig12,
+    "stalls": _render_stalls,
+    "headline": _render_headline,
+}

@@ -1,0 +1,147 @@
+"""Single-run execution + caching for the experiment harness."""
+
+import time
+from dataclasses import dataclass, field
+
+from repro.baseline import (
+    BaselinePowerModel,
+    MulticoreCPU,
+    OoOConfig,
+    OoOCore,
+)
+from repro.core import CONFIG_PRESETS, DiAGProcessor, EnergyModel
+from repro.workloads import get_workload
+
+
+@dataclass
+class RunRecord:
+    """Outcome of one (workload, machine, configuration) run."""
+
+    workload: str
+    machine: str            # 'diag' or 'ooo'
+    config: str
+    threads: int
+    simt: bool
+    cycles: int = 0
+    instructions: int = 0
+    verified: bool = False
+    energy_j: float = 0.0
+    energy_breakdown: dict = field(default_factory=dict)
+    stall_fractions: dict = field(default_factory=dict)
+    extra: dict = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    @property
+    def ipc(self):
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+_CACHE = {}
+
+
+def clear_cache():
+    """Drop all cached run records (used between benchmark sessions)."""
+    _CACHE.clear()
+
+
+def _cached(key, factory):
+    record = _CACHE.get(key)
+    if record is None:
+        record = factory()
+        _CACHE[key] = record
+    return record
+
+
+def run_diag(workload, config="F4C32", scale=1.0, threads=1, simt=False,
+             num_clusters=None, max_cycles=None, config_overrides=None):
+    """Run ``workload`` on a DiAG processor; returns a :class:`RunRecord`.
+
+    ``config`` is a Table 2 preset name; ``num_clusters`` optionally
+    overrides the clusters available *per ring* (used to split an
+    F4C32 into multiple rings for spatial multi-threading — paper
+    Section 7.2.1's "16-by-2 format").
+    """
+    overrides = dict(config_overrides or {})
+    if num_clusters is not None:
+        overrides["num_clusters"] = num_clusters
+    key = ("diag", workload, config, scale, threads, simt,
+           tuple(sorted(overrides.items())))
+
+    def factory():
+        cfg = CONFIG_PRESETS[config]
+        if overrides:
+            cfg = cfg.with_overrides(**overrides)
+        cls = get_workload(workload)
+        use_simt = simt and cls.SIMT_CAPABLE
+        use_threads = threads if cls.MT_CAPABLE else 1
+        inst = cls().build(scale=scale, threads=use_threads, simt=use_simt)
+        start = time.time()
+        proc = DiAGProcessor(cfg, inst.program, num_threads=use_threads)
+        inst.setup(proc.memory)
+        result = proc.run(max_cycles=max_cycles)
+        wall = time.time() - start
+        verified = result.halted and inst.verify(proc.memory)
+        energy = EnergyModel(cfg).energy_report(result, proc.hierarchy)
+        return RunRecord(
+            workload=workload, machine="diag", config=cfg.name,
+            threads=use_threads, simt=use_simt,
+            cycles=result.cycles, instructions=result.instructions,
+            verified=verified, energy_j=energy.total_j,
+            energy_breakdown=energy.breakdown(),
+            stall_fractions={k.value: v for k, v in
+                             result.stats.stall_fractions().items()},
+            extra={
+                "reuse_hits": result.stats.reuse_hits,
+                "lines_fetched": result.stats.lines_fetched,
+                "mispredicts": result.stats.mispredicts,
+                "simt_regions": result.stats.simt_regions,
+                "simt_threads": result.stats.simt_threads,
+                "params": inst.params,
+            },
+            wall_seconds=wall)
+
+    return _cached(key, factory)
+
+
+def run_baseline(workload, scale=1.0, threads=1, max_cycles=None,
+                 config=None):
+    """Run ``workload`` on the out-of-order baseline (multicore if
+    ``threads`` > 1); returns a :class:`RunRecord`."""
+    key = ("ooo", workload, scale, threads,
+           config.name if config else "ooo8")
+
+    def factory():
+        cfg = config or OoOConfig()
+        cls = get_workload(workload)
+        use_threads = threads if cls.MT_CAPABLE else 1
+        inst = cls().build(scale=scale, threads=use_threads, simt=False)
+        start = time.time()
+        if use_threads == 1:
+            core = OoOCore(cfg, inst.program)
+            inst.setup(core.hierarchy.memory)
+            result = core.run(max_cycles=max_cycles)
+            hierarchies = [core.hierarchy]
+            memory = core.hierarchy.memory
+            halted = core.halted
+        else:
+            cpu = MulticoreCPU(cfg, inst.program, use_threads)
+            inst.setup(cpu.memory)
+            result = cpu.run(max_cycles=max_cycles)
+            hierarchies = [c.hierarchy for c in cpu.cores]
+            memory = cpu.memory
+            halted = result.halted
+        wall = time.time() - start
+        verified = halted and inst.verify(memory)
+        power = BaselinePowerModel(cfg, num_cores=use_threads)
+        energy = power.energy_report(result, hierarchies)
+        return RunRecord(
+            workload=workload, machine="ooo", config=cfg.name,
+            threads=use_threads, simt=False,
+            cycles=result.cycles, instructions=result.instructions,
+            verified=verified, energy_j=energy.total_j,
+            energy_breakdown=energy.breakdown(),
+            extra={"mispredicts": result.stats.mispredicts,
+                   "params": inst.params},
+            wall_seconds=wall)
+
+    return _cached(key, factory)

@@ -1,0 +1,99 @@
+"""Design-space sweeps: sensitivity studies around the paper's design.
+
+The paper fixes one design point per configuration (Table 2); an
+architecture study wants the neighbourhood too. Each sweep runs one
+workload across a knob range and reports cycles/energy per point, in a
+form ``repro.harness.report.format_table`` can render.
+
+    from repro.harness.sweeps import sweep_clusters
+    result = sweep_clusters("hotspot", scale=0.5)
+    print(result.render())
+"""
+
+from dataclasses import dataclass, field
+
+from repro.harness.runner import run_diag
+from repro.harness.report import format_table
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one knob sweep."""
+
+    workload: str
+    knob: str
+    points: dict = field(default_factory=dict)  # value -> RunRecord
+
+    def cycles(self):
+        return {value: record.cycles
+                for value, record in self.points.items()}
+
+    def best(self):
+        """(knob value, record) minimizing cycles."""
+        return min(self.points.items(), key=lambda kv: kv[1].cycles)
+
+    def render(self):
+        rows = []
+        for value, record in self.points.items():
+            rows.append([value, record.cycles, f"{record.ipc:.2f}",
+                         f"{record.energy_j * 1e6:.2f} uJ",
+                         "Y" if record.verified else "N"])
+        return format_table(
+            [self.knob, "cycles", "IPC", "energy", "ok"], rows,
+            title=f"{self.workload}: sweep over {self.knob}")
+
+    def all_verified(self):
+        return all(r.verified for r in self.points.values())
+
+
+def sweep_clusters(workload, scale=0.5, cluster_counts=(2, 4, 8, 16, 32),
+                   simt=False):
+    """Cycles vs. ring size — the paper's 32/256/512-PE axis, densified."""
+    result = SweepResult(workload=workload, knob="clusters")
+    for count in cluster_counts:
+        record = run_diag(workload, config="F4C32", scale=scale,
+                          num_clusters=count, simt=simt)
+        result.points[count] = record
+    return result
+
+
+def sweep_threads(workload, scale=0.5, thread_counts=(1, 2, 4, 8, 16),
+                  total_clusters=32, simt=False):
+    """Spatial-parallelism scaling at a fixed 32-cluster budget."""
+    result = SweepResult(workload=workload, knob="threads")
+    for threads in thread_counts:
+        per_ring = max(1, total_clusters // threads)
+        record = run_diag(workload, config="F4C32", scale=scale,
+                          threads=threads, num_clusters=per_ring,
+                          simt=simt)
+        result.points[threads] = record
+    return result
+
+
+def sweep_lsu_depth(workload, scale=0.5, depths=(1, 2, 4, 8, 16)):
+    """Cluster LSU queue depth (paper Section 5.2's request queue)."""
+    result = SweepResult(workload=workload, knob="lsu_queue_depth")
+    for depth in depths:
+        record = run_diag(workload, config="F4C16", scale=scale,
+                          config_overrides={"lsu_queue_depth": depth})
+        result.points[depth] = record
+    return result
+
+
+def sweep_flush_penalty(workload, scale=0.5,
+                        penalties=(1, 3, 6, 12)):
+    """Cost of a control-flow flush (paper Section 7.3.2's >=3 cycles)."""
+    result = SweepResult(workload=workload, knob="flush_penalty")
+    for penalty in penalties:
+        record = run_diag(workload, config="F4C16", scale=scale,
+                          config_overrides={"flush_penalty": penalty})
+        result.points[penalty] = record
+    return result
+
+
+ALL_SWEEPS = {
+    "clusters": sweep_clusters,
+    "threads": sweep_threads,
+    "lsu_depth": sweep_lsu_depth,
+    "flush_penalty": sweep_flush_penalty,
+}

@@ -1,0 +1,47 @@
+"""RISC-V RV32IMF instruction set support for the DiAG reproduction.
+
+This package provides the instruction representation shared by every
+simulator in the project (the functional ISS, the out-of-order baseline,
+and the DiAG dataflow core), together with a binary decoder/encoder and
+the DiAG ``simt_s`` / ``simt_e`` ISA extensions from paper Section 5.4.
+"""
+
+from repro.isa.encoding import sign_extend, to_signed32, to_unsigned32
+from repro.isa.instructions import (
+    FUClass,
+    Instruction,
+    InstrFormat,
+    MNEMONICS,
+    mnemonic_info,
+)
+from repro.isa.decoder import DecodeError, decode
+from repro.isa.encoder import EncodeError, encode
+from repro.isa.registers import (
+    ABI_NAMES,
+    FP_ABI_NAMES,
+    NUM_REGS,
+    fp_reg_name,
+    parse_register,
+    reg_name,
+)
+
+__all__ = [
+    "ABI_NAMES",
+    "DecodeError",
+    "EncodeError",
+    "FP_ABI_NAMES",
+    "FUClass",
+    "Instruction",
+    "InstrFormat",
+    "MNEMONICS",
+    "NUM_REGS",
+    "decode",
+    "encode",
+    "fp_reg_name",
+    "mnemonic_info",
+    "parse_register",
+    "reg_name",
+    "sign_extend",
+    "to_signed32",
+    "to_unsigned32",
+]

@@ -1,0 +1,123 @@
+"""Binary decoder: 32-bit instruction words to :class:`Instruction`.
+
+Lookup tables are built once from :data:`repro.isa.instructions.MNEMONICS`
+so the decoder and encoder can never disagree with the mnemonic table.
+"""
+
+from repro.isa.encoding import bits, sign_extend
+from repro.isa.instructions import Instruction, InstrFormat, MNEMONICS
+
+
+class DecodeError(Exception):
+    """Raised when an instruction word does not decode to a known mnemonic."""
+
+
+def _imm_i(word):
+    return sign_extend(bits(word, 31, 20), 12)
+
+
+def _imm_s(word):
+    return sign_extend((bits(word, 31, 25) << 5) | bits(word, 11, 7), 12)
+
+
+def _imm_b(word):
+    imm = (bits(word, 31, 31) << 12) | (bits(word, 7, 7) << 11)
+    imm |= (bits(word, 30, 25) << 5) | (bits(word, 11, 8) << 1)
+    return sign_extend(imm, 13)
+
+
+def _imm_u(word):
+    return sign_extend(bits(word, 31, 12) << 12, 32)
+
+
+def _imm_j(word):
+    imm = (bits(word, 31, 31) << 20) | (bits(word, 19, 12) << 12)
+    imm |= (bits(word, 20, 20) << 11) | (bits(word, 30, 21) << 1)
+    return sign_extend(imm, 21)
+
+
+# opcode -> list of candidate MnemonicInfo, checked in order.
+_BY_OPCODE = {}
+for _info in MNEMONICS.values():
+    _BY_OPCODE.setdefault(_info.opcode, []).append(_info)
+
+
+def _matches(info, word):
+    """Check funct fields of ``word`` against ``info``."""
+    funct3 = bits(word, 14, 12)
+    funct7 = bits(word, 31, 25)
+    rs2 = bits(word, 24, 20)
+    if info.fmt is InstrFormat.R4:
+        return bits(word, 26, 25) == info.funct2
+    if info.fmt is InstrFormat.SYS:
+        if funct3 != 0:
+            return False
+        imm = bits(word, 31, 20)
+        return imm == (0 if info.mnemonic == "ecall" else 1)
+    if info.funct3 is not None and funct3 != info.funct3:
+        return False
+    if info.funct7 is not None and funct7 != info.funct7:
+        return False
+    if info.fixed_rs2 is not None and rs2 != info.fixed_rs2:
+        return False
+    # OP-FP instructions with dynamic rounding mode leave funct3 free; all
+    # other formats with funct3=None (U/J) have no funct3 field at all.
+    return True
+
+
+def decode(word, addr=None):
+    """Decode a 32-bit instruction ``word``; ``addr`` is attached if given.
+
+    Raises :class:`DecodeError` for unknown encodings.
+    """
+    word &= 0xFFFFFFFF
+    opcode = bits(word, 6, 0)
+    candidates = _BY_OPCODE.get(opcode)
+    if not candidates:
+        raise DecodeError(f"unknown opcode {opcode:#09b} in word {word:#010x}")
+    info = next((c for c in candidates if _matches(c, word)), None)
+    if info is None:
+        raise DecodeError(f"no match for word {word:#010x} (opcode {opcode:#04x})")
+
+    rd = bits(word, 11, 7)
+    rs1 = bits(word, 19, 15)
+    rs2 = bits(word, 24, 20)
+    rs3 = bits(word, 31, 27)
+    fmt = info.fmt
+    instr = Instruction(info.mnemonic, addr=addr, raw=word)
+
+    if fmt is InstrFormat.R:
+        instr.rd, instr.rs1, instr.rs2 = rd, rs1, rs2
+    elif fmt is InstrFormat.R4:
+        instr.rd, instr.rs1, instr.rs2, instr.rs3 = rd, rs1, rs2, rs3
+    elif fmt is InstrFormat.I:
+        instr.rd, instr.rs1 = rd, rs1
+        if info.funct7 is not None:  # shift-immediate
+            instr.imm = rs2
+        else:
+            instr.imm = _imm_i(word)
+    elif fmt is InstrFormat.S:
+        instr.rs1, instr.rs2, instr.imm = rs1, rs2, _imm_s(word)
+    elif fmt is InstrFormat.B:
+        instr.rs1, instr.rs2, instr.imm = rs1, rs2, _imm_b(word)
+    elif fmt is InstrFormat.U:
+        instr.rd, instr.imm = rd, _imm_u(word)
+    elif fmt is InstrFormat.J:
+        instr.rd, instr.imm = rd, _imm_j(word)
+    elif fmt is InstrFormat.CSR:
+        instr.rd, instr.rs1, instr.csr = rd, rs1, bits(word, 31, 20)
+    elif fmt is InstrFormat.CSRI:
+        instr.rd, instr.imm, instr.csr = rd, rs1, bits(word, 31, 20)
+    elif fmt is InstrFormat.FENCE:
+        pass
+    elif fmt is InstrFormat.SYS:
+        pass
+    elif fmt is InstrFormat.SIMT_S:
+        # rd=rc, rs1=r_step, rs2=r_end, interval in rs3+funct2 (7 bits).
+        instr.rd, instr.rs1, instr.rs2 = rd, rs1, rs2
+        instr.imm = (rs3 << 2) | bits(word, 26, 25)
+    elif fmt is InstrFormat.SIMT_E:
+        instr.rs1, instr.rs2 = rs1, rs2
+    else:  # pragma: no cover - table and decoder formats are in sync
+        raise DecodeError(f"unhandled format {fmt}")
+    return instr

@@ -1,0 +1,105 @@
+"""Binary encoder: :class:`Instruction` to 32-bit instruction words."""
+
+from repro.isa.encoding import fits_signed, fits_unsigned
+from repro.isa.instructions import InstrFormat, MNEMONICS
+
+
+class EncodeError(Exception):
+    """Raised when an instruction cannot be encoded (bad field ranges)."""
+
+
+def _check_reg(name, value):
+    if not 0 <= value < 32:
+        raise EncodeError(f"register field {name}={value} out of range")
+    return value
+
+
+def _check_imm(instr, width, signed=True, align=None):
+    imm = instr.imm
+    ok = fits_signed(imm, width) if signed else fits_unsigned(imm, width)
+    if not ok:
+        raise EncodeError(
+            f"{instr.mnemonic}: immediate {imm} does not fit in "
+            f"{'signed' if signed else 'unsigned'} {width} bits")
+    if align and imm % align:
+        raise EncodeError(
+            f"{instr.mnemonic}: immediate {imm} not {align}-byte aligned")
+    return imm
+
+
+def encode(instr):
+    """Encode ``instr`` to its 32-bit instruction word."""
+    info = MNEMONICS[instr.mnemonic]
+    fmt = info.fmt
+    opcode = info.opcode
+    rd = _check_reg("rd", instr.rd)
+    rs1 = _check_reg("rs1", instr.rs1)
+    rs2 = _check_reg("rs2", instr.rs2)
+    rs3 = _check_reg("rs3", instr.rs3)
+    funct3 = info.funct3 if info.funct3 is not None else 0
+
+    if fmt is InstrFormat.R:
+        f7 = info.funct7 if info.funct7 is not None else 0
+        if info.fixed_rs2 is not None:
+            rs2 = info.fixed_rs2
+        return (f7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) \
+            | (rd << 7) | opcode
+    if fmt is InstrFormat.R4:
+        return (rs3 << 27) | (info.funct2 << 25) | (rs2 << 20) | (rs1 << 15) \
+            | (funct3 << 12) | (rd << 7) | opcode
+    if fmt is InstrFormat.I:
+        if info.funct7 is not None:  # shift-immediate: shamt in rs2 field
+            shamt = _check_imm(instr, 5, signed=False)
+            return (info.funct7 << 25) | (shamt << 20) | (rs1 << 15) \
+                | (funct3 << 12) | (rd << 7) | opcode
+        imm = _check_imm(instr, 12) & 0xFFF
+        return (imm << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+    if fmt is InstrFormat.S:
+        imm = _check_imm(instr, 12) & 0xFFF
+        return ((imm >> 5) << 25) | (rs2 << 20) | (rs1 << 15) \
+            | (funct3 << 12) | ((imm & 0x1F) << 7) | opcode
+    if fmt is InstrFormat.B:
+        imm = _check_imm(instr, 13, align=2) & 0x1FFF
+        word = opcode | (funct3 << 12) | (rs1 << 15) | (rs2 << 20)
+        word |= ((imm >> 12) & 1) << 31
+        word |= ((imm >> 5) & 0x3F) << 25
+        word |= ((imm >> 1) & 0xF) << 8
+        word |= ((imm >> 11) & 1) << 7
+        return word
+    if fmt is InstrFormat.U:
+        imm = instr.imm
+        if imm % (1 << 12):
+            raise EncodeError(f"{instr.mnemonic}: U-immediate {imm:#x} has "
+                              "nonzero low 12 bits")
+        return (imm & 0xFFFFF000) | (rd << 7) | opcode
+    if fmt is InstrFormat.J:
+        imm = _check_imm(instr, 21, align=2) & 0x1FFFFF
+        word = opcode | (rd << 7)
+        word |= ((imm >> 20) & 1) << 31
+        word |= ((imm >> 1) & 0x3FF) << 21
+        word |= ((imm >> 11) & 1) << 20
+        word |= ((imm >> 12) & 0xFF) << 12
+        return word
+    if fmt is InstrFormat.CSR:
+        if not fits_unsigned(instr.csr, 12):
+            raise EncodeError(f"CSR number {instr.csr} out of range")
+        return (instr.csr << 20) | (rs1 << 15) | (funct3 << 12) \
+            | (rd << 7) | opcode
+    if fmt is InstrFormat.CSRI:
+        zimm = _check_imm(instr, 5, signed=False)
+        if not fits_unsigned(instr.csr, 12):
+            raise EncodeError(f"CSR number {instr.csr} out of range")
+        return (instr.csr << 20) | (zimm << 15) | (funct3 << 12) \
+            | (rd << 7) | opcode
+    if fmt is InstrFormat.FENCE:
+        return (0x0FF << 20) | opcode | (funct3 << 12)
+    if fmt is InstrFormat.SYS:
+        imm = 0 if instr.mnemonic == "ecall" else 1
+        return (imm << 20) | opcode
+    if fmt is InstrFormat.SIMT_S:
+        interval = _check_imm(instr, 7, signed=False)
+        return ((interval >> 2) << 27) | ((interval & 0b11) << 25) \
+            | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+    if fmt is InstrFormat.SIMT_E:
+        return (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | opcode
+    raise EncodeError(f"unhandled format {fmt}")  # pragma: no cover

@@ -1,0 +1,51 @@
+"""Bit-level helpers shared by the decoder, encoder, and simulators.
+
+All architectural values are carried as Python ints constrained to 32 bits.
+Helpers here convert between signed / unsigned views and slice bit fields
+out of instruction words.
+"""
+
+MASK32 = 0xFFFFFFFF
+
+
+def bits(word, hi, lo):
+    """Extract the inclusive bit field ``word[hi:lo]`` as an unsigned int."""
+    if hi < lo:
+        raise ValueError(f"invalid bit range [{hi}:{lo}]")
+    return (word >> lo) & ((1 << (hi - lo + 1)) - 1)
+
+
+def bit(word, index):
+    """Extract a single bit of ``word``."""
+    return (word >> index) & 1
+
+
+def sign_extend(value, width):
+    """Sign-extend the ``width``-bit ``value`` to a Python int."""
+    if width <= 0:
+        raise ValueError(f"invalid width {width}")
+    sign = 1 << (width - 1)
+    return (value & (sign - 1)) - (value & sign)
+
+
+def to_signed32(value):
+    """Reinterpret a 32-bit unsigned value as signed."""
+    value &= MASK32
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+def to_unsigned32(value):
+    """Truncate a Python int to its 32-bit unsigned representation."""
+    return value & MASK32
+
+
+def fits_signed(value, width):
+    """Return True if ``value`` fits in a signed ``width``-bit immediate."""
+    lo = -(1 << (width - 1))
+    hi = (1 << (width - 1)) - 1
+    return lo <= value <= hi
+
+
+def fits_unsigned(value, width):
+    """Return True if ``value`` fits in an unsigned ``width``-bit field."""
+    return 0 <= value <= (1 << width) - 1

@@ -1,0 +1,59 @@
+"""Architectural register naming for RV32 integer and floating-point files.
+
+DiAG abstracts each architectural register as a *register lane* (paper
+Section 4.1), so the register indices defined here double as lane indices
+in :mod:`repro.core.lanes`.
+"""
+
+NUM_REGS = 32
+
+# Integer ABI names, indexed by register number (x0..x31).
+ABI_NAMES = (
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+    "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+    "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+    "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+)
+
+# Floating-point ABI names (f0..f31).
+FP_ABI_NAMES = (
+    "ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7",
+    "fs0", "fs1", "fa0", "fa1", "fa2", "fa3", "fa4", "fa5",
+    "fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7",
+    "fs8", "fs9", "fs10", "fs11", "ft8", "ft9", "ft10", "ft11",
+)
+
+_INT_LOOKUP = {name: i for i, name in enumerate(ABI_NAMES)}
+_INT_LOOKUP.update({f"x{i}": i for i in range(NUM_REGS)})
+_INT_LOOKUP["fp"] = 8  # alias for s0
+
+_FP_LOOKUP = {name: i for i, name in enumerate(FP_ABI_NAMES)}
+_FP_LOOKUP.update({f"f{i}": i for i in range(NUM_REGS)})
+
+
+def reg_name(index):
+    """ABI name of integer register ``index``."""
+    return ABI_NAMES[index]
+
+
+def fp_reg_name(index):
+    """ABI name of floating-point register ``index``."""
+    return FP_ABI_NAMES[index]
+
+
+def parse_register(name):
+    """Parse an integer register name (``x5``, ``t0``, ``fp`` ...) to its index.
+
+    Raises ``KeyError`` for unknown names.
+    """
+    return _INT_LOOKUP[name.lower()]
+
+
+def parse_fp_register(name):
+    """Parse a floating-point register name (``f3``, ``fa0`` ...) to its index."""
+    return _FP_LOOKUP[name.lower()]
+
+
+def is_fp_register_name(name):
+    """Return True if ``name`` denotes a floating-point register."""
+    return name.lower() in _FP_LOOKUP

@@ -1,0 +1,211 @@
+"""Pure RV32IMF instruction semantics shared by all three simulators.
+
+:func:`compute` evaluates one instruction given its operand values and
+PC, with no machine state of its own. Memory instructions return the
+effective address and leave the access to the caller (each machine has
+its own memory path); :func:`finish_load` converts loaded raw bytes to
+the destination register value.
+"""
+
+from dataclasses import dataclass
+
+from repro import softfloat as sf
+from repro.isa.encoding import to_signed32, to_unsigned32
+
+MASK32 = 0xFFFFFFFF
+LOAD_SIZES = {"lb": 1, "lbu": 1, "lh": 2, "lhu": 2, "lw": 4, "flw": 4}
+LOAD_SIGNED = frozenset({"lb", "lh"})
+STORE_SIZES = {"sb": 1, "sh": 2, "sw": 4, "fsw": 4}
+# Backwards-compatible aliases used inside this module.
+_LOAD_SIZES = LOAD_SIZES
+_LOAD_SIGNED = LOAD_SIGNED
+_STORE_SIZES = STORE_SIZES
+
+
+@dataclass
+class ExecResult:
+    """Outcome of evaluating one instruction.
+
+    ``value``  — destination register value (32-bit pattern) or None.
+    ``taken``/``target`` — control transfer outcome.
+    ``mem_addr``/``mem_size``/``mem_signed`` — load/store effective access.
+    ``store_value`` — value a store writes.
+    ``csr`` — CSR number touched (CSR ops only; caller resolves).
+    """
+
+    value: int = None
+    taken: bool = False
+    target: int = None
+    mem_addr: int = None
+    mem_size: int = 0
+    mem_signed: bool = False
+    store_value: int = None
+    csr: int = None
+
+
+def _mul_signed(a, b):
+    return (to_signed32(a) * to_signed32(b)) & MASK32
+
+
+def _mulh(a, b):
+    return ((to_signed32(a) * to_signed32(b)) >> 32) & MASK32
+
+
+def _mulhsu(a, b):
+    return ((to_signed32(a) * to_unsigned32(b)) >> 32) & MASK32
+
+
+def _mulhu(a, b):
+    return ((to_unsigned32(a) * to_unsigned32(b)) >> 32) & MASK32
+
+
+def _div(a, b):
+    sa, sb = to_signed32(a), to_signed32(b)
+    if sb == 0:
+        return MASK32  # RISC-V: division by zero yields all ones
+    if sa == -(1 << 31) and sb == -1:
+        return 0x80000000  # overflow case
+    quotient = abs(sa) // abs(sb)
+    if (sa < 0) != (sb < 0):
+        quotient = -quotient
+    return quotient & MASK32
+
+
+def _divu(a, b):
+    return MASK32 if b == 0 else (a // b) & MASK32
+
+
+def _rem(a, b):
+    sa, sb = to_signed32(a), to_signed32(b)
+    if sb == 0:
+        return a & MASK32
+    if sa == -(1 << 31) and sb == -1:
+        return 0
+    remainder = abs(sa) % abs(sb)
+    if sa < 0:
+        remainder = -remainder
+    return remainder & MASK32
+
+
+def _remu(a, b):
+    return a & MASK32 if b == 0 else (a % b) & MASK32
+
+
+_ALU_OPS = {
+    "add": lambda a, b: (a + b) & MASK32,
+    "sub": lambda a, b: (a - b) & MASK32,
+    "sll": lambda a, b: (a << (b & 31)) & MASK32,
+    "slt": lambda a, b: int(to_signed32(a) < to_signed32(b)),
+    "sltu": lambda a, b: int((a & MASK32) < (b & MASK32)),
+    "xor": lambda a, b: (a ^ b) & MASK32,
+    "srl": lambda a, b: (a & MASK32) >> (b & 31),
+    "sra": lambda a, b: to_unsigned32(to_signed32(a) >> (b & 31)),
+    "or": lambda a, b: (a | b) & MASK32,
+    "and": lambda a, b: a & b & MASK32,
+    "mul": _mul_signed,
+    "mulh": _mulh,
+    "mulhsu": _mulhsu,
+    "mulhu": _mulhu,
+    "div": _div,
+    "divu": _divu,
+    "rem": _rem,
+    "remu": _remu,
+}
+
+_ALU_IMM = {
+    "addi": "add", "slti": "slt", "sltiu": "sltu", "xori": "xor",
+    "ori": "or", "andi": "and", "slli": "sll", "srli": "srl",
+    "srai": "sra",
+}
+
+_BRANCH_OPS = {
+    "beq": lambda a, b: a == b,
+    "bne": lambda a, b: a != b,
+    "blt": lambda a, b: to_signed32(a) < to_signed32(b),
+    "bge": lambda a, b: to_signed32(a) >= to_signed32(b),
+    "bltu": lambda a, b: (a & MASK32) < (b & MASK32),
+    "bgeu": lambda a, b: (a & MASK32) >= (b & MASK32),
+}
+
+_FP_BINARY = {
+    "fadd.s": sf.fadd, "fsub.s": sf.fsub, "fmul.s": sf.fmul,
+    "fdiv.s": sf.fdiv, "fsgnj.s": sf.fsgnj, "fsgnjn.s": sf.fsgnjn,
+    "fsgnjx.s": sf.fsgnjx, "fmin.s": sf.fmin, "fmax.s": sf.fmax,
+    "feq.s": sf.feq, "flt.s": sf.flt, "fle.s": sf.fle,
+}
+
+_FP_FMA = {
+    "fmadd.s": sf.fmadd, "fmsub.s": sf.fmsub,
+    "fnmsub.s": sf.fnmsub, "fnmadd.s": sf.fnmadd,
+}
+
+_FP_UNARY = {
+    "fsqrt.s": sf.fsqrt, "fcvt.w.s": sf.fcvt_w_s, "fcvt.wu.s": sf.fcvt_wu_s,
+    "fcvt.s.w": sf.fcvt_s_w, "fcvt.s.wu": sf.fcvt_s_wu,
+    "fclass.s": sf.fclass, "fmv.x.w": lambda v: v & MASK32,
+    "fmv.w.x": lambda v: v & MASK32,
+}
+
+
+def compute(instr, pc, rs1=0, rs2=0, rs3=0):
+    """Evaluate ``instr`` with operand values ``rs1``/``rs2``/``rs3``.
+
+    Operand values are 32-bit unsigned patterns (FP registers carry
+    their raw bit pattern). Returns an :class:`ExecResult`.
+    """
+    mnem = instr.mnemonic
+    imm = instr.imm
+
+    op = _ALU_OPS.get(mnem)
+    if op is not None:
+        return ExecResult(value=op(rs1, rs2))
+    base = _ALU_IMM.get(mnem)
+    if base is not None:
+        # Each ALU lambda masks its operands, so the sign-extended
+        # immediate can be passed directly (sltiu then compares the
+        # masked pattern unsigned, per spec).
+        return ExecResult(value=_ALU_OPS[base](rs1, imm))
+    if mnem in _BRANCH_OPS:
+        taken = _BRANCH_OPS[mnem](rs1 & MASK32, rs2 & MASK32)
+        return ExecResult(taken=taken, target=(pc + imm) & MASK32)
+    if mnem == "lui":
+        return ExecResult(value=imm & MASK32)
+    if mnem == "auipc":
+        return ExecResult(value=(pc + imm) & MASK32)
+    if mnem == "jal":
+        return ExecResult(value=(pc + 4) & MASK32, taken=True,
+                          target=(pc + imm) & MASK32)
+    if mnem == "jalr":
+        return ExecResult(value=(pc + 4) & MASK32, taken=True,
+                          target=(rs1 + imm) & MASK32 & ~1)
+    size = _LOAD_SIZES.get(mnem)
+    if size is not None:
+        return ExecResult(mem_addr=(rs1 + imm) & MASK32, mem_size=size,
+                          mem_signed=mnem in _LOAD_SIGNED)
+    size = _STORE_SIZES.get(mnem)
+    if size is not None:
+        return ExecResult(mem_addr=(rs1 + imm) & MASK32, mem_size=size,
+                          store_value=rs2 & MASK32)
+    fp = _FP_BINARY.get(mnem)
+    if fp is not None:
+        return ExecResult(value=fp(rs1, rs2))
+    fp = _FP_FMA.get(mnem)
+    if fp is not None:
+        return ExecResult(value=fp(rs1, rs2, rs3))
+    fp = _FP_UNARY.get(mnem)
+    if fp is not None:
+        return ExecResult(value=fp(rs1))
+    if mnem.startswith("csr"):
+        return ExecResult(csr=instr.csr)
+    if mnem in ("fence", "ecall", "ebreak", "simt_s", "simt_e"):
+        return ExecResult()
+    raise NotImplementedError(f"no semantics for '{mnem}'")
+
+
+def finish_load(instr, raw):
+    """Convert raw loaded bytes (as unsigned int) to the register value."""
+    size = _LOAD_SIZES[instr.mnemonic]
+    if instr.mnemonic in _LOAD_SIGNED:
+        sign = 1 << (size * 8 - 1)
+        raw = ((raw & (sign - 1)) - (raw & sign)) & MASK32
+    return raw & MASK32

@@ -1,0 +1,243 @@
+"""In-order functional RV32IMF simulator (golden reference).
+
+Runs a :class:`repro.asm.Program` to completion, executing the DiAG
+``simt_s``/``simt_e`` extensions with their sequential (non-pipelined)
+semantics so the same binary produces identical architectural results
+on the ISS, the OoO baseline, and the DiAG core.
+"""
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.iss.semantics import compute, finish_load
+from repro.memory.main_memory import MainMemory
+
+MASK32 = 0xFFFFFFFF
+
+
+class SimError(Exception):
+    """Fatal simulation error (bad PC, undecodable instruction, ...)."""
+
+
+class HaltReason(enum.Enum):
+    EBREAK = "ebreak"
+    ECALL = "ecall"
+    MAX_STEPS = "max_steps"
+
+
+@dataclass
+class _SimtRegion:
+    """An active simt_s..simt_e region (sequential execution state)."""
+
+    start_pc: int
+    rc: int
+    step: int       # latched value of r_step at simt_s
+    end: int        # latched value of r_end at simt_s
+    interval: int
+
+
+@dataclass
+class ISSStats:
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    taken_branches: int = 0
+    fp_ops: int = 0
+    simt_iterations: int = 0
+    mnemonic_counts: dict = field(default_factory=dict)
+
+
+class ISS:
+    """Functional simulator. Construct, then :meth:`run`."""
+
+    STACK_TOP = 0x7FFFF0
+
+    def __init__(self, program, memory=None, trace=None, load_image=True):
+        self.program = program
+        self.memory = memory if memory is not None else MainMemory()
+        if load_image:
+            program.load_into(self.memory)
+        self.pc = program.entry
+        self.x = [0] * 32
+        self.f = [0] * 32
+        self.x[2] = self.STACK_TOP  # sp
+        self.x[11] = 1  # a1: SPMD thread count (a0 = thread id = 0)
+        self.csrs = {0x001: 0, 0x002: 0, 0x003: 0}
+        self.stats = ISSStats()
+        self.halt_reason = None
+        self.trace = trace
+        self._simt_stack = []
+        self._pending_interrupt = None
+
+    # ---------------------------------------------------------- registers
+
+    def read_x(self, index):
+        return self.x[index]
+
+    def write_x(self, index, value):
+        if index != 0:
+            self.x[index] = value & MASK32
+
+    # ----------------------------------------------------------- running
+
+    def run(self, max_steps=5_000_000):
+        """Run until ebreak/ecall or ``max_steps``; returns halt reason."""
+        while self.halt_reason is None:
+            if self.stats.instructions >= max_steps:
+                self.halt_reason = HaltReason.MAX_STEPS
+                break
+            self.step()
+        return self.halt_reason
+
+    def post_interrupt(self, vector):
+        """Request an asynchronous interrupt (paper Section 5.1.4).
+
+        Taken at the next instruction boundary: the interrupted PC is
+        saved in mepc (0x341) and execution redirects to ``vector``.
+        Because the ISS is sequential, every interrupt is trivially
+        precise; the DiAG core and the OoO baseline implement the same
+        architectural contract and are tested against it.
+        """
+        self._pending_interrupt = vector
+
+    def step(self):
+        """Execute exactly one instruction."""
+        if self._pending_interrupt is not None:
+            self.csrs[0x341] = self.pc & MASK32  # mepc
+            self.pc = self._pending_interrupt
+            self._pending_interrupt = None
+        instr = self.program.instruction_at(self.pc)
+        if instr is None:
+            raise SimError(f"no instruction at pc={self.pc:#010x}")
+        if self.trace is not None:
+            self.trace(self.pc, instr)
+        self._count(instr)
+        mnem = instr.mnemonic
+        if mnem == "ebreak":
+            self.halt_reason = HaltReason.EBREAK
+            return
+        if mnem == "ecall":
+            self.halt_reason = HaltReason.ECALL
+            return
+        if mnem == "simt_s":
+            self._simt_start(instr)
+            self.pc += 4
+            return
+        if mnem == "simt_e":
+            self._simt_end(instr)
+            return
+        if mnem.startswith("csr"):
+            self._csr_op(instr)
+            self.pc += 4
+            return
+
+        info = instr.info
+        rs1 = (self.f[instr.rs1] if info.rs1_file == "f"
+               else self.x[instr.rs1]) if info.rs1_file else 0
+        rs2 = (self.f[instr.rs2] if info.rs2_file == "f"
+               else self.x[instr.rs2]) if info.rs2_file else 0
+        rs3 = self.f[instr.rs3] if info.rs3_file == "f" else 0
+        result = compute(instr, self.pc, rs1, rs2, rs3)
+
+        if result.mem_addr is not None:
+            if result.store_value is not None:
+                self.memory.store(result.mem_addr, result.store_value,
+                                  result.mem_size)
+            else:
+                raw = self.memory.load(result.mem_addr, result.mem_size)
+                result.value = finish_load(instr, raw)
+
+        if result.value is not None and info.rd_file is not None:
+            if info.rd_file == "f":
+                self.f[instr.rd] = result.value & MASK32
+            else:
+                self.write_x(instr.rd, result.value)
+
+        if result.taken:
+            if instr.is_branch:
+                self.stats.taken_branches += 1
+            self.pc = result.target
+        else:
+            self.pc += 4
+
+    # -------------------------------------------------------------- simt
+
+    def _simt_start(self, instr):
+        region = _SimtRegion(
+            start_pc=self.pc + 4,
+            rc=instr.rd,
+            step=self.x[instr.rs1],
+            end=self.x[instr.rs2],
+            interval=instr.imm,
+        )
+        self._simt_stack.append(region)
+
+    def _simt_end(self, instr):
+        if not self._simt_stack:
+            raise SimError(f"simt_e at {self.pc:#x} without active simt_s")
+        region = self._simt_stack[-1]
+        if instr.rs1 != region.rc:
+            raise SimError(
+                f"simt_e rc (x{instr.rs1}) does not match simt_s rc "
+                f"(x{region.rc})")
+        self.stats.simt_iterations += 1
+        step = region.step - 0x100000000 if region.step & 0x80000000 \
+            else region.step
+        end = region.end - 0x100000000 if region.end & 0x80000000 \
+            else region.end
+        rc_val = self.x[region.rc]
+        rc_signed = rc_val - 0x100000000 if rc_val & 0x80000000 else rc_val
+        next_rc = rc_signed + step
+        more = (next_rc < end) if step > 0 else \
+               (next_rc > end) if step < 0 else False
+        if more:
+            self.write_x(region.rc, next_rc)
+            self.pc = region.start_pc
+        else:
+            self._simt_stack.pop()
+            self.pc += 4
+
+    # --------------------------------------------------------------- csr
+
+    def _csr_op(self, instr):
+        mnem = instr.mnemonic
+        number = instr.csr
+        old = self._csr_read(number)
+        write_val = instr.imm if mnem.endswith("i") else self.x[instr.rs1]
+        if mnem.startswith("csrrw"):
+            new = write_val
+        elif mnem.startswith("csrrs"):
+            new = old | write_val
+        else:  # csrrc
+            new = old & ~write_val
+        if new != old and number < 0xC00:  # read-only CSR space is 0xCxx
+            self.csrs[number] = new & MASK32
+        self.write_x(instr.rd, old)
+
+    def _csr_read(self, number):
+        if number in (0xC00, 0xC01):  # cycle/time ~ instret functionally
+            return self.stats.instructions & MASK32
+        if number == 0xC02:
+            return self.stats.instructions & MASK32
+        if number in (0xC80, 0xC81, 0xC82):
+            return (self.stats.instructions >> 32) & MASK32
+        if number == 0xF14:  # mhartid
+            return 0
+        return self.csrs.get(number, 0)
+
+    # ------------------------------------------------------------- stats
+
+    def _count(self, instr):
+        stats = self.stats
+        stats.instructions += 1
+        if instr.is_load:
+            stats.loads += 1
+        elif instr.is_store:
+            stats.stores += 1
+        elif instr.is_branch:
+            stats.branches += 1
+        if instr.is_fp:
+            stats.fp_ops += 1
+        counts = stats.mnemonic_counts
+        counts[instr.mnemonic] = counts.get(instr.mnemonic, 0) + 1

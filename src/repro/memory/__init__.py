@@ -1,0 +1,27 @@
+"""Memory substrate: main memory, caches, LSUs, and memory lanes.
+
+The paper's evaluation models caches "functionally with delays"
+(Section 7.1). We follow the same split: architectural data always
+lives in :class:`MainMemory`; the cache classes are timing models that
+track tags, replacement, bank contention, and statistics, and return
+latencies. This keeps functional correctness trivially right while the
+timing model stays faithful.
+"""
+
+from repro.memory.main_memory import MainMemory
+from repro.memory.cache import Cache, CacheStats
+from repro.memory.hierarchy import MemoryHierarchy, MemTimings
+from repro.memory.lsu import LoadStoreUnit
+from repro.memory.memory_lanes import MemoryLanes
+from repro.memory.prefetch import StridePrefetcher
+
+__all__ = [
+    "Cache",
+    "CacheStats",
+    "LoadStoreUnit",
+    "MainMemory",
+    "MemTimings",
+    "MemoryHierarchy",
+    "MemoryLanes",
+    "StridePrefetcher",
+]

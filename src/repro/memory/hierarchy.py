@@ -1,0 +1,119 @@
+"""The cache hierarchy shared by the DiAG core and the OoO baseline.
+
+Structure (paper Section 5.2 / Table 2): an L1 I-cache, a *banked* L1
+D-cache fronting incoming requests from processing clusters (or cores),
+and a unified L2 backed by fixed-latency DRAM. Bank contention is
+modelled with per-bank busy-until timestamps.
+"""
+
+from dataclasses import dataclass
+
+from repro.memory.cache import Cache, NullCache
+from repro.memory.main_memory import MainMemory
+
+
+@dataclass
+class MemTimings:
+    """Latency parameters, in core cycles (2 GHz nominal)."""
+
+    l1i_hit: int = 1
+    l1d_hit: int = 3
+    l2_hit: int = 12
+    dram: int = 80
+    bank_occupancy: int = 2  # cycles a bank stays busy per request
+
+
+@dataclass
+class HierarchyConfig:
+    l1i_size: int = 32 * 1024
+    l1i_ways: int = 1  # "a standard direct-mapped instruction cache" (5.1.1)
+    l1d_size: int = 128 * 1024
+    l1d_ways: int = 4
+    l1d_banks: int = 8
+    l2_size: int = 4 * 1024 * 1024
+    l2_ways: int = 8
+    line_bytes: int = 64
+    timings: MemTimings = None
+
+    def __post_init__(self):
+        if self.timings is None:
+            self.timings = MemTimings()
+
+
+class MemoryHierarchy:
+    """Functional data in :class:`MainMemory` + timing from cache models."""
+
+    def __init__(self, config=None, memory=None):
+        self.config = config or HierarchyConfig()
+        cfg = self.config
+        t = cfg.timings
+        self.memory = memory if memory is not None else MainMemory()
+        if cfg.l2_size > 0:
+            self.l2 = Cache("L2", cfg.l2_size, cfg.l2_ways,
+                            cfg.line_bytes, t.l2_hit, lower=None,
+                            lower_latency=t.dram)
+        else:
+            self.l2 = NullCache("L2", t.dram)
+        self.l1i = Cache("L1I", cfg.l1i_size, cfg.l1i_ways, cfg.line_bytes,
+                         t.l1i_hit, lower=self.l2)
+        self.l1d = Cache("L1D", cfg.l1d_size, cfg.l1d_ways, cfg.line_bytes,
+                         t.l1d_hit, lower=self.l2)
+        self._bank_busy_until = [0] * cfg.l1d_banks
+        self.stats_bank_conflicts = 0
+
+    # ------------------------------------------------------------ timing
+
+    def bank_of(self, addr):
+        """L1D bank serving ``addr`` (public for the SIMT pipeliner)."""
+        return (addr // self.config.line_bytes) % self.config.l1d_banks
+
+
+
+    def data_access_latency(self, addr, cycle, is_write=False):
+        """Latency of a data-side access issued at ``cycle``.
+
+        Includes queueing delay when the target bank is busy.
+        """
+        bank = self.bank_of(addr)
+        start = max(cycle, self._bank_busy_until[bank])
+        queue_delay = start - cycle
+        if queue_delay:
+            self.stats_bank_conflicts += 1
+        self._bank_busy_until[bank] = start + self.config.timings.bank_occupancy
+        access = self.l1d.access(addr, is_write=is_write)
+        return queue_delay + access
+
+    def cache_access_latency(self, addr, is_write=False):
+        """Pure cache-lookup latency without touching the bank
+        arbitration state. The SIMT pipeliner computes its schedule
+        ahead of global time and models bank occupancy locally, so it
+        must not push the shared busy-until timestamps into the future
+        for the other rings (they run at real time)."""
+        return self.l1d.access(addr, is_write=is_write)
+
+    def fetch_latency(self, addr):
+        """Latency of an instruction-line fetch."""
+        return self.l1i.access(addr)
+
+    # -------------------------------------------------------- functional
+
+    def load(self, addr, size, signed=False):
+        return self.memory.load(addr, size, signed=signed)
+
+    def store(self, addr, value, size):
+        self.memory.store(addr, value, size)
+
+    def read_word(self, addr):
+        return self.memory.read_word(addr)
+
+    def write_bytes(self, addr, data):
+        self.memory.write_bytes(addr, data)
+
+    # ------------------------------------------------------------- stats
+
+    def reset_stats(self):
+        self.l1i.stats.reset()
+        self.l1d.stats.reset()
+        self.l2.stats.reset()
+        self.stats_bank_conflicts = 0
+        self._bank_busy_until = [0] * self.config.l1d_banks

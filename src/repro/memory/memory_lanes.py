@@ -1,0 +1,68 @@
+"""Memory lanes: DiAG's set-associative store-forwarding lanes.
+
+Paper Section 5.2: "at each cluster, we use memory lanes, which are
+essentially set-associative register lanes that transport memory data
+from PE to PE and enable access reordering. Data written by stores are
+temporarily stored in memory lanes that are passed to succeeding
+clusters and PEs for immediate access."
+
+The model is a bounded associative buffer of recent stores, ordered by
+program position, consulted by younger loads before they go to the LSU.
+"""
+
+from collections import OrderedDict
+
+
+class MemoryLanes:
+    """A bounded store buffer keyed by (word-aligned address)."""
+
+    def __init__(self, capacity=16):
+        self.capacity = capacity
+        # addr -> (value bytes little-endian as int, size)
+        self._entries = OrderedDict()
+        self.stats_forwards = 0
+        self.stats_stores = 0
+
+    def record_store(self, addr, value, size):
+        """Insert/replace the entry for a store. Oldest entry evicted."""
+        self.stats_stores += 1
+        key = (addr, size)
+        # Remove any overlapping older entries so lookups never see stale
+        # partial data; exact model is conservative on overlap.
+        stale = [k for k in self._entries if self._overlaps(k, addr, size)]
+        for k in stale:
+            del self._entries[k]
+        self._entries[key] = value & ((1 << (size * 8)) - 1)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    @staticmethod
+    def _overlaps(key, addr, size):
+        k_addr, k_size = key
+        return k_addr < addr + size and addr < k_addr + k_size
+
+    def lookup(self, addr, size):
+        """Return the forwarded value for an exact-match load, else None.
+
+        Partial overlaps (different size/offset) conservatively miss.
+        """
+        value = self._entries.get((addr, size))
+        if value is not None:
+            self.stats_forwards += 1
+        return value
+
+    def overlaps_any(self, addr, size):
+        """True if any resident entry overlaps [addr, addr+size)."""
+        return any(self._overlaps(k, addr, size) for k in self._entries)
+
+    def clear(self):
+        self._entries.clear()
+
+    def copy_into(self, other):
+        """Propagate entries to the next cluster's lanes (paper 5.2)."""
+        for (addr, size), value in self._entries.items():
+            other.record_store(addr, value, size)
+        other.stats_stores -= len(self._entries)
+
+    def __len__(self):
+        return len(self._entries)

@@ -1,0 +1,63 @@
+"""Localized stride prefetching (paper Section 5.2, future-work feature).
+
+"With instruction reuse, each PE is assigned a single memory instruction
+whose address likely changes in a fixed pattern each iteration. We
+expect that localized stride prefetching ... will be effective in DiAG."
+
+Because each PE keeps the same static instruction across loop
+iterations, the prefetcher here is keyed by PE identity (one entry per
+memory PE) rather than by PC as in a conventional stride prefetcher —
+exactly the "localized" form the paper sketches. It is exercised by the
+ablation benchmark ``benchmarks/test_ablation_prefetch.py``.
+"""
+
+
+class _StrideEntry:
+    __slots__ = ("last_addr", "stride", "confidence")
+
+    def __init__(self):
+        self.last_addr = None
+        self.stride = 0
+        self.confidence = 0
+
+
+class StridePrefetcher:
+    """Per-PE stride detector issuing next-line prefetches into L1D."""
+
+    def __init__(self, cache, degree=1, confidence_threshold=2):
+        self.cache = cache
+        self.degree = degree
+        self.confidence_threshold = confidence_threshold
+        self._entries = {}
+        self.stats_issued = 0
+        self.stats_useful_hint = 0
+
+    def observe(self, pe_key, addr):
+        """Record a demand access by PE ``pe_key``; maybe prefetch."""
+        entry = self._entries.get(pe_key)
+        if entry is None:
+            entry = _StrideEntry()
+            self._entries[pe_key] = entry
+        if entry.last_addr is not None:
+            stride = addr - entry.last_addr
+            if stride == entry.stride and stride != 0:
+                entry.confidence = min(entry.confidence + 1, 4)
+            else:
+                entry.stride = stride
+                entry.confidence = 0
+        entry.last_addr = addr
+        if entry.confidence >= self.confidence_threshold and entry.stride:
+            for i in range(1, self.degree + 1):
+                target = addr + entry.stride * i
+                if target < 0:
+                    continue
+                if not self.cache.probe(target):
+                    self.cache.access(target, prefetch=True)
+                    self.stats_issued += 1
+                else:
+                    self.stats_useful_hint += 1
+
+    def reset(self):
+        self._entries.clear()
+        self.stats_issued = 0
+        self.stats_useful_hint = 0

@@ -1,0 +1,35 @@
+"""Benchmark workloads: Rodinia and SPEC CPU2017 kernel proxies.
+
+Each workload provides a hand-written RV32IMF assembly kernel with the
+same algorithmic structure and compute/memory/control mix as the
+benchmark it stands in for, an input generator, and a numpy reference
+used to verify every simulator run (see DESIGN.md for the substitution
+rationale — the originals cannot be redistributed and the paper itself
+runs trimmed, syscall-free versions).
+
+Conventions shared by every workload:
+
+* SPMD threading: thread ``t`` starts with a0 = t, a1 = nthreads and
+  partitions its index space with :data:`repro.workloads.common.SPMD_PROLOGUE`.
+* SIMT variants wrap the parallel inner loop in ``simt_s``/``simt_e``
+  with iteration-independent bodies (paper Section 5.4).
+* Programs halt with ``ebreak``; outputs land in named .data symbols
+  checked by ``verify``.
+"""
+
+from repro.workloads.base import Workload, WorkloadInstance
+from repro.workloads.registry import (
+    RODINIA_WORKLOADS,
+    SPEC_WORKLOADS,
+    all_workloads,
+    get_workload,
+)
+
+__all__ = [
+    "RODINIA_WORKLOADS",
+    "SPEC_WORKLOADS",
+    "Workload",
+    "WorkloadInstance",
+    "all_workloads",
+    "get_workload",
+]

@@ -1,0 +1,96 @@
+"""Workload characterization: dynamic instruction-mix analysis.
+
+Runs a workload on the golden ISS and reports the dynamic mix (loads,
+stores, branches, FP, integer ALU) plus a derived category, the way
+architecture papers characterize their benchmark tables. Useful for
+checking that a proxy kernel actually has the behaviour profile it
+claims (see ``tests/test_workload_mix.py``, which pins each suite
+member to its declared category).
+"""
+
+from dataclasses import dataclass
+
+from repro.iss import ISS
+from repro.memory.main_memory import MainMemory
+from repro.workloads import get_workload
+
+
+@dataclass
+class MixProfile:
+    """Dynamic instruction mix of one workload run."""
+
+    workload: str
+    instructions: int
+    load_frac: float
+    store_frac: float
+    branch_frac: float
+    taken_branch_frac: float
+    fp_frac: float
+    alu_frac: float
+
+    @property
+    def mem_frac(self):
+        return self.load_frac + self.store_frac
+
+    def derived_category(self):
+        """Heuristic category from the mix (compute/memory/control)."""
+        if self.fp_frac > 0.15:
+            return "compute"
+        if self.branch_frac > 0.14:
+            return "control"
+        if self.mem_frac > 0.22:
+            return "memory"
+        if self.fp_frac > 0.05 or self.alu_frac > 0.55:
+            return "compute"
+        return "mixed"
+
+    def row(self):
+        return [self.workload, self.instructions,
+                f"{100 * self.load_frac:.1f}%",
+                f"{100 * self.store_frac:.1f}%",
+                f"{100 * self.branch_frac:.1f}%",
+                f"{100 * self.fp_frac:.1f}%",
+                self.derived_category()]
+
+
+def profile_workload(name, scale=0.5, seed=1234):
+    """Run ``name`` on the ISS and return its :class:`MixProfile`."""
+    cls = get_workload(name)
+    instance = cls().build(scale=scale, threads=1, simt=False, seed=seed)
+    memory = MainMemory()
+    instance.program.load_into(memory)
+    instance.setup(memory)
+    iss = ISS(instance.program, memory=memory, load_image=False)
+    iss.run(max_steps=5_000_000)
+    if not instance.verify(memory):
+        raise RuntimeError(f"{name}: verification failed while profiling")
+    stats = iss.stats
+    total = max(1, stats.instructions)
+    mem_branch_fp = (stats.loads + stats.stores + stats.branches
+                     + stats.fp_ops)
+    return MixProfile(
+        workload=name,
+        instructions=stats.instructions,
+        load_frac=stats.loads / total,
+        store_frac=stats.stores / total,
+        branch_frac=stats.branches / total,
+        taken_branch_frac=stats.taken_branches / total,
+        fp_frac=stats.fp_ops / total,
+        alu_frac=max(0.0, 1.0 - mem_branch_fp / total),
+    )
+
+
+def profile_suite(names, scale=0.5):
+    """Profiles for a list of workloads, in the given order."""
+    return [profile_workload(name, scale=scale) for name in names]
+
+
+def render_profiles(profiles):
+    """Text table of mixes (harness.report style)."""
+    from repro.harness.report import format_table
+
+    return format_table(
+        ["workload", "instrs", "loads", "stores", "branches", "FP",
+         "derived"],
+        [p.row() for p in profiles],
+        title="dynamic instruction mix (ISS)")

@@ -1,0 +1,64 @@
+"""Assembly snippets shared by the workload kernels."""
+
+import itertools
+
+_UNIQUE = itertools.count()
+
+
+def spmd_prologue():
+    """SPMD slice computation.
+
+    Given the total element count in ``s0``, computes this thread's
+    [start, end) slice into ``s1`` (start) and ``s2`` (end) using
+    a0 = thread id and a1 = thread count (seeded by the processor
+    wrappers). chunk = ceil(total / nthreads). Clobbers t0.
+    """
+    tag = f"spmd{next(_UNIQUE)}"
+    return f"""
+    add  t0, s0, a1
+    addi t0, t0, -1
+    divu t0, t0, a1      # chunk = ceil(total / nthreads)
+    mul  s1, t0, a0      # start = tid * chunk
+    add  s2, s1, t0      # end   = start + chunk
+    ble  s2, s0, {tag}_ok
+    mv   s2, s0          # end = min(end, total)
+{tag}_ok:
+"""
+
+
+def simt_loop(body, rc="s1", step_reg="t5", end_reg="s2", interval=1,
+              label=None):
+    """Render ``body`` as a simt region and as an equivalent scalar loop.
+
+    Returns (simt_text, scalar_text). Both iterate ``rc`` from its
+    current value up to ``end_reg`` by +1 (``step_reg`` is clobbered);
+    both execute zero iterations for an empty slice. The body must be
+    iteration-independent for the simt variant to be semantically
+    equivalent (paper Section 4.4), and must not rely on ``rc`` after
+    the loop (the simt region leaves rc at its last iterated value).
+    """
+    if label is None:
+        label = f"par{next(_UNIQUE)}"
+    simt_text = f"""
+    bge  {rc}, {end_reg}, {label}_skip
+    li   {step_reg}, 1
+    simt_s {rc}, {step_reg}, {end_reg}, {interval}
+{body}
+    simt_e {rc}, {end_reg}
+{label}_skip:
+"""
+    scalar_text = f"""
+{label}_head:
+    bge  {rc}, {end_reg}, {label}_done
+{body}
+    addi {rc}, {rc}, 1
+    j    {label}_head
+{label}_done:
+"""
+    return simt_text, scalar_text
+
+
+def loop_or_simt(simt, body, **kwargs):
+    """Select the simt or scalar rendering of a parallel loop."""
+    simt_text, scalar_text = simt_loop(body, **kwargs)
+    return simt_text if simt else scalar_text

@@ -1,0 +1,30 @@
+"""Workload registry: name -> Workload class, per suite."""
+
+import importlib
+
+RODINIA_WORKLOADS = {}
+SPEC_WORKLOADS = {}
+
+
+def _populate():
+    rodinia = importlib.import_module("repro.workloads.rodinia")
+    spec = importlib.import_module("repro.workloads.spec")
+    for module, table in ((rodinia, RODINIA_WORKLOADS),
+                          (spec, SPEC_WORKLOADS)):
+        for name in module.__all__:
+            cls = getattr(module, name)
+            table[cls.NAME] = cls
+
+
+def all_workloads():
+    """{name: Workload class} across both suites."""
+    _populate()
+    return {**RODINIA_WORKLOADS, **SPEC_WORKLOADS}
+
+
+def get_workload(name):
+    """Look up a workload class by its registry name."""
+    return all_workloads()[name]
+
+
+_populate()

@@ -1,0 +1,18 @@
+"""Rodinia benchmark kernels (see package docstring of repro.workloads)."""
+
+from repro.workloads.rodinia.nn import NN
+from repro.workloads.rodinia.kmeans import KMeans
+from repro.workloads.rodinia.hotspot import Hotspot
+from repro.workloads.rodinia.pathfinder import Pathfinder
+from repro.workloads.rodinia.bfs import BFS
+from repro.workloads.rodinia.srad import SRAD
+from repro.workloads.rodinia.lud import LUD
+from repro.workloads.rodinia.backprop import Backprop
+from repro.workloads.rodinia.streamcluster import Streamcluster
+from repro.workloads.rodinia.btree import BTree
+from repro.workloads.rodinia.cfd import CFD
+from repro.workloads.rodinia.myocyte import Myocyte
+
+__all__ = ["BFS", "BTree", "Backprop", "CFD", "Hotspot", "KMeans",
+           "LUD", "Myocyte", "NN", "Pathfinder", "SRAD",
+           "Streamcluster"]

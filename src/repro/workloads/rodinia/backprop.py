@@ -1,0 +1,102 @@
+"""backprop — neural layer forward pass (Rodinia).
+
+out[j] = squash(sum_i w[j,i] * x[i]) with a 16-wide input layer fully
+unrolled (ordered fmul+fadd accumulation so the float32 reference is
+bit-exact) and squash(x) = x / (1 + |x|) standing in for the sigmoid
+(no exp in RV32IMF; same op mix: fdiv + sign ops). The output-neuron
+loop is independent, so it SIMT-pipelines and partitions across
+threads.
+"""
+
+import numpy as np
+
+from repro.asm import assemble
+from repro.workloads.base import (
+    Workload,
+    WorkloadInstance,
+    read_f32,
+    write_f32,
+)
+from repro.workloads.common import loop_or_simt, spmd_prologue
+
+IN_DIM = 16
+
+
+class Backprop(Workload):
+    NAME = "backprop"
+    SUITE = "rodinia"
+    CATEGORY = "compute"
+    SIMT_CAPABLE = True
+
+    DEFAULT_OUT = 128
+
+    def build(self, scale=1.0, threads=1, simt=False, seed=1241):
+        out_dim = max(threads, int(self.DEFAULT_OUT * scale))
+        rng = self.rng(seed)
+        weights = rng.uniform(-1.0, 1.0,
+                              size=(out_dim, IN_DIM)).astype(np.float32)
+        x = rng.uniform(-1.0, 1.0, size=IN_DIM).astype(np.float32)
+
+        # Accumulate the dot product in order: acc = fadd(acc, w*x).
+        terms = []
+        for i in range(IN_DIM):
+            terms.append(f"""
+    flw  ft1, {4 * i}(t1)
+    flw  ft2, {4 * i}(s5)
+    fmul.s ft3, ft1, ft2
+    fadd.s ft0, ft0, ft3
+""")
+        body = f"""
+    slli t0, s1, {IN_DIM.bit_length() + 1}
+    add  t1, t0, s3       # &w[j * IN_DIM]
+    fmv.w.x ft0, x0       # acc = 0.0
+{''.join(terms)}
+    fsgnjx.s ft4, ft0, ft0
+    fadd.s ft4, ft4, fs0  # 1 + |acc|
+    fdiv.s ft5, ft0, ft4
+    slli t0, s1, 2
+    add  t0, t0, s4
+    fsw  ft5, 0(t0)
+"""
+        src = f"""
+.text
+main:
+    la   t0, n_val
+    lw   s0, 0(t0)
+{spmd_prologue()}
+    la   s3, weights
+    la   s4, outs
+    la   s5, xvec
+    la   t0, one_c
+    flw  fs0, 0(t0)
+{loop_or_simt(simt, body)}
+    ebreak
+.data
+n_val: .word {out_dim}
+one_c: .float 1.0
+weights: .space {4 * out_dim * IN_DIM}
+outs: .space {4 * out_dim}
+xvec: .space {4 * IN_DIM}
+"""
+        program = assemble(src)
+
+        acc = np.zeros(out_dim, dtype=np.float32)
+        for i in range(IN_DIM):
+            acc = (acc + (weights[:, i] * x[i]).astype(np.float32)) \
+                .astype(np.float32)
+        denom = (np.abs(acc) + np.float32(1.0)).astype(np.float32)
+        expect = (acc / denom).astype(np.float32)
+
+        def setup(memory):
+            write_f32(memory, program.symbol("weights"), weights.ravel())
+            write_f32(memory, program.symbol("xvec"), x)
+
+        def verify(memory):
+            got = read_f32(memory, program.symbol("outs"), out_dim)
+            return bool(np.array_equal(got, expect))
+
+        return WorkloadInstance(name=self.NAME, program=program,
+                                setup=setup, verify=verify,
+                                params={"out_dim": out_dim,
+                                        "in_dim": IN_DIM},
+                                simt=simt, threads=threads)

@@ -1,0 +1,139 @@
+"""bfs — breadth-first search (Rodinia).
+
+Level-synchronous BFS over a CSR graph. Irregular gather accesses and
+data-dependent branches make this the paper's canonical memory/control
+bound workload where DiAG trails the OoO baseline (Section 7.2.1).
+Sequential only: the frontier sweep carries a cross-iteration
+dependence (the `changed` flag and level writes), so there is no SIMT
+variant, and level-synchronous threading needs barriers the bare-metal
+environment does not provide.
+"""
+
+from collections import deque
+
+import numpy as np
+
+from repro.asm import assemble
+from repro.workloads.base import (
+    Workload,
+    WorkloadInstance,
+    read_i32,
+    write_i32,
+)
+
+
+def _make_graph(n, avg_degree, rng):
+    """Random connected-ish digraph in CSR form (node 0 reaches a chain)."""
+    adj = [[] for _ in range(n)]
+    for v in range(1, n):
+        adj[rng.integers(0, v)].append(v)  # spanning tree edge
+    extra = int(n * (avg_degree - 1))
+    for __ in range(max(0, extra)):
+        a = int(rng.integers(0, n))
+        b = int(rng.integers(0, n))
+        if a != b:
+            adj[a].append(b)
+    roff = [0]
+    cols = []
+    for v in range(n):
+        cols.extend(sorted(adj[v]))
+        roff.append(len(cols))
+    return np.array(roff, dtype=np.int32), np.array(cols, dtype=np.int32)
+
+
+def _bfs_levels(n, roff, cols, source=0):
+    levels = np.full(n, -1, dtype=np.int32)
+    levels[source] = 0
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for e in range(roff[v], roff[v + 1]):
+            u = cols[e]
+            if levels[u] < 0:
+                levels[u] = levels[v] + 1
+                queue.append(u)
+    return levels
+
+
+class BFS(Workload):
+    NAME = "bfs"
+    SUITE = "rodinia"
+    CATEGORY = "memory"
+    SIMT_CAPABLE = False
+    MT_CAPABLE = False
+
+    DEFAULT_N = 256
+    AVG_DEGREE = 4
+
+    def build(self, scale=1.0, threads=1, simt=False, seed=1238):
+        n = max(4, int(self.DEFAULT_N * scale))
+        rng = self.rng(seed)
+        roff, cols = _make_graph(n, self.AVG_DEGREE, rng)
+        expect = _bfs_levels(n, roff, cols)
+
+        src = f"""
+.text
+main:
+    la   s3, roff
+    la   s4, cols
+    la   s5, levels
+    la   t0, n_val
+    lw   s6, 0(t0)
+    li   s8, 0            # current level
+bfs_outer:
+    li   s7, 0            # changed flag
+    li   s9, 0            # v
+bfs_vloop:
+    bge  s9, s6, bfs_vdone
+    slli t0, s9, 2
+    add  t1, t0, s5
+    lw   t2, 0(t1)
+    bne  t2, s8, bfs_next # only frontier nodes expand
+    add  t3, t0, s3
+    lw   t4, 0(t3)        # roff[v]
+    lw   t6, 4(t3)        # roff[v+1]
+bfs_eloop:
+    bge  t4, t6, bfs_next
+    slli t1, t4, 2
+    add  t1, t1, s4
+    lw   t2, 0(t1)        # u = cols[e]
+    slli t1, t2, 2
+    add  t1, t1, s5
+    lw   t3, 0(t1)
+    bgez t3, bfs_seen
+    addi t3, s8, 1
+    sw   t3, 0(t1)
+    li   s7, 1
+bfs_seen:
+    addi t4, t4, 1
+    j    bfs_eloop
+bfs_next:
+    addi s9, s9, 1
+    j    bfs_vloop
+bfs_vdone:
+    addi s8, s8, 1
+    bnez s7, bfs_outer
+    ebreak
+.data
+n_val: .word {n}
+roff: .space {4 * (n + 1)}
+cols: .space {4 * max(1, len(cols))}
+levels: .space {4 * n}
+"""
+        program = assemble(src)
+
+        def setup(memory):
+            write_i32(memory, program.symbol("roff"), roff)
+            write_i32(memory, program.symbol("cols"), cols)
+            levels0 = np.full(n, -1, dtype=np.int32)
+            levels0[0] = 0
+            write_i32(memory, program.symbol("levels"), levels0)
+
+        def verify(memory):
+            got = read_i32(memory, program.symbol("levels"), n)
+            return bool(np.array_equal(got, expect))
+
+        return WorkloadInstance(name=self.NAME, program=program,
+                                setup=setup, verify=verify,
+                                params={"n": n, "edges": len(cols)},
+                                simt=False, threads=1)

@@ -1,0 +1,178 @@
+"""b+tree — index search (Rodinia).
+
+A fixed-height B+tree (fanout 4, three internal levels) is searched
+for a batch of keys. Each query walks root→leaf through explicit
+child pointers (pointer chasing) and compares separators at every
+level (data-dependent branches) — the memory+control profile of the
+original benchmark. The fixed height lets the walk be fully unrolled,
+so the query loop is SIMT-capable despite its branchiness.
+"""
+
+import numpy as np
+
+from repro.asm import assemble
+from repro.workloads.base import (
+    Workload,
+    WorkloadInstance,
+    read_i32,
+    write_i32,
+)
+from repro.workloads.common import loop_or_simt, spmd_prologue
+
+FANOUT = 4
+LEVELS = 3          # internal levels; leaves hold FANOUT key/value pairs
+NODE_WORDS = 7      # 3 separators + 4 child byte-offsets
+LEAF_WORDS = 8      # 4 keys + 4 values
+
+
+def _build_tree(keys, values):
+    """Pack a complete B+tree into one int32 array; returns
+    (blob, root_offset_bytes, leaf_base_index)."""
+    n_leaves = len(keys) // FANOUT
+    # internal node counts per level, root first
+    level_counts = [FANOUT ** i for i in range(LEVELS)]
+    n_internal = sum(level_counts)
+    blob = np.zeros(n_internal * NODE_WORDS + n_leaves * LEAF_WORDS,
+                    dtype=np.int64)
+    leaf_base = n_internal * NODE_WORDS
+
+    def leaf_offset(index):
+        return (leaf_base + index * LEAF_WORDS) * 4
+
+    def node_offset(level, index):
+        return (sum(level_counts[:level]) + index) * NODE_WORDS * 4
+
+    # leaves
+    for i in range(n_leaves):
+        base = leaf_base + i * LEAF_WORDS
+        blob[base:base + FANOUT] = keys[i * FANOUT:(i + 1) * FANOUT]
+        blob[base + FANOUT:base + 2 * FANOUT] = \
+            values[i * FANOUT:(i + 1) * FANOUT]
+
+    # internal levels, bottom-up: node (level, j) covers a contiguous
+    # key range; its separators are the first keys of children 1..3
+    keys_per_child = [len(keys) // (FANOUT ** (l + 1))
+                      for l in range(LEVELS)]
+    for level in reversed(range(LEVELS)):
+        for j in range(level_counts[level]):
+            off = node_offset(level, j) // 4
+            stride = keys_per_child[level]
+            first_key = j * FANOUT * stride
+            for c in range(1, FANOUT):
+                blob[off + c - 1] = keys[first_key + c * stride]
+            for c in range(FANOUT):
+                child = j * FANOUT + c
+                if level == LEVELS - 1:
+                    blob[off + 3 + c] = leaf_offset(child)
+                else:
+                    blob[off + 3 + c] = node_offset(level + 1, child)
+    return blob.astype(np.int32), node_offset(0, 0), leaf_base
+
+
+def _walk_level():
+    """Unrolled one-level descent: node byte-offset in t1 -> child."""
+    return """
+    add  t1, t1, s3       # absolute node address
+    lw   t2, 0(t1)
+    blt  t0, t2, ch0{uid}
+    lw   t2, 4(t1)
+    blt  t0, t2, ch1{uid}
+    lw   t2, 8(t1)
+    blt  t0, t2, ch2{uid}
+    lw   t1, 24(t1)
+    j    dn{uid}
+ch0{uid}:
+    lw   t1, 12(t1)
+    j    dn{uid}
+ch1{uid}:
+    lw   t1, 16(t1)
+    j    dn{uid}
+ch2{uid}:
+    lw   t1, 20(t1)
+dn{uid}:
+"""
+
+
+class BTree(Workload):
+    NAME = "btree"
+    SUITE = "rodinia"
+    CATEGORY = "memory"
+    SIMT_CAPABLE = True
+
+    DEFAULT_QUERIES = 128
+
+    def build(self, scale=1.0, threads=1, simt=False, seed=1243):
+        n_keys = FANOUT ** (LEVELS + 1)  # 256 keys, fixed tree shape
+        queries = max(threads, int(self.DEFAULT_QUERIES * scale))
+        rng = self.rng(seed)
+        keys = np.sort(rng.choice(np.arange(1, 10000), size=n_keys,
+                                  replace=False)).astype(np.int32)
+        values = (keys * 3 + 1).astype(np.int32)
+        blob, root_off, leaf_base = _build_tree(keys, values)
+        # query existing keys so every search hits
+        qidx = rng.integers(0, n_keys, size=queries)
+        query_keys = keys[qidx].astype(np.int32)
+        expect = values[qidx].astype(np.int32)
+
+        levels = "".join(_walk_level().format(uid=f"l{lv}")
+                         for lv in range(LEVELS))
+        leaf_scan = []
+        for k in range(FANOUT):
+            leaf_scan.append(f"""
+    lw   t2, {4 * k}(t1)
+    beq  t0, t2, hit{k}
+""")
+        leaf_hits = "".join(
+            f"""
+hit{k}:
+    lw   t3, {4 * (FANOUT + k)}(t1)
+    j    found
+""" for k in range(FANOUT))
+        body = f"""
+    slli t0, s1, 2
+    add  t0, t0, s4
+    lw   t0, 0(t0)        # query key
+    li   t1, {root_off}
+{levels}
+    add  t1, t1, s3       # absolute leaf address
+{''.join(leaf_scan)}
+    li   t3, -1
+    j    found
+{leaf_hits}
+found:
+    slli t2, s1, 2
+    add  t2, t2, s5
+    sw   t3, 0(t2)
+"""
+        src = f"""
+.text
+main:
+    la   t0, n_val
+    lw   s0, 0(t0)
+{spmd_prologue()}
+    la   s3, tree
+    la   s4, queries
+    la   s5, results
+{loop_or_simt(simt, body)}
+    ebreak
+.data
+n_val: .word {queries}
+queries: .space {4 * queries}
+results: .space {4 * queries}
+tree: .space {4 * len(blob)}
+"""
+        program = assemble(src)
+
+        def setup(memory):
+            write_i32(memory, program.symbol("tree"), blob)
+            write_i32(memory, program.symbol("queries"), query_keys)
+
+        def verify(memory):
+            got = read_i32(memory, program.symbol("results"), queries)
+            return bool(np.array_equal(got, expect))
+
+        return WorkloadInstance(name=self.NAME, program=program,
+                                setup=setup, verify=verify,
+                                params={"queries": queries,
+                                        "keys": n_keys},
+                                simt=simt, threads=threads)

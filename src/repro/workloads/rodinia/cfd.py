@@ -1,0 +1,109 @@
+"""cfd — unstructured-grid flux accumulation (Rodinia euler3d).
+
+For every cell, gather the density of its four neighbours through an
+indirection table and accumulate a diffusive flux:
+
+    out[i] = rho[i] + c * sum_nb (rho[nb] - rho[i])
+
+This is euler3d's characteristic pattern: index-gathered FP streaming
+over an unstructured mesh. Iteration-independent, so SIMT-capable and
+thread-partitionable; ordered two-operand FP keeps the numpy float32
+reference bit-exact.
+"""
+
+import numpy as np
+
+from repro.asm import assemble
+from repro.workloads.base import (
+    Workload,
+    WorkloadInstance,
+    read_f32,
+    write_f32,
+    write_i32,
+)
+from repro.workloads.common import loop_or_simt, spmd_prologue
+
+NEIGHBOURS = 4
+
+
+class CFD(Workload):
+    NAME = "cfd"
+    SUITE = "rodinia"
+    CATEGORY = "memory"
+    SIMT_CAPABLE = True
+
+    DEFAULT_CELLS = 192
+
+    def build(self, scale=1.0, threads=1, simt=False, seed=1244):
+        n = max(threads, int(self.DEFAULT_CELLS * scale))
+        rng = self.rng(seed)
+        rho = rng.uniform(0.5, 2.0, size=n).astype(np.float32)
+        nbrs = rng.integers(0, n, size=(n, NEIGHBOURS)).astype(np.int32)
+        coeff = np.float32(0.2)
+
+        gathers = []
+        for k in range(NEIGHBOURS):
+            gathers.append(f"""
+    lw   t2, {4 * k}(t1)
+    slli t2, t2, 2
+    add  t2, t2, s3
+    flw  ft1, 0(t2)
+    fsub.s ft1, ft1, ft0
+    fadd.s ft2, ft2, ft1
+""")
+        body = f"""
+    slli t0, s1, 2
+    add  t2, t0, s3
+    flw  ft0, 0(t2)       # rho[i]
+    slli t1, s1, {(NEIGHBOURS * 4).bit_length() - 1}
+    add  t1, t1, s4       # &nbrs[i]
+    fmv.w.x ft2, x0
+{''.join(gathers)}
+    fmul.s ft2, ft2, fs0
+    fadd.s ft2, ft0, ft2
+    add  t0, t0, s5
+    fsw  ft2, 0(t0)
+"""
+        src = f"""
+.text
+main:
+    la   t0, n_val
+    lw   s0, 0(t0)
+{spmd_prologue()}
+    la   s3, rho
+    la   s4, nbrs
+    la   s5, rho_out
+    la   t0, coeff_c
+    flw  fs0, 0(t0)
+{loop_or_simt(simt, body)}
+    ebreak
+.data
+n_val: .word {n}
+coeff_c: .space 4
+rho: .space {4 * n}
+nbrs: .space {4 * n * NEIGHBOURS}
+rho_out: .space {4 * n}
+"""
+        program = assemble(src)
+
+        acc = np.zeros(n, dtype=np.float32)
+        for k in range(NEIGHBOURS):
+            diff = (rho[nbrs[:, k]] - rho).astype(np.float32)
+            acc = (acc + diff).astype(np.float32)
+        expect = (rho + (acc * coeff).astype(np.float32)) \
+            .astype(np.float32)
+
+        def setup(memory):
+            write_f32(memory, program.symbol("rho"), rho)
+            write_i32(memory, program.symbol("nbrs"), nbrs.ravel())
+            write_f32(memory, program.symbol("coeff_c"),
+                      np.array([coeff], dtype=np.float32))
+
+        def verify(memory):
+            got = read_f32(memory, program.symbol("rho_out"), n)
+            return bool(np.array_equal(got, expect))
+
+        return WorkloadInstance(name=self.NAME, program=program,
+                                setup=setup, verify=verify,
+                                params={"cells": n}, simt=simt,
+                                threads=threads)

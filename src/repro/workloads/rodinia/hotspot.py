@@ -1,0 +1,140 @@
+"""hotspot — thermal stencil (Rodinia).
+
+One Jacobi step of the hotspot temperature update on an R x C grid:
+
+    out[r,c] = t + ca*(up + down + left + right - 4t) + cb*p[r,c]
+
+The flattened cell loop is iteration-independent (separate in/out
+grids), so it SIMT-pipelines; boundary cells are skipped with forward
+branches, exercising per-thread control divergence in the pipeline
+(paper Section 4.4.3). All FP uses two-operand ops so the numpy
+float32 reference is bit-exact.
+"""
+
+import numpy as np
+
+from repro.asm import assemble
+from repro.workloads.base import (
+    Workload,
+    WorkloadInstance,
+    read_f32,
+    write_f32,
+)
+from repro.workloads.common import loop_or_simt, spmd_prologue
+
+
+class Hotspot(Workload):
+    NAME = "hotspot"
+    SUITE = "rodinia"
+    CATEGORY = "compute"
+    SIMT_CAPABLE = True
+
+    DEFAULT_ROWS = 16
+    DEFAULT_COLS = 16
+
+    def build(self, scale=1.0, threads=1, simt=False, seed=1236):
+        rows = max(3, int(self.DEFAULT_ROWS * max(scale, 0.2)))
+        cols = max(3, int(self.DEFAULT_COLS * max(scale, 0.2)))
+        n = rows * cols
+        rng = self.rng(seed)
+        temp = rng.uniform(320.0, 340.0, size=(rows, cols)) \
+            .astype(np.float32)
+        power = rng.uniform(0.0, 0.5, size=(rows, cols)).astype(np.float32)
+        ca = np.float32(0.05)
+        cb = np.float32(0.8)
+
+        body = """
+    divu t0, s1, s6
+    remu t1, s1, s6
+    beqz t0, hs_skip
+    beqz t1, hs_skip
+    addi t2, s6, -1
+    beq  t1, t2, hs_skip
+    addi t2, s7, -1
+    beq  t0, t2, hs_skip
+    slli t3, s1, 2
+    add  t3, t3, s3
+    flw  ft0, 0(t3)       # t
+    slli t4, s6, 2
+    sub  t6, t3, t4
+    flw  ft1, 0(t6)       # up
+    add  t6, t3, t4
+    flw  ft2, 0(t6)       # down
+    flw  ft3, -4(t3)      # left
+    flw  ft4, 4(t3)       # right
+    fadd.s ft1, ft1, ft2
+    fadd.s ft3, ft3, ft4
+    fadd.s ft1, ft1, ft3  # sum of neighbours
+    fadd.s ft2, ft0, ft0
+    fadd.s ft2, ft2, ft2  # 4t
+    fsub.s ft1, ft1, ft2
+    fmul.s ft1, ft1, fs0  # ca * (sum - 4t)
+    fadd.s ft1, ft0, ft1
+    slli t3, s1, 2
+    add  t3, t3, s5
+    flw  ft5, 0(t3)       # p
+    fmul.s ft5, ft5, fs1
+    fadd.s ft1, ft1, ft5
+    slli t3, s1, 2
+    add  t3, t3, s4
+    fsw  ft1, 0(t3)
+hs_skip:
+"""
+        src = f"""
+.text
+main:
+    la   t0, n_val
+    lw   s0, 0(t0)
+{spmd_prologue()}
+    la   s3, temp_in
+    la   s4, temp_out
+    la   s5, power
+    la   t0, consts
+    flw  fs0, 0(t0)
+    flw  fs1, 4(t0)
+    la   t0, dims
+    lw   s7, 0(t0)        # rows
+    lw   s6, 4(t0)        # cols
+{loop_or_simt(simt, body)}
+    ebreak
+.data
+n_val: .word {n}
+dims: .word {rows}, {cols}
+consts: .space 8
+temp_in: .space {4 * n}
+temp_out: .space {4 * n}
+power: .space {4 * n}
+"""
+        program = assemble(src)
+
+        # Bit-exact float32 reference.
+        t = temp
+        out = t.copy()
+        nb = ((t[:-2, 1:-1] + t[2:, 1:-1]).astype(np.float32)
+              + (t[1:-1, :-2] + t[1:-1, 2:]).astype(np.float32)) \
+            .astype(np.float32)
+        t4 = ((t[1:-1, 1:-1] + t[1:-1, 1:-1]).astype(np.float32)
+              * np.float32(1)).astype(np.float32)
+        t4 = (t4 + t4).astype(np.float32)
+        inner = (nb - t4).astype(np.float32)
+        inner = (inner * ca).astype(np.float32)
+        inner = (t[1:-1, 1:-1] + inner).astype(np.float32)
+        pw = (power[1:-1, 1:-1] * cb).astype(np.float32)
+        out[1:-1, 1:-1] = (inner + pw).astype(np.float32)
+        expect = out
+
+        def setup(memory):
+            write_f32(memory, program.symbol("temp_in"), temp.ravel())
+            write_f32(memory, program.symbol("temp_out"), temp.ravel())
+            write_f32(memory, program.symbol("power"), power.ravel())
+            write_f32(memory, program.symbol("consts"),
+                      np.array([ca, cb], dtype=np.float32))
+
+        def verify(memory):
+            got = read_f32(memory, program.symbol("temp_out"), n)
+            return bool(np.array_equal(got.reshape(rows, cols), expect))
+
+        return WorkloadInstance(name=self.NAME, program=program,
+                                setup=setup, verify=verify,
+                                params={"rows": rows, "cols": cols},
+                                simt=simt, threads=threads)

@@ -1,0 +1,112 @@
+"""kmeans — cluster assignment step (Rodinia).
+
+Each point is assigned to the nearest of K=4 centroids (2-D). The K
+loop is fully unrolled so the per-point body is straight-line and the
+point loop can be SIMT-pipelined. Distances use fmul+fadd (not fused)
+so the numpy float32 reference reproduces the kernel bit-for-bit and
+the argmin comparison is tie-exact.
+"""
+
+import numpy as np
+
+from repro.asm import assemble
+from repro.workloads.base import (
+    Workload,
+    WorkloadInstance,
+    read_i32,
+    write_f32,
+)
+from repro.workloads.common import loop_or_simt, spmd_prologue
+
+K = 4
+
+
+class KMeans(Workload):
+    NAME = "kmeans"
+    SUITE = "rodinia"
+    CATEGORY = "compute"
+    SIMT_CAPABLE = True
+
+    DEFAULT_N = 256
+
+    def build(self, scale=1.0, threads=1, simt=False, seed=1235):
+        n = max(threads, int(self.DEFAULT_N * scale))
+        rng = self.rng(seed)
+        points = rng.uniform(-10.0, 10.0, size=(n, 2)).astype(np.float32)
+        centroids = rng.uniform(-10.0, 10.0, size=(K, 2)).astype(np.float32)
+
+        # fs0/fs1 .. fs6/fs7 hold the K=4 centroids.
+        unrolled = []
+        for k in range(K):
+            cx, cy = f"fs{2 * k}", f"fs{2 * k + 1}"
+            unrolled.append(f"""
+    fsub.s ft2, ft0, {cx}
+    fsub.s ft3, ft1, {cy}
+    fmul.s ft4, ft2, ft2
+    fmul.s ft5, ft3, ft3
+    fadd.s ft6, ft4, ft5
+""")
+            if k == 0:
+                unrolled.append("""
+    li   t1, 0
+    fmv.s ft7, ft6
+""")
+            else:
+                unrolled.append(f"""
+    flt.s t2, ft6, ft7
+    beqz t2, km_k{k}
+    li   t1, {k}
+    fmv.s ft7, ft6
+km_k{k}:
+""")
+        body = f"""
+    slli t0, s1, 3
+    add  t0, t0, s3
+    flw  ft0, 0(t0)
+    flw  ft1, 4(t0)
+{''.join(unrolled)}
+    slli t0, s1, 2
+    add  t0, t0, s4
+    sw   t1, 0(t0)
+"""
+        centroid_loads = "\n".join(
+            f"    flw  fs{i}, {4 * i}(s5)" for i in range(2 * K))
+        src = f"""
+.text
+main:
+    la   t0, n_val
+    lw   s0, 0(t0)
+{spmd_prologue()}
+    la   s3, points
+    la   s4, assign
+    la   s5, cents
+{centroid_loads}
+{loop_or_simt(simt, body)}
+    ebreak
+.data
+n_val: .word {n}
+points: .space {8 * n}
+assign: .space {4 * n}
+cents: .space {8 * K}
+"""
+        program = assemble(src)
+
+        # Bit-exact float32 reference of the unrolled computation.
+        dx = (points[:, None, 0] - centroids[None, :, 0]).astype(np.float32)
+        dy = (points[:, None, 1] - centroids[None, :, 1]).astype(np.float32)
+        d = ((dx * dx).astype(np.float32)
+             + (dy * dy).astype(np.float32)).astype(np.float32)
+        expect_assign = np.argmin(d, axis=1).astype(np.int32)
+
+        def setup(memory):
+            write_f32(memory, program.symbol("points"), points.ravel())
+            write_f32(memory, program.symbol("cents"), centroids.ravel())
+
+        def verify(memory):
+            got = read_i32(memory, program.symbol("assign"), n)
+            return bool(np.array_equal(got, expect_assign))
+
+        return WorkloadInstance(name=self.NAME, program=program,
+                                setup=setup, verify=verify,
+                                params={"n": n, "k": K}, simt=simt,
+                                threads=threads)

@@ -1,0 +1,116 @@
+"""lud — dense LU decomposition (Rodinia).
+
+In-place Doolittle LU without pivoting on a diagonally dominant M x M
+float32 matrix. The k -> i -> j loop nest carries true dependences at
+every level, so there is no SIMT or multi-thread variant: this is the
+serial compute-heavy workload (fdiv + inner fmul/fsub chains) that
+exercises pure dataflow/ILP extraction and datapath reuse.
+"""
+
+import numpy as np
+
+from repro.asm import assemble
+from repro.workloads.base import (
+    Workload,
+    WorkloadInstance,
+    read_f32,
+    write_f32,
+)
+
+
+def _lu_reference(matrix):
+    a = matrix.copy()
+    m = a.shape[0]
+    for k in range(m - 1):
+        a[k + 1:, k] = (a[k + 1:, k] / a[k, k]).astype(np.float32)
+        prod = (a[k + 1:, k, None] * a[None, k, k + 1:]).astype(np.float32)
+        a[k + 1:, k + 1:] = (a[k + 1:, k + 1:] - prod).astype(np.float32)
+    return a
+
+
+class LUD(Workload):
+    NAME = "lud"
+    SUITE = "rodinia"
+    CATEGORY = "compute"
+    SIMT_CAPABLE = False
+    MT_CAPABLE = False
+
+    DEFAULT_M = 20
+
+    def build(self, scale=1.0, threads=1, simt=False, seed=1240):
+        m = max(4, int(self.DEFAULT_M * max(scale, 0.2)))
+        rng = self.rng(seed)
+        matrix = rng.uniform(0.1, 1.0, size=(m, m)).astype(np.float32)
+        matrix += np.eye(m, dtype=np.float32) * np.float32(m)
+        expect = _lu_reference(matrix)
+
+        src = f"""
+.text
+main:
+    la   s3, mat
+    la   t0, m_val
+    lw   s6, 0(t0)        # M
+    slli s7, s6, 2        # row stride in bytes
+    li   s8, 0            # k
+lud_k:
+    addi t0, s6, -1
+    bge  s8, t0, lud_done
+    # pivot = A[k][k]
+    mul  t0, s8, s6
+    add  t0, t0, s8
+    slli t0, t0, 2
+    add  t0, t0, s3
+    flw  fs0, 0(t0)       # pivot
+    addi s9, s8, 1        # i = k+1
+lud_i:
+    bge  s9, s6, lud_k_next
+    # A[i][k] /= pivot
+    mul  t0, s9, s6
+    add  t1, t0, s8
+    slli t1, t1, 2
+    add  t1, t1, s3
+    flw  ft0, 0(t1)
+    fdiv.s ft0, ft0, fs0  # multiplier m
+    fsw  ft0, 0(t1)
+    # row update: A[i][j] -= m * A[k][j] for j in k+1..M-1
+    addi s10, s8, 1       # j
+    mul  t2, s8, s6
+lud_j:
+    bge  s10, s6, lud_i_next
+    add  t3, t2, s10
+    slli t3, t3, 2
+    add  t3, t3, s3
+    flw  ft1, 0(t3)       # A[k][j]
+    add  t4, t0, s10
+    slli t4, t4, 2
+    add  t4, t4, s3
+    flw  ft2, 0(t4)       # A[i][j]
+    fmul.s ft3, ft0, ft1
+    fsub.s ft2, ft2, ft3
+    fsw  ft2, 0(t4)
+    addi s10, s10, 1
+    j    lud_j
+lud_i_next:
+    addi s9, s9, 1
+    j    lud_i
+lud_k_next:
+    addi s8, s8, 1
+    j    lud_k
+lud_done:
+    ebreak
+.data
+m_val: .word {m}
+mat: .space {4 * m * m}
+"""
+        program = assemble(src)
+
+        def setup(memory):
+            write_f32(memory, program.symbol("mat"), matrix.ravel())
+
+        def verify(memory):
+            got = read_f32(memory, program.symbol("mat"), m * m)
+            return bool(np.array_equal(got.reshape(m, m), expect))
+
+        return WorkloadInstance(name=self.NAME, program=program,
+                                setup=setup, verify=verify,
+                                params={"m": m}, simt=False, threads=1)

@@ -1,0 +1,127 @@
+"""myocyte — coupled-ODE time integration (Rodinia).
+
+Forward-Euler integration of four coupled logistic-style state
+variables:
+
+    y_k <- y_k + h * (a_k * y_k * (1 - y_k) + c * y_{(k+1) mod 4})
+
+for N time steps. Every step depends on the previous one, so this is
+the purely *latency-bound serial FP* member of the suite (myocyte's
+cardiac-cell ODE solver has exactly this shape): no SIMT, no
+threading — it measures dependence-chain execution, where DiAG's
+dataflow wake-up and the OoO's bypass network face the same critical
+path. Ordered two-operand FP keeps the float32 reference bit-exact.
+"""
+
+import numpy as np
+
+from repro.asm import assemble
+from repro.workloads.base import (
+    Workload,
+    WorkloadInstance,
+    read_f32,
+    write_f32,
+)
+
+STATES = 4
+
+
+def _reference(y0, a, h, c, steps):
+    y = y0.astype(np.float32).copy()
+    one = np.float32(1.0)
+    for __ in range(steps):
+        new = np.empty_like(y)
+        for k in range(STATES):
+            growth = np.float32(y[k] * np.float32(one - y[k]))
+            growth = np.float32(a[k] * growth)
+            coupling = np.float32(c * y[(k + 1) % STATES])
+            deriv = np.float32(growth + coupling)
+            new[k] = np.float32(y[k] + np.float32(h * deriv))
+        y = new
+    return y
+
+
+class Myocyte(Workload):
+    NAME = "myocyte"
+    SUITE = "rodinia"
+    CATEGORY = "compute"
+    SIMT_CAPABLE = False
+    MT_CAPABLE = False
+
+    DEFAULT_STEPS = 160
+
+    def build(self, scale=1.0, threads=1, simt=False, seed=1245):
+        steps = max(4, int(self.DEFAULT_STEPS * scale))
+        rng = self.rng(seed)
+        y0 = rng.uniform(0.1, 0.4, size=STATES).astype(np.float32)
+        a = rng.uniform(0.5, 1.5, size=STATES).astype(np.float32)
+        h = np.float32(0.05)
+        c = np.float32(0.01)
+        expect = _reference(y0, a, h, c, steps)
+
+        # states live in fs0..fs3, parameters in fs4..fs7 (a), fa6 (h),
+        # fa7 (c), constant 1.0 in fa5
+        state_updates = []
+        for k in range(STATES):
+            nxt = (k + 1) % STATES
+            state_updates.append(f"""
+    fsub.s ft0, fa5, fs{k}      # 1 - y_k
+    fmul.s ft0, fs{k}, ft0      # y_k (1 - y_k)
+    fmul.s ft0, fs{4 + k}, ft0  # a_k * ...
+    fmul.s ft1, fa7, fs{nxt}    # c * y_next
+    fadd.s ft0, ft0, ft1
+    fmul.s ft0, fa6, ft0        # h * deriv
+    fadd.s ft{2 + k}, fs{k}, ft0
+""")
+        commit = "\n".join(f"    fmv.s fs{k}, ft{2 + k}"
+                           for k in range(STATES))
+        src = f"""
+.text
+main:
+    la   t0, init
+    flw  fs0, 0(t0)
+    flw  fs1, 4(t0)
+    flw  fs2, 8(t0)
+    flw  fs3, 12(t0)
+    la   t0, params
+    flw  fs4, 0(t0)
+    flw  fs5, 4(t0)
+    flw  fs6, 8(t0)
+    flw  fs7, 12(t0)
+    flw  fa6, 16(t0)      # h
+    flw  fa7, 20(t0)      # c
+    li   t1, 1
+    fcvt.s.w fa5, t1      # 1.0
+    li   s0, 0
+    li   s1, {steps}
+step:
+{''.join(state_updates)}
+{commit}
+    addi s0, s0, 1
+    blt  s0, s1, step
+    la   t0, out
+    fsw  fs0, 0(t0)
+    fsw  fs1, 4(t0)
+    fsw  fs2, 8(t0)
+    fsw  fs3, 12(t0)
+    ebreak
+.data
+init: .space 16
+params: .space 24
+out: .space 16
+"""
+        program = assemble(src)
+
+        def setup(memory):
+            write_f32(memory, program.symbol("init"), y0)
+            write_f32(memory, program.symbol("params"),
+                      np.concatenate([a, [h, c]]).astype(np.float32))
+
+        def verify(memory):
+            got = read_f32(memory, program.symbol("out"), STATES)
+            return bool(np.array_equal(got, expect))
+
+        return WorkloadInstance(name=self.NAME, program=program,
+                                setup=setup, verify=verify,
+                                params={"steps": steps}, simt=False,
+                                threads=1)

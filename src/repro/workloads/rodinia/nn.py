@@ -1,0 +1,145 @@
+"""nn — nearest neighbor (Rodinia).
+
+Computes the Euclidean distance from every record to a target point,
+then each thread finds the minimum over its slice. The distance loop
+is FP-heavy and iteration-independent, making it the canonical SIMT
+candidate; the reduction stays scalar (reductions carry a register
+dependence across iterations, which Section 4.4 forbids in a pipelined
+region).
+"""
+
+import numpy as np
+
+from repro.asm import assemble
+from repro.workloads.base import (
+    Workload,
+    WorkloadInstance,
+    f32_close,
+    read_f32,
+    read_i32,
+    write_f32,
+)
+from repro.workloads.common import loop_or_simt, spmd_prologue
+
+MAX_THREADS = 16
+
+
+def _chunks(total, threads):
+    chunk = (total + threads - 1) // threads
+    for tid in range(threads):
+        yield tid, min(tid * chunk, total), min((tid + 1) * chunk, total)
+
+
+class NN(Workload):
+    NAME = "nn"
+    SUITE = "rodinia"
+    CATEGORY = "compute"
+    SIMT_CAPABLE = True
+
+    DEFAULT_N = 256
+
+    def build(self, scale=1.0, threads=1, simt=False, seed=1234):
+        n = max(threads, int(self.DEFAULT_N * scale))
+        rng = self.rng(seed)
+        recs = rng.uniform(-90.0, 90.0, size=2 * n).astype(np.float32)
+        target = rng.uniform(-90.0, 90.0, size=2).astype(np.float32)
+
+        body = """
+    slli t0, s1, 3
+    add  t0, t0, s3
+    flw  ft0, 0(t0)
+    flw  ft1, 4(t0)
+    fsub.s ft2, ft0, fs0
+    fsub.s ft3, ft1, fs1
+    fmul.s ft4, ft2, ft2
+    fmadd.s ft5, ft3, ft3, ft4
+    fsqrt.s ft6, ft5
+    slli t1, s1, 2
+    add  t1, t1, s4
+    fsw  ft6, 0(t1)
+"""
+        src = f"""
+.text
+main:
+    la   t0, n_val
+    lw   s0, 0(t0)
+{spmd_prologue()}
+    la   s3, recs
+    la   s4, dist
+    la   s5, tgt
+    flw  fs0, 0(s5)
+    flw  fs1, 4(s5)
+{loop_or_simt(simt, body)}
+    # per-thread minimum over this thread's slice
+    la   t0, n_val
+    lw   s0, 0(t0)
+{spmd_prologue()}
+    li   t2, 0x7F800000
+    fmv.w.x ft7, t2
+    li   t3, -1
+redloop:
+    bge  s1, s2, reddone
+    slli t0, s1, 2
+    add  t0, t0, s4
+    flw  ft0, 0(t0)
+    flt.s t4, ft0, ft7
+    beqz t4, rednext
+    fmv.s ft7, ft0
+    mv   t3, s1
+rednext:
+    addi s1, s1, 1
+    j    redloop
+reddone:
+    slli t1, a0, 2
+    la   t0, minout
+    add  t0, t0, t1
+    fsw  ft7, 0(t0)
+    la   t0, minidx
+    add  t0, t0, t1
+    sw   t3, 0(t0)
+    ebreak
+.data
+n_val: .word {n}
+recs: .space {8 * n}
+dist: .space {4 * n}
+minout: .space {4 * MAX_THREADS}
+minidx: .space {4 * MAX_THREADS}
+tgt: .space 8
+"""
+        program = assemble(src)
+
+        # numpy reference
+        lats, lngs = recs[0::2], recs[1::2]
+        dx = (lats - target[0]).astype(np.float32)
+        dy = (lngs - target[1]).astype(np.float32)
+        expect_dist = np.sqrt(
+            (dx * dx + np.float32(0)).astype(np.float32)
+            + (dy * dy).astype(np.float32), dtype=np.float32)
+
+        def setup(memory):
+            write_f32(memory, program.symbol("recs"), recs)
+            write_f32(memory, program.symbol("tgt"), target)
+
+        def verify(memory):
+            got = read_f32(memory, program.symbol("dist"), n)
+            if not f32_close(got, expect_dist):
+                return False
+            mins = read_f32(memory, program.symbol("minout"), threads)
+            idxs = read_i32(memory, program.symbol("minidx"), threads)
+            for tid, start, end in _chunks(n, threads):
+                if start >= end:
+                    continue
+                # The argmin is checked against the distances the kernel
+                # itself stored (tie-exact), the value against numpy.
+                slice_dist = got[start:end]
+                want_idx = start + int(np.argmin(slice_dist))
+                if idxs[tid] != want_idx:
+                    return False
+                if not f32_close(mins[tid], slice_dist.min()):
+                    return False
+            return True
+
+        return WorkloadInstance(name=self.NAME, program=program,
+                                setup=setup, verify=verify,
+                                params={"n": n}, simt=simt,
+                                threads=threads)

@@ -1,0 +1,164 @@
+"""pathfinder — dynamic programming over a grid (Rodinia).
+
+Row-by-row DP: dst[c] = wall[r,c] + min(src[c-1], src[c], src[c+1]).
+The column loop is iteration-independent (separate src/dst rows) and
+SIMT-pipelines; the row loop is sequential. Multi-threaded runs use
+Rodinia-style block partitioning: each thread owns a column block and
+clamps at its block edges (the reference reproduces exactly that
+blocked semantics, so any thread count verifies).
+"""
+
+import numpy as np
+
+from repro.asm import assemble
+from repro.workloads.base import (
+    Workload,
+    WorkloadInstance,
+    read_i32,
+    write_i32,
+)
+from repro.workloads.common import loop_or_simt, spmd_prologue
+
+
+def _blocked_reference(wall, threads):
+    rows, cols = wall.shape
+    result = np.zeros(cols, dtype=np.int64)
+    chunk = (cols + threads - 1) // threads
+    for tid in range(threads):
+        start = min(tid * chunk, cols)
+        end = min(start + chunk, cols)
+        if start >= end:
+            continue
+        src = wall[0, start:end].astype(np.int64)
+        for r in range(1, rows):
+            left = np.concatenate(([src[0]], src[:-1]))
+            right = np.concatenate((src[1:], [src[-1]]))
+            src = wall[r, start:end] + np.minimum(
+                np.minimum(left, src), right)
+        result[start:end] = src
+    return result.astype(np.int32)
+
+
+class Pathfinder(Workload):
+    NAME = "pathfinder"
+    SUITE = "rodinia"
+    CATEGORY = "mixed"
+    SIMT_CAPABLE = True
+
+    DEFAULT_ROWS = 16
+    DEFAULT_COLS = 32
+
+    def build(self, scale=1.0, threads=1, simt=False, seed=1237):
+        rows = max(2, int(self.DEFAULT_ROWS * max(scale, 0.2)))
+        cols = max(threads, int(self.DEFAULT_COLS * max(scale, 0.2)))
+        rng = self.rng(seed)
+        wall = rng.integers(0, 10, size=(rows, cols)).astype(np.int32)
+
+        body = """
+    slli t0, s1, 2
+    add  t1, s8, t0
+    lw   t2, 0(t1)        # mid = src[c]
+    ble  s1, s10, pf_lc
+    lw   t3, -4(t1)
+    j    pf_lj
+pf_lc:
+    mv   t3, t2
+pf_lj:
+    addi t4, s11, -1
+    bge  s1, t4, pf_rc
+    lw   t4, 4(t1)
+    j    pf_rj
+pf_rc:
+    mv   t4, t2
+pf_rj:
+    ble  t2, t3, pf_m1
+    mv   t2, t3
+pf_m1:
+    ble  t2, t4, pf_m2
+    mv   t2, t4
+pf_m2:
+    mul  t3, s5, s6
+    add  t3, t3, s1
+    slli t3, t3, 2
+    add  t3, t3, s3
+    lw   t3, 0(t3)        # wall[r, c]
+    add  t2, t2, t3
+    slli t0, s1, 2
+    add  t0, t0, s9
+    sw   t2, 0(t0)
+"""
+        src = f"""
+.text
+main:
+    la   t0, n_val
+    lw   s0, 0(t0)
+{spmd_prologue()}
+    mv   s10, s1          # block start
+    mv   s11, s2          # block end
+    la   s3, wall
+    la   t0, dims
+    lw   s7, 0(t0)        # rows
+    lw   s6, 4(t0)        # cols
+    la   s8, buf0
+    la   s9, buf1
+    # src row 0 = wall[0, block]
+    mv   t5, s10
+pf_init:
+    bge  t5, s11, pf_init_done
+    slli t0, t5, 2
+    add  t1, t0, s3
+    lw   t2, 0(t1)
+    add  t1, t0, s8
+    sw   t2, 0(t1)
+    addi t5, t5, 1
+    j    pf_init
+pf_init_done:
+    li   s5, 1            # row counter
+pf_rows:
+    bge  s5, s7, pf_done
+    mv   s1, s10
+    mv   s2, s11
+{loop_or_simt(simt, body)}
+    # swap src/dst
+    mv   t0, s8
+    mv   s8, s9
+    mv   s9, t0
+    addi s5, s5, 1
+    j    pf_rows
+pf_done:
+    # copy final row into out[block]
+    la   t6, outbuf
+    mv   t5, s10
+pf_copy:
+    bge  t5, s11, pf_end
+    slli t0, t5, 2
+    add  t1, t0, s8
+    lw   t2, 0(t1)
+    add  t1, t0, t6
+    sw   t2, 0(t1)
+    addi t5, t5, 1
+    j    pf_copy
+pf_end:
+    ebreak
+.data
+n_val: .word {cols}
+dims: .word {rows}, {cols}
+wall: .space {4 * rows * cols}
+buf0: .space {4 * cols}
+buf1: .space {4 * cols}
+outbuf: .space {4 * cols}
+"""
+        program = assemble(src)
+        expect = _blocked_reference(wall, threads)
+
+        def setup(memory):
+            write_i32(memory, program.symbol("wall"), wall.ravel())
+
+        def verify(memory):
+            got = read_i32(memory, program.symbol("outbuf"), cols)
+            return bool(np.array_equal(got, expect))
+
+        return WorkloadInstance(name=self.NAME, program=program,
+                                setup=setup, verify=verify,
+                                params={"rows": rows, "cols": cols},
+                                simt=simt, threads=threads)

@@ -1,0 +1,128 @@
+"""srad — speckle-reducing anisotropic diffusion step (Rodinia).
+
+Simplified SRAD update on an R x C image: the directional derivative
+sum d, a diffusion coefficient c = 1/(1 + d*d), and the update
+J += 0.25*lambda*d*c. FP-heavy with an fdiv per cell; the cell loop
+SIMT-pipelines like hotspot. Two-operand FP only, so the numpy
+float32 reference is bit-exact.
+"""
+
+import numpy as np
+
+from repro.asm import assemble
+from repro.workloads.base import (
+    Workload,
+    WorkloadInstance,
+    read_f32,
+    write_f32,
+)
+from repro.workloads.common import loop_or_simt, spmd_prologue
+
+
+class SRAD(Workload):
+    NAME = "srad"
+    SUITE = "rodinia"
+    CATEGORY = "compute"
+    SIMT_CAPABLE = True
+
+    DEFAULT_ROWS = 16
+    DEFAULT_COLS = 16
+
+    def build(self, scale=1.0, threads=1, simt=False, seed=1239):
+        rows = max(3, int(self.DEFAULT_ROWS * max(scale, 0.2)))
+        cols = max(3, int(self.DEFAULT_COLS * max(scale, 0.2)))
+        n = rows * cols
+        rng = self.rng(seed)
+        image = rng.uniform(0.1, 1.0, size=(rows, cols)).astype(np.float32)
+        lam4 = np.float32(0.125)  # 0.25 * lambda with lambda = 0.5
+
+        body = """
+    divu t0, s1, s6
+    remu t1, s1, s6
+    beqz t0, sr_skip
+    beqz t1, sr_skip
+    addi t2, s6, -1
+    beq  t1, t2, sr_skip
+    addi t2, s7, -1
+    beq  t0, t2, sr_skip
+    slli t3, s1, 2
+    add  t3, t3, s3
+    flw  ft0, 0(t3)       # J
+    slli t4, s6, 2
+    sub  t6, t3, t4
+    flw  ft1, 0(t6)       # up
+    add  t6, t3, t4
+    flw  ft2, 0(t6)       # down
+    flw  ft3, -4(t3)      # left
+    flw  ft4, 4(t3)       # right
+    fadd.s ft1, ft1, ft2
+    fadd.s ft3, ft3, ft4
+    fadd.s ft1, ft1, ft3
+    fadd.s ft2, ft0, ft0
+    fadd.s ft2, ft2, ft2
+    fsub.s ft1, ft1, ft2  # d
+    fmul.s ft2, ft1, ft1  # d*d
+    fadd.s ft2, ft2, fs1  # 1 + d*d
+    fdiv.s ft2, fs1, ft2  # c
+    fmul.s ft3, ft1, ft2  # d*c
+    fmul.s ft3, ft3, fs0  # lam4*d*c
+    fadd.s ft3, ft0, ft3
+    slli t3, s1, 2
+    add  t3, t3, s4
+    fsw  ft3, 0(t3)
+sr_skip:
+"""
+        src = f"""
+.text
+main:
+    la   t0, n_val
+    lw   s0, 0(t0)
+{spmd_prologue()}
+    la   s3, img_in
+    la   s4, img_out
+    la   t0, consts
+    flw  fs0, 0(t0)       # lam4
+    flw  fs1, 4(t0)       # 1.0
+    la   t0, dims
+    lw   s7, 0(t0)
+    lw   s6, 4(t0)
+{loop_or_simt(simt, body)}
+    ebreak
+.data
+n_val: .word {n}
+dims: .word {rows}, {cols}
+consts: .space 8
+img_in: .space {4 * n}
+img_out: .space {4 * n}
+"""
+        program = assemble(src)
+
+        j = image
+        out = j.copy()
+        d = ((j[:-2, 1:-1] + j[2:, 1:-1]).astype(np.float32)
+             + (j[1:-1, :-2] + j[1:-1, 2:]).astype(np.float32)) \
+            .astype(np.float32)
+        j4 = (j[1:-1, 1:-1] + j[1:-1, 1:-1]).astype(np.float32)
+        j4 = (j4 + j4).astype(np.float32)
+        d = (d - j4).astype(np.float32)
+        c = (np.float32(1.0)
+             / ((d * d).astype(np.float32) + np.float32(1.0))
+             .astype(np.float32)).astype(np.float32)
+        upd = ((d * c).astype(np.float32) * lam4).astype(np.float32)
+        out[1:-1, 1:-1] = (j[1:-1, 1:-1] + upd).astype(np.float32)
+        expect = out
+
+        def setup(memory):
+            write_f32(memory, program.symbol("img_in"), image.ravel())
+            write_f32(memory, program.symbol("img_out"), image.ravel())
+            write_f32(memory, program.symbol("consts"),
+                      np.array([lam4, 1.0], dtype=np.float32))
+
+        def verify(memory):
+            got = read_f32(memory, program.symbol("img_out"), n)
+            return bool(np.array_equal(got.reshape(rows, cols), expect))
+
+        return WorkloadInstance(name=self.NAME, program=program,
+                                setup=setup, verify=verify,
+                                params={"rows": rows, "cols": cols},
+                                simt=simt, threads=threads)

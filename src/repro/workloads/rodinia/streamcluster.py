@@ -1,0 +1,139 @@
+"""streamcluster — clustering cost evaluation (Rodinia).
+
+For each 4-D point, compute the squared distance to the nearest of
+K=4 centers (fully unrolled) and store it; each thread then sums its
+slice's costs in order. Long straight-line FP bodies that span several
+I-lines make this the workload whose SIMT region does NOT fit a
+2-cluster ring (sequential fallback on F4C2, pipelined on the bigger
+configurations) — exercising Section 4.4.3's size constraint.
+"""
+
+import numpy as np
+
+from repro.asm import assemble
+from repro.workloads.base import (
+    Workload,
+    WorkloadInstance,
+    f32_close,
+    read_f32,
+    write_f32,
+)
+from repro.workloads.common import loop_or_simt, spmd_prologue
+
+DIM = 4
+K = 4
+MAX_THREADS = 16
+
+
+class Streamcluster(Workload):
+    NAME = "streamcluster"
+    SUITE = "rodinia"
+    CATEGORY = "compute"
+    SIMT_CAPABLE = True
+
+    DEFAULT_N = 192
+
+    def build(self, scale=1.0, threads=1, simt=False, seed=1242):
+        n = max(threads, int(self.DEFAULT_N * scale))
+        rng = self.rng(seed)
+        points = rng.uniform(-5.0, 5.0, size=(n, DIM)).astype(np.float32)
+        centers = rng.uniform(-5.0, 5.0, size=(K, DIM)).astype(np.float32)
+
+        point_loads = "\n".join(
+            f"    flw  fa{d}, {4 * d}(t1)" for d in range(DIM))
+        dist_blocks = []
+        for k in range(K):
+            dims = []
+            for d in range(DIM):
+                dims.append(f"""
+    flw  ft1, {4 * (k * DIM + d)}(s5)
+    fsub.s ft2, fa{d}, ft1
+    fmul.s ft2, ft2, ft2
+    {'fmv.s ft0, ft2' if d == 0 else 'fadd.s ft0, ft0, ft2'}
+""")
+            pick = ("    fmv.s ft7, ft0\n" if k == 0 else f"""
+    flt.s t2, ft0, ft7
+    beqz t2, sc_k{k}
+    fmv.s ft7, ft0
+sc_k{k}:
+""")
+            dist_blocks.append("".join(dims) + pick)
+        body = f"""
+    slli t0, s1, {(DIM * 4).bit_length() - 1}
+    add  t1, t0, s3
+{point_loads}
+{''.join(dist_blocks)}
+    slli t0, s1, 2
+    add  t0, t0, s4
+    fsw  ft7, 0(t0)
+"""
+        src = f"""
+.text
+main:
+    la   t0, n_val
+    lw   s0, 0(t0)
+{spmd_prologue()}
+    la   s3, points
+    la   s4, costs
+    la   s5, centers
+{loop_or_simt(simt, body)}
+    # per-thread ordered sum of costs
+    la   t0, n_val
+    lw   s0, 0(t0)
+{spmd_prologue()}
+    fmv.w.x ft6, x0
+sc_sum:
+    bge  s1, s2, sc_done
+    slli t0, s1, 2
+    add  t0, t0, s4
+    flw  ft0, 0(t0)
+    fadd.s ft6, ft6, ft0
+    addi s1, s1, 1
+    j    sc_sum
+sc_done:
+    la   t0, sums
+    slli t1, a0, 2
+    add  t0, t0, t1
+    fsw  ft6, 0(t0)
+    ebreak
+.data
+n_val: .word {n}
+points: .space {4 * n * DIM}
+centers: .space {4 * K * DIM}
+costs: .space {4 * n}
+sums: .space {4 * MAX_THREADS}
+"""
+        program = assemble(src)
+
+        # Bit-exact reference: per-dimension ordered accumulation.
+        diff = (points[:, None, :] - centers[None, :, :]).astype(np.float32)
+        sq = (diff * diff).astype(np.float32)
+        acc = sq[:, :, 0]
+        for d in range(1, DIM):
+            acc = (acc + sq[:, :, d]).astype(np.float32)
+        # strict-less scan keeps the earliest minimum, like np.argmin
+        expect_cost = acc[np.arange(n), np.argmin(acc, axis=1)]
+
+        chunk = (n + threads - 1) // threads
+        expect_sums = np.zeros(threads, dtype=np.float32)
+        for tid in range(threads):
+            total = np.float32(0.0)
+            for i in range(min(tid * chunk, n), min((tid + 1) * chunk, n)):
+                total = np.float32(total + expect_cost[i])
+            expect_sums[tid] = total
+
+        def setup(memory):
+            write_f32(memory, program.symbol("points"), points.ravel())
+            write_f32(memory, program.symbol("centers"), centers.ravel())
+
+        def verify(memory):
+            got = read_f32(memory, program.symbol("costs"), n)
+            if not np.array_equal(got, expect_cost):
+                return False
+            sums = read_f32(memory, program.symbol("sums"), threads)
+            return f32_close(sums, expect_sums, rtol=1e-5)
+
+        return WorkloadInstance(name=self.NAME, program=program,
+                                setup=setup, verify=verify,
+                                params={"n": n, "k": K, "dim": DIM},
+                                simt=simt, threads=threads)

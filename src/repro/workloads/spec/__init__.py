@@ -1,0 +1,27 @@
+"""SPEC CPU2017 kernel proxies (see package docstring of repro.workloads).
+
+The paper evaluates a subset of SPEC CPU2017, excluding Fortran
+benchmarks (bwaves) and those too entangled with system calls (gcc)
+— Section 7.2.2. Our proxies cover the same mix: FP/memory (lbm,
+parest), FP/compute (namd, nab, povray partially), integer/compute
+(x264, imagick), and the memory/control-bound benchmarks where the
+paper's DiAG loses to the baseline (mcf, deepsjeng, xz).
+"""
+
+from repro.workloads.spec.lbm import LBM
+from repro.workloads.spec.mcf import MCF
+from repro.workloads.spec.namd import NAMD
+from repro.workloads.spec.parest import Parest
+from repro.workloads.spec.povray import Povray
+from repro.workloads.spec.x264 import X264
+from repro.workloads.spec.deepsjeng import Deepsjeng
+from repro.workloads.spec.imagick import Imagick
+from repro.workloads.spec.nab import NAB
+from repro.workloads.spec.xz import XZ
+from repro.workloads.spec.leela import Leela
+from repro.workloads.spec.omnetpp import Omnetpp
+from repro.workloads.spec.xalancbmk import Xalancbmk
+
+__all__ = ["Deepsjeng", "Imagick", "LBM", "Leela", "MCF", "NAB",
+           "NAMD", "Omnetpp", "Parest", "Povray", "X264", "XZ",
+           "Xalancbmk"]

@@ -1,0 +1,143 @@
+"""531.deepsjeng proxy — branchy board-evaluation scoring.
+
+Chess engines burn cycles in data-dependent branches over packed board
+state: material tests, mobility masks, popcount-style bit math. The
+proxy evaluates an array of pseudo-position words with an unrolled
+nibble popcount and a cascade of unpredictable branches whose outcomes
+depend on random data. Integer + control bound, sequential (the
+running score is a cross-iteration dependence, like alpha-beta's).
+"""
+
+import numpy as np
+
+from repro.asm import assemble
+from repro.workloads.base import (
+    Workload,
+    WorkloadInstance,
+    read_i32,
+    write_i32,
+)
+
+MASK32 = 0xFFFFFFFF
+
+
+def _popcount(v):
+    return bin(v & MASK32).count("1")
+
+
+def _reference(words):
+    score = 0
+    for w in words:
+        w = int(w) & MASK32
+        pc = _popcount(w)
+        score = (score + pc) & MASK32
+        if w & 0x1:
+            score = (score + (w & 0xFF)) & MASK32
+        elif w & 0x2:
+            score = (score - ((w >> 8) & 0xFF)) & MASK32
+        if pc > 16:
+            score = (score + ((w >> 16) & 0x3F)) & MASK32
+        if (w ^ score) & 0x4:
+            score = (score + 3) & MASK32
+    return score
+
+
+class Deepsjeng(Workload):
+    NAME = "deepsjeng"
+    SUITE = "spec"
+    CATEGORY = "control"
+    SIMT_CAPABLE = False
+    MT_CAPABLE = False
+
+    DEFAULT_N = 384
+
+    def build(self, scale=1.0, threads=1, simt=False, seed=2007):
+        n = max(8, int(self.DEFAULT_N * scale))
+        rng = self.rng(seed)
+        words = rng.integers(0, 1 << 32, size=n, dtype=np.uint64) \
+            .astype(np.uint32)
+        expect = _reference(words)
+
+        # SWAR popcount: classic 0x55/0x33/0x0F sequence.
+        src = f"""
+.text
+main:
+    la   s3, words
+    la   t0, n_val
+    lw   s6, 0(t0)
+    li   s7, 0            # i
+    li   s8, 0            # score
+    li   s9, 0x55555555
+    li   s10, 0x33333333
+    li   s11, 0x0F0F0F0F
+ds_loop:
+    bge  s7, s6, ds_done
+    slli t0, s7, 2
+    add  t0, t0, s3
+    lw   t1, 0(t0)        # w
+    # popcount(w) -> t2
+    srli t2, t1, 1
+    and  t2, t2, s9
+    sub  t2, t1, t2
+    srli t3, t2, 2
+    and  t3, t3, s10
+    and  t2, t2, s10
+    add  t2, t2, t3
+    srli t3, t2, 4
+    add  t2, t2, t3
+    and  t2, t2, s11
+    srli t3, t2, 8
+    add  t2, t2, t3
+    srli t3, t2, 16
+    add  t2, t2, t3
+    andi t2, t2, 63
+    add  s8, s8, t2
+    # branch cascade
+    andi t3, t1, 1
+    beqz t3, ds_not1
+    andi t3, t1, 255
+    add  s8, s8, t3
+    j    ds_c2
+ds_not1:
+    andi t3, t1, 2
+    beqz t3, ds_c2
+    srli t3, t1, 8
+    andi t3, t3, 255
+    sub  s8, s8, t3
+ds_c2:
+    li   t3, 16
+    ble  t2, t3, ds_c3
+    srli t3, t1, 16
+    andi t3, t3, 63
+    add  s8, s8, t3
+ds_c3:
+    xor  t3, t1, s8
+    andi t3, t3, 4
+    beqz t3, ds_next
+    addi s8, s8, 3
+ds_next:
+    addi s7, s7, 1
+    j    ds_loop
+ds_done:
+    la   t0, result
+    sw   s8, 0(t0)
+    ebreak
+.data
+n_val: .word {n}
+words: .space {4 * n}
+result: .word 0
+"""
+        program = assemble(src)
+
+        def setup(memory):
+            write_i32(memory, program.symbol("words"),
+                      words.astype(np.int32))
+
+        def verify(memory):
+            got = int(read_i32(memory, program.symbol("result"), 1)[0]) \
+                & MASK32
+            return got == expect
+
+        return WorkloadInstance(name=self.NAME, program=program,
+                                setup=setup, verify=verify,
+                                params={"n": n}, simt=False, threads=1)

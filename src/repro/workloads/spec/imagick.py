@@ -1,0 +1,122 @@
+"""538.imagick proxy — 3x3 integer convolution over an image.
+
+Pixel-independent 3x3 kernel convolution with clamping to [0, 255]:
+the core of ImageMagick's resize/blur filters. Integer multiply-heavy
+with regular 2-D gather; the flattened pixel loop SIMT-pipelines with
+boundary cells skipped by forward branches.
+"""
+
+import numpy as np
+
+from repro.asm import assemble
+from repro.workloads.base import (
+    Workload,
+    WorkloadInstance,
+    read_i32,
+    write_i32,
+)
+from repro.workloads.common import loop_or_simt, spmd_prologue
+
+KERNEL = np.array([[1, 2, 1], [2, 4, 2], [1, 2, 1]], dtype=np.int32)
+
+
+class Imagick(Workload):
+    NAME = "imagick"
+    SUITE = "spec"
+    CATEGORY = "compute"
+    SIMT_CAPABLE = True
+
+    DEFAULT_ROWS = 16
+    DEFAULT_COLS = 16
+
+    def build(self, scale=1.0, threads=1, simt=False, seed=2008):
+        rows = max(3, int(self.DEFAULT_ROWS * max(scale, 0.2)))
+        cols = max(3, int(self.DEFAULT_COLS * max(scale, 0.2)))
+        n = rows * cols
+        rng = self.rng(seed)
+        image = rng.integers(0, 256, size=(rows, cols)).astype(np.int32)
+
+        taps = []
+        for dr in (-1, 0, 1):
+            for dc in (-1, 0, 1):
+                weight = int(KERNEL[dr + 1, dc + 1])
+                offset = 4 * dc
+                row_adj = ("    add  t6, t3, t4\n" if dr == 1 else
+                           "    sub  t6, t3, t4\n" if dr == -1 else
+                           "    mv   t6, t3\n")
+                taps.append(f"""{row_adj}    lw   t2, {offset}(t6)
+    li   t1, {weight}
+    mul  t2, t2, t1
+    add  t0, t0, t2
+""")
+        body = f"""
+    divu t0, s1, s6
+    remu t1, s1, s6
+    beqz t0, im_skip
+    beqz t1, im_skip
+    addi t2, s6, -1
+    beq  t1, t2, im_skip
+    addi t2, s7, -1
+    beq  t0, t2, im_skip
+    slli t3, s1, 2
+    add  t3, t3, s3       # &img[i]
+    slli t4, s6, 2        # row stride
+    li   t0, 0
+{''.join(taps)}
+    srai t0, t0, 4        # normalize by 16
+    bgez t0, im_lo
+    li   t0, 0
+im_lo:
+    li   t1, 255
+    ble  t0, t1, im_hi
+    li   t0, 255
+im_hi:
+    slli t3, s1, 2
+    add  t3, t3, s4
+    sw   t0, 0(t3)
+im_skip:
+"""
+        src = f"""
+.text
+main:
+    la   t0, n_val
+    lw   s0, 0(t0)
+{spmd_prologue()}
+    la   s3, img_in
+    la   s4, img_out
+    la   t0, dims
+    lw   s7, 0(t0)
+    lw   s6, 4(t0)
+{loop_or_simt(simt, body)}
+    ebreak
+.data
+n_val: .word {n}
+dims: .word {rows}, {cols}
+img_in: .space {4 * n}
+img_out: .space {4 * n}
+"""
+        program = assemble(src)
+
+        out = image.copy()
+        acc = np.zeros((rows - 2, cols - 2), dtype=np.int64)
+        for dr in (-1, 0, 1):
+            for dc in (-1, 0, 1):
+                weight = int(KERNEL[dr + 1, dc + 1])
+                acc += weight * image[1 + dr:rows - 1 + dr,
+                                      1 + dc:cols - 1 + dc].astype(np.int64)
+        acc >>= 4
+        out[1:-1, 1:-1] = np.clip(acc, 0, 255).astype(np.int32)
+        expect = out
+
+        def setup(memory):
+            write_i32(memory, program.symbol("img_in"), image.ravel())
+            write_i32(memory, program.symbol("img_out"), image.ravel())
+
+        def verify(memory):
+            got = read_i32(memory, program.symbol("img_out"), n)
+            return bool(np.array_equal(got.reshape(rows, cols), expect))
+
+        return WorkloadInstance(name=self.NAME, program=program,
+                                setup=setup, verify=verify,
+                                params={"rows": rows, "cols": cols},
+                                simt=simt, threads=threads)

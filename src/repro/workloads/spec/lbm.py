@@ -1,0 +1,93 @@
+"""519.lbm proxy — lattice-Boltzmann style streaming stencil.
+
+1-D three-point lattice relaxation: out[i] = c0*f[i] + c1*(f[i-1] +
+f[i+1]). The real lbm is a memory-bandwidth-bound FP stencil; this
+proxy keeps that profile (2 streaming loads + 1 store per 4 FP ops).
+SIMT-capable and thread-partitionable; bit-exact float32 reference.
+"""
+
+import numpy as np
+
+from repro.asm import assemble
+from repro.workloads.base import (
+    Workload,
+    WorkloadInstance,
+    read_f32,
+    write_f32,
+)
+from repro.workloads.common import loop_or_simt, spmd_prologue
+
+
+class LBM(Workload):
+    NAME = "lbm"
+    SUITE = "spec"
+    CATEGORY = "memory"
+    SIMT_CAPABLE = True
+
+    DEFAULT_N = 512
+
+    def build(self, scale=1.0, threads=1, simt=False, seed=2001):
+        n = max(threads + 2, int(self.DEFAULT_N * scale))
+        rng = self.rng(seed)
+        f = rng.uniform(0.0, 1.0, size=n).astype(np.float32)
+        c0 = np.float32(0.9)
+        c1 = np.float32(0.05)
+
+        body = """
+    beqz s1, lbm_skip
+    addi t0, s0, -1
+    bge  s1, t0, lbm_skip
+    slli t0, s1, 2
+    add  t1, t0, s3
+    flw  ft0, 0(t1)
+    flw  ft1, -4(t1)
+    flw  ft2, 4(t1)
+    fadd.s ft1, ft1, ft2
+    fmul.s ft0, ft0, fs0
+    fmul.s ft1, ft1, fs1
+    fadd.s ft0, ft0, ft1
+    add  t1, t0, s4
+    fsw  ft0, 0(t1)
+lbm_skip:
+"""
+        src = f"""
+.text
+main:
+    la   t0, n_val
+    lw   s0, 0(t0)
+{spmd_prologue()}
+    la   s3, f_in
+    la   s4, f_out
+    la   t0, consts
+    flw  fs0, 0(t0)
+    flw  fs1, 4(t0)
+{loop_or_simt(simt, body)}
+    ebreak
+.data
+n_val: .word {n}
+consts: .space 8
+f_in: .space {4 * n}
+f_out: .space {4 * n}
+"""
+        program = assemble(src)
+
+        out = f.copy()
+        nb = (f[:-2] + f[2:]).astype(np.float32)
+        out[1:-1] = ((f[1:-1] * c0).astype(np.float32)
+                     + (nb * c1).astype(np.float32)).astype(np.float32)
+        expect = out
+
+        def setup(memory):
+            write_f32(memory, program.symbol("f_in"), f)
+            write_f32(memory, program.symbol("f_out"), f)
+            write_f32(memory, program.symbol("consts"),
+                      np.array([c0, c1], dtype=np.float32))
+
+        def verify(memory):
+            got = read_f32(memory, program.symbol("f_out"), n)
+            return bool(np.array_equal(got, expect))
+
+        return WorkloadInstance(name=self.NAME, program=program,
+                                setup=setup, verify=verify,
+                                params={"n": n}, simt=simt,
+                                threads=threads)

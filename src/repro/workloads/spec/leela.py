@@ -1,0 +1,163 @@
+"""541.leela proxy — Monte-Carlo playouts over a bitboard.
+
+Each playout runs a xorshift RNG for a fixed number of moves, placing
+stones on a 64-cell board kept in two 32-bit register bitmasks, then
+scores the board with a SWAR popcount. Integer-only, RNG-driven
+branches, zero memory traffic inside the playout — leela's
+tree-search/playout profile. Playouts are independent, so the outer
+loop partitions across threads; the variable-position inner loop rules
+out SIMT (Section 4.4.3).
+"""
+
+import numpy as np
+
+from repro.asm import assemble
+from repro.workloads.base import (
+    Workload,
+    WorkloadInstance,
+    read_i32,
+    write_i32,
+)
+from repro.workloads.common import spmd_prologue
+
+MOVES = 24
+MASK32 = 0xFFFFFFFF
+
+
+def _xorshift32(state):
+    state ^= (state << 13) & MASK32
+    state ^= state >> 17
+    state ^= (state << 5) & MASK32
+    return state & MASK32
+
+
+def _popcount(v):
+    return bin(v & MASK32).count("1")
+
+
+def _reference(seeds):
+    scores = np.zeros(len(seeds), dtype=np.int32)
+    for i, seed in enumerate(seeds):
+        state = int(seed) & MASK32
+        lo = hi = 0
+        for __ in range(MOVES):
+            state = _xorshift32(state)
+            pos = state % 64
+            if pos < 32:
+                lo |= 1 << pos
+            else:
+                hi |= 1 << (pos - 32)
+        scores[i] = _popcount(lo) + _popcount(hi)
+    return scores
+
+
+class Leela(Workload):
+    NAME = "leela"
+    SUITE = "spec"
+    CATEGORY = "control"
+    SIMT_CAPABLE = False
+
+    DEFAULT_PLAYOUTS = 96
+
+    def build(self, scale=1.0, threads=1, simt=False, seed=2011):
+        n = max(threads, int(self.DEFAULT_PLAYOUTS * scale))
+        rng = self.rng(seed)
+        seeds = rng.integers(1, 1 << 31, size=n).astype(np.int32)
+        expect = _reference(seeds)
+
+        src = f"""
+.text
+main:
+    la   t0, n_val
+    lw   s0, 0(t0)
+{spmd_prologue()}
+    la   s3, seeds
+    la   s4, scores
+    li   s9, 0x55555555
+    li   s10, 0x33333333
+    li   s11, 0x0F0F0F0F
+play:
+    bge  s1, s2, done
+    slli t0, s1, 2
+    add  t0, t0, s3
+    lw   s5, 0(t0)        # rng state
+    li   s6, 0            # board lo
+    li   s7, 0            # board hi
+    li   s8, {MOVES}
+move:
+    # xorshift32
+    slli t0, s5, 13
+    xor  s5, s5, t0
+    srli t0, s5, 17
+    xor  s5, s5, t0
+    slli t0, s5, 5
+    xor  s5, s5, t0
+    # pos = state % 64
+    andi t0, s5, 63
+    li   t1, 32
+    blt  t0, t1, low_half
+    addi t0, t0, -32
+    li   t2, 1
+    sll  t2, t2, t0
+    or   s7, s7, t2
+    j    placed
+low_half:
+    li   t2, 1
+    sll  t2, t2, t0
+    or   s6, s6, t2
+placed:
+    addi s8, s8, -1
+    bnez s8, move
+    # score = popcount(lo) + popcount(hi)
+    mv   t4, s6
+    call popcount
+    mv   t5, t3
+    mv   t4, s7
+    call popcount
+    add  t3, t3, t5
+    slli t0, s1, 2
+    add  t0, t0, s4
+    sw   t3, 0(t0)
+    addi s1, s1, 1
+    j    play
+done:
+    ebreak
+
+popcount:
+    # SWAR popcount of t4 -> t3 (clobbers t0, t1)
+    srli t0, t4, 1
+    and  t0, t0, s9
+    sub  t3, t4, t0
+    srli t0, t3, 2
+    and  t0, t0, s10
+    and  t3, t3, s10
+    add  t3, t3, t0
+    srli t0, t3, 4
+    add  t3, t3, t0
+    and  t3, t3, s11
+    srli t0, t3, 8
+    add  t3, t3, t0
+    srli t0, t3, 16
+    add  t3, t3, t0
+    andi t3, t3, 127
+    ret
+
+.data
+n_val: .word {n}
+seeds: .space {4 * n}
+scores: .space {4 * n}
+"""
+        program = assemble(src)
+
+        def setup(memory):
+            write_i32(memory, program.symbol("seeds"), seeds)
+
+        def verify(memory):
+            got = read_i32(memory, program.symbol("scores"), n)
+            return bool(np.array_equal(got, expect))
+
+        return WorkloadInstance(name=self.NAME, program=program,
+                                setup=setup, verify=verify,
+                                params={"playouts": n,
+                                        "moves": MOVES},
+                                simt=False, threads=threads)

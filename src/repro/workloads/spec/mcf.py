@@ -1,0 +1,87 @@
+"""505.mcf proxy — pointer-chasing over a shuffled linked list.
+
+mcf's network-simplex spends its time chasing arc/node pointers with
+near-zero ILP and cache-hostile strides. The proxy walks a randomly
+permuted singly-linked list accumulating node costs — every load's
+address depends on the previous load (serial latency chain). Memory
+bound, sequential only.
+"""
+
+import numpy as np
+
+from repro.asm import assemble
+from repro.workloads.base import (
+    Workload,
+    WorkloadInstance,
+    read_i32,
+    write_i32,
+)
+
+
+class MCF(Workload):
+    NAME = "mcf"
+    SUITE = "spec"
+    CATEGORY = "memory"
+    SIMT_CAPABLE = False
+    MT_CAPABLE = False
+
+    DEFAULT_N = 512
+
+    def build(self, scale=1.0, threads=1, simt=False, seed=2002):
+        n = max(8, int(self.DEFAULT_N * scale))
+        rng = self.rng(seed)
+        perm = rng.permutation(n)
+        nxt = np.empty(n, dtype=np.int32)
+        nxt[perm[:-1]] = perm[1:]
+        nxt[perm[-1]] = perm[0]
+        cost = rng.integers(1, 100, size=n).astype(np.int32)
+        steps = 2 * n
+
+        total = 0
+        node = int(perm[0])
+        for __ in range(steps):
+            total = (total + int(cost[node])) & 0xFFFFFFFF
+            node = int(nxt[node])
+
+        src = f"""
+.text
+main:
+    la   s3, nxt
+    la   s4, cost
+    li   s5, {int(perm[0])}   # current node
+    li   s6, {steps}
+    li   s7, 0                # step counter
+    li   s8, 0                # accumulator
+mcf_loop:
+    bge  s7, s6, mcf_done
+    slli t0, s5, 2
+    add  t1, t0, s4
+    lw   t2, 0(t1)
+    add  s8, s8, t2
+    add  t1, t0, s3
+    lw   s5, 0(t1)            # chase the pointer
+    addi s7, s7, 1
+    j    mcf_loop
+mcf_done:
+    la   t0, result
+    sw   s8, 0(t0)
+    ebreak
+.data
+nxt: .space {4 * n}
+cost: .space {4 * n}
+result: .word 0
+"""
+        program = assemble(src)
+
+        def setup(memory):
+            write_i32(memory, program.symbol("nxt"), nxt)
+            write_i32(memory, program.symbol("cost"), cost)
+
+        def verify(memory):
+            got = int(read_i32(memory, program.symbol("result"), 1)[0])
+            return got == total
+
+        return WorkloadInstance(name=self.NAME, program=program,
+                                setup=setup, verify=verify,
+                                params={"n": n, "steps": steps},
+                                simt=False, threads=1)

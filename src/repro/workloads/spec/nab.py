@@ -1,0 +1,134 @@
+"""544.nab proxy — bonded-energy terms of a molecular force field.
+
+For each atom, accumulate (|r_ij| - d0)^2 over two bonded partners:
+distance (3-D, fsqrt), deviation from rest length, square, sum.
+nab's hot region is exactly this sqrt-per-pair FP pattern. SIMT over
+atoms (each writes only its own energy slot); bit-exact float32
+reference.
+"""
+
+import numpy as np
+
+from repro.asm import assemble
+from repro.workloads.base import (
+    Workload,
+    WorkloadInstance,
+    read_f32,
+    write_f32,
+)
+from repro.workloads.common import loop_or_simt, spmd_prologue
+
+PARTNERS = 2
+
+
+class NAB(Workload):
+    NAME = "nab"
+    SUITE = "spec"
+    CATEGORY = "compute"
+    SIMT_CAPABLE = True
+
+    DEFAULT_N = 160
+
+    def build(self, scale=1.0, threads=1, simt=False, seed=2009):
+        n = max(threads + PARTNERS, int(self.DEFAULT_N * scale))
+        rng = self.rng(seed)
+        xs = rng.uniform(-2.0, 2.0, size=n).astype(np.float32)
+        ys = rng.uniform(-2.0, 2.0, size=n).astype(np.float32)
+        zs = rng.uniform(-2.0, 2.0, size=n).astype(np.float32)
+        d0 = np.float32(1.0)
+
+        blocks = []
+        for k in range(1, PARTNERS + 1):
+            blocks.append(f"""
+    addi t1, s1, {k}
+    blt  t1, s0, nb_w{k}
+    sub  t1, t1, s0
+nb_w{k}:
+    slli t1, t1, 2
+    add  t2, t1, s3
+    flw  ft1, 0(t2)
+    add  t2, t1, s4
+    flw  ft2, 0(t2)
+    add  t2, t1, s5
+    flw  ft3, 0(t2)
+    fsub.s ft1, fa0, ft1
+    fsub.s ft2, fa1, ft2
+    fsub.s ft3, fa2, ft3
+    fmul.s ft1, ft1, ft1
+    fmul.s ft2, ft2, ft2
+    fmul.s ft3, ft3, ft3
+    fadd.s ft1, ft1, ft2
+    fadd.s ft1, ft1, ft3
+    fsqrt.s ft1, ft1      # |r|
+    fsub.s ft1, ft1, fs0  # deviation from rest length
+    fmul.s ft1, ft1, ft1
+    fadd.s ft0, ft0, ft1
+""")
+        body = f"""
+    slli t0, s1, 2
+    add  t1, t0, s3
+    flw  fa0, 0(t1)
+    add  t1, t0, s4
+    flw  fa1, 0(t1)
+    add  t1, t0, s5
+    flw  fa2, 0(t1)
+    fmv.w.x ft0, x0
+{''.join(blocks)}
+    slli t0, s1, 2
+    add  t0, t0, s6
+    fsw  ft0, 0(t0)
+"""
+        src = f"""
+.text
+main:
+    la   t0, n_val
+    lw   s0, 0(t0)
+{spmd_prologue()}
+    la   t0, n_val
+    lw   s0, 0(t0)
+    la   s3, xs
+    la   s4, ys
+    la   s5, zs
+    la   s6, energy
+    la   t0, d0_c
+    flw  fs0, 0(t0)
+{loop_or_simt(simt, body)}
+    ebreak
+.data
+n_val: .word {n}
+d0_c: .float 1.0
+xs: .space {4 * n}
+ys: .space {4 * n}
+zs: .space {4 * n}
+energy: .space {4 * n}
+"""
+        program = assemble(src)
+
+        acc = np.zeros(n, dtype=np.float32)
+        idx = np.arange(n)
+        for k in range(1, PARTNERS + 1):
+            j = (idx + k) % n
+            dx = (xs - xs[j]).astype(np.float32)
+            dy = (ys - ys[j]).astype(np.float32)
+            dz = (zs - zs[j]).astype(np.float32)
+            r2 = ((dx * dx).astype(np.float32)
+                  + (dy * dy).astype(np.float32)).astype(np.float32)
+            r2 = (r2 + (dz * dz).astype(np.float32)).astype(np.float32)
+            r = np.sqrt(r2, dtype=np.float32)
+            dev = (r - d0).astype(np.float32)
+            acc = (acc + (dev * dev).astype(np.float32)).astype(np.float32)
+        expect = acc
+
+        def setup(memory):
+            write_f32(memory, program.symbol("xs"), xs)
+            write_f32(memory, program.symbol("ys"), ys)
+            write_f32(memory, program.symbol("zs"), zs)
+
+        def verify(memory):
+            got = read_f32(memory, program.symbol("energy"), n)
+            return bool(np.array_equal(got, expect))
+
+        return WorkloadInstance(name=self.NAME, program=program,
+                                setup=setup, verify=verify,
+                                params={"n": n}, simt=simt,
+                                threads=threads)

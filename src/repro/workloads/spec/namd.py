@@ -1,0 +1,130 @@
+"""508.namd proxy — pairwise short-range force kernel.
+
+For each atom, accumulate a 1/r^2 interaction over four fixed
+neighbours (wrap-around indexing). namd's hot loops are exactly this
+mix: coordinate gathers, squared distances, and a divide per pair.
+SIMT-capable (each atom writes only its own force slot); the ordered
+accumulation makes the float32 reference bit-exact.
+"""
+
+import numpy as np
+
+from repro.asm import assemble
+from repro.workloads.base import (
+    Workload,
+    WorkloadInstance,
+    read_f32,
+    write_f32,
+)
+from repro.workloads.common import loop_or_simt, spmd_prologue
+
+NEIGHBOURS = 4
+
+
+class NAMD(Workload):
+    NAME = "namd"
+    SUITE = "spec"
+    CATEGORY = "compute"
+    SIMT_CAPABLE = True
+
+    DEFAULT_N = 160
+
+    def build(self, scale=1.0, threads=1, simt=False, seed=2003):
+        n = max(threads + NEIGHBOURS, int(self.DEFAULT_N * scale))
+        rng = self.rng(seed)
+        xs = rng.uniform(-3.0, 3.0, size=n).astype(np.float32)
+        ys = rng.uniform(-3.0, 3.0, size=n).astype(np.float32)
+        zs = rng.uniform(-3.0, 3.0, size=n).astype(np.float32)
+
+        pair_blocks = []
+        for k in range(1, NEIGHBOURS + 1):
+            pair_blocks.append(f"""
+    addi t1, s1, {k}
+    blt  t1, s0, nm_w{k}
+    sub  t1, t1, s0       # wrap j around n
+nm_w{k}:
+    slli t1, t1, 2
+    add  t2, t1, s3
+    flw  ft1, 0(t2)       # x[j]
+    add  t2, t1, s4
+    flw  ft2, 0(t2)       # y[j]
+    add  t2, t1, s5
+    flw  ft3, 0(t2)       # z[j]
+    fsub.s ft1, fa0, ft1
+    fsub.s ft2, fa1, ft2
+    fsub.s ft3, fa2, ft3
+    fmul.s ft1, ft1, ft1
+    fmul.s ft2, ft2, ft2
+    fmul.s ft3, ft3, ft3
+    fadd.s ft1, ft1, ft2
+    fadd.s ft1, ft1, ft3  # r2
+    fdiv.s ft1, fs0, ft1  # 1 / r2
+    fadd.s ft0, ft0, ft1
+""")
+        body = f"""
+    slli t0, s1, 2
+    add  t1, t0, s3
+    flw  fa0, 0(t1)
+    add  t1, t0, s4
+    flw  fa1, 0(t1)
+    add  t1, t0, s5
+    flw  fa2, 0(t1)
+    fmv.w.x ft0, x0
+{''.join(pair_blocks)}
+    slli t0, s1, 2
+    add  t0, t0, s6
+    fsw  ft0, 0(t0)
+"""
+        src = f"""
+.text
+main:
+    la   t0, n_val
+    lw   s0, 0(t0)
+{spmd_prologue()}
+    la   t0, n_val
+    lw   s0, 0(t0)
+    la   s3, xs
+    la   s4, ys
+    la   s5, zs
+    la   s6, forces
+    la   t0, one_c
+    flw  fs0, 0(t0)
+{loop_or_simt(simt, body)}
+    ebreak
+.data
+n_val: .word {n}
+one_c: .float 1.0
+xs: .space {4 * n}
+ys: .space {4 * n}
+zs: .space {4 * n}
+forces: .space {4 * n}
+"""
+        program = assemble(src)
+
+        acc = np.zeros(n, dtype=np.float32)
+        idx = np.arange(n)
+        for k in range(1, NEIGHBOURS + 1):
+            j = (idx + k) % n
+            dx = (xs - xs[j]).astype(np.float32)
+            dy = (ys - ys[j]).astype(np.float32)
+            dz = (zs - zs[j]).astype(np.float32)
+            r2 = ((dx * dx).astype(np.float32)
+                  + (dy * dy).astype(np.float32)).astype(np.float32)
+            r2 = (r2 + (dz * dz).astype(np.float32)).astype(np.float32)
+            acc = (acc + (np.float32(1.0) / r2).astype(np.float32)) \
+                .astype(np.float32)
+        expect = acc
+
+        def setup(memory):
+            write_f32(memory, program.symbol("xs"), xs)
+            write_f32(memory, program.symbol("ys"), ys)
+            write_f32(memory, program.symbol("zs"), zs)
+
+        def verify(memory):
+            got = read_f32(memory, program.symbol("forces"), n)
+            return bool(np.array_equal(got, expect))
+
+        return WorkloadInstance(name=self.NAME, program=program,
+                                setup=setup, verify=verify,
+                                params={"n": n}, simt=simt,
+                                threads=threads)

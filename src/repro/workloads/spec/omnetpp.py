@@ -1,0 +1,148 @@
+"""520.omnetpp proxy — discrete-event simulation kernel.
+
+The heart of omnetpp is its future-event set: a binary min-heap of
+timestamped events, with an endless pop-min / reschedule cycle. The
+proxy performs K such cycles on an N-entry heap: sift-down on pop,
+sift-up on the rescheduled insert. Pointer arithmetic, data-dependent
+branching, and irregular access — sequential only (the heap is a
+global serial structure, like the real simulator's event loop).
+"""
+
+import heapq
+
+import numpy as np
+
+from repro.asm import assemble
+from repro.workloads.base import (
+    Workload,
+    WorkloadInstance,
+    read_i32,
+    write_i32,
+)
+
+
+def _reference(times, deltas):
+    heap = list(int(t) for t in times)
+    heapq.heapify(heap)
+    checksum = 0
+    for delta in deltas:
+        top = heapq.heappop(heap)
+        checksum = (checksum + top) & 0xFFFFFFFF
+        heapq.heappush(heap, top + int(delta))
+    return checksum, heap
+
+
+class Omnetpp(Workload):
+    NAME = "omnetpp"
+    SUITE = "spec"
+    CATEGORY = "memory"
+    SIMT_CAPABLE = False
+    MT_CAPABLE = False
+
+    DEFAULT_EVENTS = 64
+    DEFAULT_CYCLES = 128
+
+    def build(self, scale=1.0, threads=1, simt=False, seed=2012):
+        n = max(4, int(self.DEFAULT_EVENTS * scale))
+        k = max(4, int(self.DEFAULT_CYCLES * scale))
+        rng = self.rng(seed)
+        times = rng.integers(0, 1000, size=n).astype(np.int32)
+        deltas = rng.integers(1, 50, size=k).astype(np.int32)
+        expect_checksum, __ = _reference(times, deltas)
+
+        # registers: s3 heap base, s4 deltas, s6 n, s7 k, s8 checksum
+        src = f"""
+.text
+main:
+    la   s3, heap
+    la   s4, deltas
+    la   t0, dims
+    lw   s6, 0(t0)
+    lw   s7, 4(t0)
+    # ---- heapify: sift-down from n/2-1 to 0 ----
+    srli s9, s6, 1
+    addi s9, s9, -1
+hfy:
+    bltz s9, hfy_done
+    mv   a2, s9
+    call sift_down
+    addi s9, s9, -1
+    j    hfy
+hfy_done:
+    li   s8, 0            # checksum
+    li   s10, 0           # cycle counter
+evloop:
+    bge  s10, s7, evdone
+    # pop-min: checksum += heap[0]
+    lw   t0, 0(s3)
+    add  s8, s8, t0
+    # reschedule: heap[0] = top + delta; sift down
+    slli t1, s10, 2
+    add  t1, t1, s4
+    lw   t1, 0(t1)
+    add  t0, t0, t1
+    sw   t0, 0(s3)
+    li   a2, 0
+    call sift_down
+    addi s10, s10, 1
+    j    evloop
+evdone:
+    la   t0, out
+    sw   s8, 0(t0)
+    ebreak
+
+sift_down:
+    # sift heap[a2] down; heap base s3, size s6 (clobbers t0-t6, a3-a5)
+sd_loop:
+    slli t0, a2, 1
+    addi t0, t0, 1        # left child
+    bge  t0, s6, sd_done
+    slli t1, a2, 2
+    add  t1, t1, s3
+    lw   t2, 0(t1)        # parent value
+    slli t3, t0, 2
+    add  t3, t3, s3
+    lw   t4, 0(t3)        # left value
+    mv   a3, t0           # best index = left
+    mv   a4, t4           # best value
+    addi t5, t0, 1        # right child
+    bge  t5, s6, sd_pick
+    slli t6, t5, 2
+    add  t6, t6, s3
+    lw   t6, 0(t6)
+    bge  t6, a4, sd_pick
+    mv   a3, t5
+    mv   a4, t6
+sd_pick:
+    bge  a4, t2, sd_done  # parent <= best child: heap property holds
+    # swap parent and best child
+    sw   a4, 0(t1)
+    slli a5, a3, 2
+    add  a5, a5, s3
+    sw   t2, 0(a5)
+    mv   a2, a3
+    j    sd_loop
+sd_done:
+    ret
+
+.data
+dims: .word {n}, {k}
+heap: .space {4 * n}
+deltas: .space {4 * k}
+out: .word 0
+"""
+        program = assemble(src)
+
+        def setup(memory):
+            write_i32(memory, program.symbol("heap"), times)
+            write_i32(memory, program.symbol("deltas"), deltas)
+
+        def verify(memory):
+            got = int(read_i32(memory, program.symbol("out"), 1)[0]) \
+                & 0xFFFFFFFF
+            return got == expect_checksum
+
+        return WorkloadInstance(name=self.NAME, program=program,
+                                setup=setup, verify=verify,
+                                params={"events": n, "cycles": k},
+                                simt=False, threads=1)

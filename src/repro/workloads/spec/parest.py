@@ -1,0 +1,99 @@
+"""510.parest proxy — sparse matrix-vector product (CSR, fixed nnz).
+
+parest's finite-element solver is dominated by sparse matvec: for each
+row, gather x[col] for the row's nonzeros and accumulate val*x. The
+proxy fixes nnz-per-row at 4 so the row body is straight-line and
+SIMT-capable, keeping the indirect-gather memory profile.
+"""
+
+import numpy as np
+
+from repro.asm import assemble
+from repro.workloads.base import (
+    Workload,
+    WorkloadInstance,
+    read_f32,
+    write_f32,
+    write_i32,
+)
+from repro.workloads.common import loop_or_simt, spmd_prologue
+
+NNZ = 4
+
+
+class Parest(Workload):
+    NAME = "parest"
+    SUITE = "spec"
+    CATEGORY = "memory"
+    SIMT_CAPABLE = True
+
+    DEFAULT_N = 256
+
+    def build(self, scale=1.0, threads=1, simt=False, seed=2004):
+        n = max(threads, int(self.DEFAULT_N * scale))
+        rng = self.rng(seed)
+        vals = rng.uniform(-1.0, 1.0, size=(n, NNZ)).astype(np.float32)
+        cols = rng.integers(0, n, size=(n, NNZ)).astype(np.int32)
+        x = rng.uniform(-1.0, 1.0, size=n).astype(np.float32)
+
+        terms = []
+        for k in range(NNZ):
+            terms.append(f"""
+    lw   t2, {4 * k}(t1)  # col index
+    slli t2, t2, 2
+    add  t2, t2, s5
+    flw  ft1, 0(t2)       # x[col]
+    flw  ft2, {4 * k}(t0)
+    fmul.s ft1, ft1, ft2
+    fadd.s ft0, ft0, ft1
+""")
+        body = f"""
+    slli t0, s1, {(NNZ * 4).bit_length() - 1}
+    add  t1, t0, s4       # &cols[row]
+    add  t0, t0, s3       # &vals[row]
+    fmv.w.x ft0, x0
+{''.join(terms)}
+    slli t2, s1, 2
+    add  t2, t2, s6
+    fsw  ft0, 0(t2)
+"""
+        src = f"""
+.text
+main:
+    la   t0, n_val
+    lw   s0, 0(t0)
+{spmd_prologue()}
+    la   s3, vals
+    la   s4, cols
+    la   s5, xvec
+    la   s6, yvec
+{loop_or_simt(simt, body)}
+    ebreak
+.data
+n_val: .word {n}
+vals: .space {4 * n * NNZ}
+cols: .space {4 * n * NNZ}
+xvec: .space {4 * n}
+yvec: .space {4 * n}
+"""
+        program = assemble(src)
+
+        acc = np.zeros(n, dtype=np.float32)
+        for k in range(NNZ):
+            acc = (acc + (vals[:, k] * x[cols[:, k]]).astype(np.float32)) \
+                .astype(np.float32)
+        expect = acc
+
+        def setup(memory):
+            write_f32(memory, program.symbol("vals"), vals.ravel())
+            write_i32(memory, program.symbol("cols"), cols.ravel())
+            write_f32(memory, program.symbol("xvec"), x)
+
+        def verify(memory):
+            got = read_f32(memory, program.symbol("yvec"), n)
+            return bool(np.array_equal(got, expect))
+
+        return WorkloadInstance(name=self.NAME, program=program,
+                                setup=setup, verify=verify,
+                                params={"n": n, "nnz": NNZ}, simt=simt,
+                                threads=threads)

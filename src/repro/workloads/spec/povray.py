@@ -1,0 +1,116 @@
+"""511.povray proxy — batched ray-sphere intersection tests.
+
+For each ray: b = d . oc (ordered dot product), disc = b*b - cc, and
+either t = b - sqrt(disc) or a miss marker. Control divergence (hit vs
+miss) plus sqrt-heavy FP mirrors povray's intersection inner loops;
+the divergence exercises per-thread PC nullification inside SIMT
+regions (paper Section 4.4.3). Bit-exact float32 reference.
+"""
+
+import numpy as np
+
+from repro.asm import assemble
+from repro.workloads.base import (
+    Workload,
+    WorkloadInstance,
+    read_f32,
+    write_f32,
+)
+from repro.workloads.common import loop_or_simt, spmd_prologue
+
+
+class Povray(Workload):
+    NAME = "povray"
+    SUITE = "spec"
+    CATEGORY = "mixed"
+    SIMT_CAPABLE = True
+
+    DEFAULT_N = 256
+
+    def build(self, scale=1.0, threads=1, simt=False, seed=2005):
+        n = max(threads, int(self.DEFAULT_N * scale))
+        rng = self.rng(seed)
+        dirs = rng.uniform(-1.0, 1.0, size=(n, 3)).astype(np.float32)
+        ocs = rng.uniform(-1.0, 1.0, size=(n, 3)).astype(np.float32)
+        ccs = rng.uniform(-0.5, 0.5, size=n).astype(np.float32)
+
+        body = """
+    slli t0, s1, 2
+    mul  t1, s1, s7       # s7 = 12 (row stride)
+    add  t2, t1, s3       # &dirs[i]
+    add  t3, t1, s4       # &ocs[i]
+    flw  ft0, 0(t2)
+    flw  ft1, 0(t3)
+    fmul.s ft6, ft0, ft1
+    flw  ft0, 4(t2)
+    flw  ft1, 4(t3)
+    fmul.s ft2, ft0, ft1
+    fadd.s ft6, ft6, ft2
+    flw  ft0, 8(t2)
+    flw  ft1, 8(t3)
+    fmul.s ft2, ft0, ft1
+    fadd.s ft6, ft6, ft2  # b
+    add  t2, t0, s5
+    flw  ft3, 0(t2)       # cc
+    fmul.s ft4, ft6, ft6
+    fsub.s ft4, ft4, ft3  # disc
+    fmv.w.x ft5, x0
+    flt.s t4, ft4, ft5
+    beqz t4, pv_hit
+    flw  ft7, 0(s8)       # miss marker (-1.0)
+    j    pv_store
+pv_hit:
+    fsqrt.s ft4, ft4
+    fsub.s ft7, ft6, ft4
+pv_store:
+    add  t2, t0, s6
+    fsw  ft7, 0(t2)
+"""
+        src = f"""
+.text
+main:
+    la   t0, n_val
+    lw   s0, 0(t0)
+{spmd_prologue()}
+    la   s3, dirs
+    la   s4, ocs
+    la   s5, ccs
+    la   s6, touts
+    la   s8, miss_c
+    li   s7, 12
+{loop_or_simt(simt, body)}
+    ebreak
+.data
+n_val: .word {n}
+miss_c: .float -1.0
+dirs: .space {12 * n}
+ocs: .space {12 * n}
+ccs: .space {4 * n}
+touts: .space {4 * n}
+"""
+        program = assemble(src)
+
+        b = (dirs[:, 0] * ocs[:, 0]).astype(np.float32)
+        b = (b + (dirs[:, 1] * ocs[:, 1]).astype(np.float32)) \
+            .astype(np.float32)
+        b = (b + (dirs[:, 2] * ocs[:, 2]).astype(np.float32)) \
+            .astype(np.float32)
+        disc = ((b * b).astype(np.float32) - ccs).astype(np.float32)
+        hit = disc >= 0
+        expect = np.full(n, -1.0, dtype=np.float32)
+        expect[hit] = (b[hit] - np.sqrt(disc[hit], dtype=np.float32)) \
+            .astype(np.float32)
+
+        def setup(memory):
+            write_f32(memory, program.symbol("dirs"), dirs.ravel())
+            write_f32(memory, program.symbol("ocs"), ocs.ravel())
+            write_f32(memory, program.symbol("ccs"), ccs)
+
+        def verify(memory):
+            got = read_f32(memory, program.symbol("touts"), n)
+            return bool(np.array_equal(got, expect))
+
+        return WorkloadInstance(name=self.NAME, program=program,
+                                setup=setup, verify=verify,
+                                params={"n": n}, simt=simt,
+                                threads=threads)

@@ -1,0 +1,129 @@
+"""525.x264 proxy — sum-of-absolute-differences motion search.
+
+For each candidate offset, compute the SAD between a 16-byte reference
+block and the frame window at that offset (fully unrolled byte loads,
+abs-diff via the srai/xor/sub idiom), then scan for the best
+candidate. Pure integer, load-heavy with short dependence chains —
+x264's dominant kernel profile. SIMT over candidates.
+"""
+
+import numpy as np
+
+from repro.asm import assemble
+from repro.workloads.base import (
+    Workload,
+    WorkloadInstance,
+    read_i32,
+    write_u8,
+)
+from repro.workloads.common import loop_or_simt, spmd_prologue
+
+BLOCK = 16
+
+
+class X264(Workload):
+    NAME = "x264"
+    SUITE = "spec"
+    CATEGORY = "compute"
+    SIMT_CAPABLE = True
+
+    DEFAULT_CANDIDATES = 128
+
+    def build(self, scale=1.0, threads=1, simt=False, seed=2006):
+        n = max(threads, int(self.DEFAULT_CANDIDATES * scale))
+        rng = self.rng(seed)
+        frame = rng.integers(0, 256, size=n + BLOCK).astype(np.uint8)
+        ref = rng.integers(0, 256, size=BLOCK).astype(np.uint8)
+
+        terms = []
+        for k in range(BLOCK):
+            terms.append(f"""
+    lbu  t2, {k}(t1)
+    lbu  t3, {k}(s5)
+    sub  t2, t2, t3
+    srai t3, t2, 31
+    xor  t2, t2, t3
+    sub  t2, t2, t3       # |diff|
+    add  t0, t0, t2
+""")
+        body = f"""
+    add  t1, s1, s3       # &frame[i]
+    li   t0, 0
+{''.join(terms)}
+    slli t1, s1, 2
+    add  t1, t1, s4
+    sw   t0, 0(t1)
+"""
+        src = f"""
+.text
+main:
+    la   t0, n_val
+    lw   s0, 0(t0)
+{spmd_prologue()}
+    la   s3, frame
+    la   s4, sads
+    la   s5, refblk
+{loop_or_simt(simt, body)}
+    # per-thread best candidate
+    la   t0, n_val
+    lw   s0, 0(t0)
+{spmd_prologue()}
+    li   t3, -1           # best index
+    li   t6, 0x7FFFFFFF   # best sad
+xb_scan:
+    bge  s1, s2, xb_done
+    slli t0, s1, 2
+    add  t0, t0, s4
+    lw   t1, 0(t0)
+    bge  t1, t6, xb_next
+    mv   t6, t1
+    mv   t3, s1
+xb_next:
+    addi s1, s1, 1
+    j    xb_scan
+xb_done:
+    slli t1, a0, 2
+    la   t0, best
+    add  t0, t0, t1
+    sw   t3, 0(t0)
+    ebreak
+.data
+n_val: .word {n}
+frame: .space {n + BLOCK}
+.align 2
+refblk: .space {BLOCK}
+.align 2
+sads: .space {4 * n}
+best: .space 64
+"""
+        program = assemble(src)
+
+        windows = np.lib.stride_tricks.sliding_window_view(
+            frame, BLOCK)[:n].astype(np.int32)
+        expect_sads = np.abs(windows - ref.astype(np.int32)).sum(axis=1) \
+            .astype(np.int32)
+
+        chunk = (n + threads - 1) // threads
+        expect_best = np.full(threads, -1, dtype=np.int32)
+        for tid in range(threads):
+            start = min(tid * chunk, n)
+            end = min(start + chunk, n)
+            if start < end:
+                expect_best[tid] = start + int(
+                    np.argmin(expect_sads[start:end]))
+
+        def setup(memory):
+            write_u8(memory, program.symbol("frame"), frame)
+            write_u8(memory, program.symbol("refblk"), ref)
+
+        def verify(memory):
+            got = read_i32(memory, program.symbol("sads"), n)
+            if not np.array_equal(got, expect_sads):
+                return False
+            best = read_i32(memory, program.symbol("best"), threads)
+            return bool(np.array_equal(best, expect_best[:threads]))
+
+        return WorkloadInstance(name=self.NAME, program=program,
+                                setup=setup, verify=verify,
+                                params={"n": n, "block": BLOCK},
+                                simt=simt, threads=threads)

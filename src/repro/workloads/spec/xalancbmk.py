@@ -1,0 +1,152 @@
+"""523.xalancbmk proxy — symbol hashing and table probing.
+
+XSLT transformation spends its time hashing qualified names and
+probing symbol tables. The proxy FNV-hashes 8-byte tokens and looks
+each one up in an open-addressing hash table with linear probing
+(guaranteed present), storing the table slot. Byte loads, integer
+multiply-based hashing, and a data-dependent probe loop: the string/
+dictionary profile of the original. Thread-partitionable over tokens;
+the variable-length probe loop rules out SIMT.
+"""
+
+import numpy as np
+
+from repro.asm import assemble
+from repro.workloads.base import (
+    Workload,
+    WorkloadInstance,
+    read_i32,
+    write_i32,
+    write_u8,
+)
+from repro.workloads.common import spmd_prologue
+
+TOKEN_BYTES = 8
+TABLE_SIZE = 256  # power of two
+FNV_PRIME = 16777619
+FNV_BASIS = 2166136261
+MASK32 = 0xFFFFFFFF
+
+
+def _fnv(token):
+    value = FNV_BASIS
+    for byte in token:
+        value = ((value ^ int(byte)) * FNV_PRIME) & MASK32
+    return value
+
+
+def _build_table(tokens):
+    """Insert every distinct token's id; returns (slots, expect_index)."""
+    slots = np.full(TABLE_SIZE, -1, dtype=np.int32)
+    index_of = {}
+    for tid, token in enumerate(tokens):
+        key = token.tobytes()
+        if key in index_of:
+            continue
+        slot = _fnv(token) % TABLE_SIZE
+        while slots[slot] != -1:
+            slot = (slot + 1) % TABLE_SIZE
+        slots[slot] = tid
+        index_of[key] = slot
+    return slots, index_of
+
+
+class Xalancbmk(Workload):
+    NAME = "xalancbmk"
+    SUITE = "spec"
+    CATEGORY = "control"
+    SIMT_CAPABLE = False
+
+    DEFAULT_LOOKUPS = 96
+
+    def build(self, scale=1.0, threads=1, simt=False, seed=2013):
+        n_tokens = 48
+        lookups = max(threads, int(self.DEFAULT_LOOKUPS * scale))
+        rng = self.rng(seed)
+        tokens = rng.integers(65, 91, size=(n_tokens, TOKEN_BYTES)) \
+            .astype(np.uint8)
+        slots, index_of = _build_table(tokens)
+        query_ids = rng.integers(0, n_tokens, size=lookups)
+        queries = tokens[query_ids]
+        expect = np.array(
+            [index_of[tokens[tid].tobytes()] for tid in query_ids],
+            dtype=np.int32)
+
+        hash_bytes = "".join(f"""
+    lbu  t1, {b}(t0)
+    xor  s5, s5, t1
+    mul  s5, s5, s9
+""" for b in range(TOKEN_BYTES))
+        src = f"""
+.text
+main:
+    la   t0, n_val
+    lw   s0, 0(t0)
+{spmd_prologue()}
+    la   s3, queries
+    la   s4, table_ids
+    la   s6, results
+    la   s7, token_pool
+    li   s9, {FNV_PRIME}
+look:
+    bge  s1, s2, done
+    slli t0, s1, 3
+    add  t0, t0, s3       # &query[i]
+    li   s5, -{(1 << 32) - FNV_BASIS}
+{hash_bytes}
+    andi s5, s5, {TABLE_SIZE - 1}
+probe:
+    slli t2, s5, 2
+    add  t2, t2, s4
+    lw   t3, 0(t2)        # candidate token id
+    # compare candidate token against the query, byte by byte
+    slli t4, t3, 3
+    add  t4, t4, s7       # &pool[candidate]
+    li   t6, 0
+cmp:
+    add  t1, t0, t6
+    lbu  t1, 0(t1)
+    add  t5, t4, t6
+    lbu  t5, 0(t5)
+    bne  t1, t5, miss
+    addi t6, t6, 1
+    li   t5, {TOKEN_BYTES}
+    blt  t6, t5, cmp
+    # full match: record the slot
+    slli t2, s1, 2
+    add  t2, t2, s6
+    sw   s5, 0(t2)
+    addi s1, s1, 1
+    j    look
+miss:
+    addi s5, s5, 1
+    andi s5, s5, {TABLE_SIZE - 1}
+    j    probe
+done:
+    ebreak
+.data
+n_val: .word {lookups}
+queries: .space {TOKEN_BYTES * lookups}
+.align 2
+token_pool: .space {TOKEN_BYTES * n_tokens}
+.align 2
+table_ids: .space {4 * TABLE_SIZE}
+results: .space {4 * lookups}
+"""
+        program = assemble(src)
+
+        def setup(memory):
+            write_u8(memory, program.symbol("queries"), queries.ravel())
+            write_u8(memory, program.symbol("token_pool"),
+                     tokens.ravel())
+            write_i32(memory, program.symbol("table_ids"), slots)
+
+        def verify(memory):
+            got = read_i32(memory, program.symbol("results"), lookups)
+            return bool(np.array_equal(got, expect))
+
+        return WorkloadInstance(name=self.NAME, program=program,
+                                setup=setup, verify=verify,
+                                params={"lookups": lookups,
+                                        "tokens": n_tokens},
+                                simt=False, threads=threads)

@@ -1,0 +1,103 @@
+"""557.xz proxy — LZ match-length search.
+
+For each position in a byte buffer, count how many bytes match the
+text at a fixed back-distance, capped at MAXLEN. The inner loop's trip
+count is data-dependent (classic LZ77 matcher), producing the
+branch-misprediction + byte-load profile that dominates xz. The outer
+loop is technically parallel but the variable-length inner loop is a
+backward branch, so there is no SIMT variant (Section 4.4.3);
+sequential only, like the compressor's adaptive main loop.
+"""
+
+import numpy as np
+
+from repro.asm import assemble
+from repro.workloads.base import (
+    Workload,
+    WorkloadInstance,
+    read_i32,
+    write_u8,
+)
+
+DIST = 16
+MAXLEN = 32
+
+
+def _reference(buf, n):
+    lens = np.zeros(n, dtype=np.int32)
+    for i in range(n):
+        length = 0
+        while (length < MAXLEN
+               and buf[i + length] == buf[i + DIST + length]):
+            length += 1
+        lens[i] = length
+    return lens
+
+
+class XZ(Workload):
+    NAME = "xz"
+    SUITE = "spec"
+    CATEGORY = "control"
+    SIMT_CAPABLE = False
+    MT_CAPABLE = False
+
+    DEFAULT_N = 256
+
+    def build(self, scale=1.0, threads=1, simt=False, seed=2010):
+        n = max(8, int(self.DEFAULT_N * scale))
+        rng = self.rng(seed)
+        # Low-entropy bytes so matches of varied length actually occur.
+        buf = rng.integers(0, 4, size=n + DIST + MAXLEN).astype(np.uint8)
+        expect = _reference(buf, n)
+
+        src = f"""
+.text
+main:
+    la   s3, buf
+    la   s4, lens
+    la   t0, n_val
+    lw   s6, 0(t0)
+    li   s7, 0            # i
+    li   s9, {MAXLEN}
+xz_outer:
+    bge  s7, s6, xz_done
+    add  t0, s7, s3       # &buf[i]
+    addi t1, t0, {DIST}   # &buf[i + DIST]
+    li   t2, 0            # length
+xz_match:
+    bge  t2, s9, xz_store
+    add  t3, t0, t2
+    lbu  t4, 0(t3)
+    add  t3, t1, t2
+    lbu  t6, 0(t3)
+    bne  t4, t6, xz_store
+    addi t2, t2, 1
+    j    xz_match
+xz_store:
+    slli t3, s7, 2
+    add  t3, t3, s4
+    sw   t2, 0(t3)
+    addi s7, s7, 1
+    j    xz_outer
+xz_done:
+    ebreak
+.data
+n_val: .word {n}
+buf: .space {n + DIST + MAXLEN}
+.align 2
+lens: .space {4 * n}
+"""
+        program = assemble(src)
+
+        def setup(memory):
+            write_u8(memory, program.symbol("buf"), buf)
+
+        def verify(memory):
+            got = read_i32(memory, program.symbol("lens"), n)
+            return bool(np.array_equal(got, expect))
+
+        return WorkloadInstance(name=self.NAME, program=program,
+                                setup=setup, verify=verify,
+                                params={"n": n, "dist": DIST,
+                                        "maxlen": MAXLEN},
+                                simt=False, threads=1)

@@ -1,0 +1,127 @@
+"""Assembler expression evaluation, %hi/%lo relocations, Program API."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.asm import AsmError, assemble
+from repro.asm.assembler import _Expr
+from repro.asm.program import Program
+from repro.iss import ISS
+
+
+class TestExpressions:
+    def evaluate(self, text, symbols=None, **kwargs):
+        return _Expr(text, 1).evaluate(symbols or {}, **kwargs)
+
+    def test_literals(self):
+        assert self.evaluate("42") == 42
+        assert self.evaluate("-7") == -7
+        assert self.evaluate("0x10") == 16
+        assert self.evaluate("0b101") == 5
+        assert self.evaluate("'Z'") == 90
+
+    def test_symbol_lookup(self):
+        assert self.evaluate("foo", {"foo": 0x2000}) == 0x2000
+
+    def test_symbol_arithmetic(self):
+        symbols = {"base": 0x1000}
+        assert self.evaluate("base+8", symbols) == 0x1008
+        assert self.evaluate("base - 4", symbols) == 0xFFC
+        assert self.evaluate("base+0x10", symbols) == 0x1010
+
+    def test_undefined_symbol(self):
+        with pytest.raises(AsmError):
+            self.evaluate("ghost")
+
+    def test_garbage(self):
+        with pytest.raises(AsmError):
+            self.evaluate("1 + + 2")
+
+    def test_pcrel(self):
+        value = self.evaluate("target", {"target": 0x1100},
+                              pc=0x1000, reloc="pcrel")
+        assert value == 0x100
+
+    def test_pcrel_ignores_plain_numbers(self):
+        # numeric branch offsets are already relative
+        assert self.evaluate("16", pc=0x1000, reloc="pcrel") == 16
+
+
+class TestHiLo:
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_hi_lo_reconstruct(self, value):
+        """%hi + %lo must reconstruct any 32-bit constant (the lui+addi
+        idiom), including the sign-extension carry case."""
+        hi = _Expr(f"%hi({value})", 1).evaluate({})
+        lo = _Expr(f"%lo({value})", 1).evaluate({})
+        assert (hi + lo) & 0xFFFFFFFF == value
+        assert hi % (1 << 12) == 0          # valid lui immediate
+        assert -2048 <= lo <= 2047          # valid addi immediate
+
+    def test_la_end_to_end(self):
+        """la must materialize the exact symbol address at runtime for
+        addresses whose low 12 bits look negative."""
+        program = assemble("""
+        la t0, target
+        ebreak
+        .data
+        .space 2048
+        target: .word 7
+        """)
+        iss = ISS(program)
+        iss.run()
+        assert iss.x[5] == program.symbol("target")
+
+    @given(st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1))
+    def test_li_materializes_any_constant(self, value):
+        program = assemble(f"li t0, {value}\nebreak\n")
+        iss = ISS(program)
+        iss.run()
+        assert iss.x[5] == value & 0xFFFFFFFF
+
+
+class TestProgramAPI:
+    def make(self):
+        return assemble("""
+        main:
+            nop
+            nop
+            ebreak
+        .data
+        blob: .word 1, 2, 3
+        """)
+
+    def test_text_range(self):
+        program = self.make()
+        lo, hi = program.text_range
+        assert lo == 0x1000
+        assert hi == 0x100C
+        assert program.num_instructions == 3
+
+    def test_empty_text_range(self):
+        assert Program().text_range == (0, 0)
+
+    def test_symbol_api(self):
+        program = self.make()
+        assert program.symbol("blob") == 0x10000
+        with pytest.raises(KeyError):
+            program.symbol("nothing")
+
+    def test_instruction_at(self):
+        program = self.make()
+        assert program.instruction_at(0x1000).mnemonic == "addi"
+        assert program.instruction_at(0x2000) is None
+
+    def test_load_into(self):
+        from repro.memory.main_memory import MainMemory
+        program = self.make()
+        mem = MainMemory()
+        program.load_into(mem)
+        assert mem.read_word(program.symbol("blob") + 4) == 2
+
+    def test_segments_cover_text_and_data(self):
+        program = self.make()
+        bases = sorted(seg.base for seg in program.segments)
+        assert bases == [0x1000, 0x10000]
+        assert program.segments[0].end > program.segments[0].base

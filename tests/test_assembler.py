@@ -1,0 +1,268 @@
+"""Two-pass assembler: syntax, directives, pseudos, relocations."""
+
+import struct
+
+import pytest
+
+from repro.asm import AsmError, assemble, disassemble, format_instruction
+from repro.asm.assembler import _split_operands, _strip_comment
+from repro.isa import decode
+
+
+def listing(source, **kwargs):
+    program = assemble(source, **kwargs)
+    return program, sorted(program.listing.items())
+
+
+class TestBasics:
+    def test_single_instruction(self):
+        program, items = listing(".text\nadd a0, a1, a2\n")
+        assert len(items) == 1
+        addr, instr = items[0]
+        assert addr == 0x1000
+        assert (instr.mnemonic, instr.rd, instr.rs1, instr.rs2) \
+            == ("add", 10, 11, 12)
+
+    def test_default_section_is_text(self):
+        program, items = listing("addi x1, x0, 5")
+        assert items[0][1].mnemonic == "addi"
+
+    def test_comments_stripped(self):
+        src = """
+        addi x1, x0, 1   # hash comment
+        addi x2, x0, 2   // slash comment
+        addi x3, x0, 3   ; semicolon comment
+        """
+        __, items = listing(src)
+        assert len(items) == 3
+
+    def test_label_and_branch(self):
+        src = """
+        main:
+            addi t0, x0, 0
+        loop:
+            addi t0, t0, 1
+            blt t0, t1, loop
+        """
+        program, items = listing(src)
+        branch = items[-1][1]
+        assert branch.imm == -4
+        assert program.symbol("loop") == 0x1004
+
+    def test_label_on_same_line(self):
+        __, items = listing("start: addi x1, x0, 9")
+        assert items[0][1].imm == 9
+
+    def test_entry_points(self):
+        program = assemble("nop\nmain: nop\n")
+        assert program.entry == program.symbol("main") == 0x1004
+        program = assemble("_start: nop\nmain: nop\n")
+        assert program.entry == program.symbol("_start")
+
+    def test_memory_operand_forms(self):
+        src = """
+        lw t0, 8(sp)
+        lw t1, (sp)
+        sw t0, -4(s0)
+        flw ft0, 0(a0)
+        fsw ft0, 12(a0)
+        """
+        __, items = listing(src)
+        assert items[0][1].imm == 8
+        assert items[1][1].imm == 0
+        assert items[2][1].imm == -4
+
+    def test_char_immediate(self):
+        __, items = listing("addi t0, x0, 'A'")
+        assert items[0][1].imm == 65
+
+    def test_hex_and_binary(self):
+        __, items = listing("addi t0, x0, 0x7f\naddi t1, x0, 0b101")
+        assert items[0][1].imm == 0x7F
+        assert items[1][1].imm == 5
+
+
+class TestPseudoInstructions:
+    def test_nop_mv_not_neg(self):
+        src = "nop\nmv a0, a1\nnot a0, a1\nneg a0, a1\n"
+        __, items = listing(src)
+        assert [i.mnemonic for __, i in items] \
+            == ["addi", "addi", "xori", "sub"]
+
+    def test_li_small(self):
+        __, items = listing("li a0, -5")
+        assert len(items) == 1
+        assert items[0][1].imm == -5
+
+    def test_li_large_two_instructions(self):
+        program, items = listing("li a0, 0x12345678")
+        assert [i.mnemonic for __, i in items] == ["lui", "addi"]
+        # Simulate: lui then addi must produce the constant
+        upper = items[0][1].imm
+        lower = items[1][1].imm
+        assert (upper + lower) & 0xFFFFFFFF == 0x12345678
+
+    def test_li_lui_only(self):
+        __, items = listing("li a0, 0x12345000")
+        assert [i.mnemonic for __, i in items] == ["lui"]
+
+    def test_li_unsigned_style(self):
+        program, items = listing("li a0, 0xFFFFFFFF")
+        assert len(items) == 1
+        assert items[0][1].imm == -1
+
+    def test_la(self):
+        program, items = listing(
+            ".text\nla a0, target\n.data\ntarget: .word 1\n")
+        upper = items[0][1].imm
+        lower = items[1][1].imm
+        assert (upper + lower) & 0xFFFFFFFF == program.symbol("target")
+
+    def test_branch_pseudos(self):
+        src = """
+        x: beqz a0, x
+        bnez a0, x
+        blez a0, x
+        bgez a0, x
+        bltz a0, x
+        bgtz a0, x
+        bgt a0, a1, x
+        ble a0, a1, x
+        """
+        __, items = listing(src)
+        mnems = [i.mnemonic for __, i in items]
+        assert mnems == ["beq", "bne", "bge", "bge", "blt", "blt",
+                        "blt", "bge"]
+        # bgt swaps operands
+        assert (items[6][1].rs1, items[6][1].rs2) == (11, 10)
+
+    def test_jump_pseudos(self):
+        src = "f: j f\njal f\njr ra\nret\ncall f\ntail f\n"
+        __, items = listing(src)
+        mnems = [i.mnemonic for __, i in items]
+        assert mnems == ["jal", "jal", "jalr", "jalr", "jal", "jal"]
+        assert items[0][1].rd == 0   # j -> jal x0
+        assert items[1][1].rd == 1   # jal label -> jal ra
+
+    def test_fp_pseudos(self):
+        src = "fmv.s ft0, ft1\nfabs.s ft0, ft1\nfneg.s ft0, ft1\n"
+        __, items = listing(src)
+        assert [i.mnemonic for __, i in items] \
+            == ["fsgnj.s", "fsgnjx.s", "fsgnjn.s"]
+
+    def test_csr_pseudos(self):
+        __, items = listing("csrr t0, cycle\ncsrw fflags, t1\n")
+        assert items[0][1].mnemonic == "csrrs"
+        assert items[0][1].csr == 0xC00
+        assert items[1][1].mnemonic == "csrrw"
+
+
+class TestDataDirectives:
+    def test_word_half_byte(self):
+        program = assemble(
+            ".data\nw: .word 0x11223344\nh: .half 0x5566\nb: .byte 0x77\n")
+        mem = _load(program)
+        assert mem[program.symbol("w"):program.symbol("w") + 4] \
+            == b"\x44\x33\x22\x11"
+        assert mem[program.symbol("h"):program.symbol("h") + 2] \
+            == b"\x66\x55"
+        assert mem[program.symbol("b")] == 0x77
+
+    def test_float_directive(self):
+        program = assemble(".data\nf: .float 1.5, -2.0\n")
+        mem = _load(program)
+        base = program.symbol("f")
+        assert struct.unpack("<f", bytes(mem[base:base + 4]))[0] == 1.5
+        assert struct.unpack("<f", bytes(mem[base + 4:base + 8]))[0] == -2.0
+
+    def test_space_and_align(self):
+        program = assemble(
+            ".data\na: .byte 1\n.align 3\nb: .word 2\n")
+        assert program.symbol("b") % 8 == 0
+
+    def test_string(self):
+        program = assemble('.data\ns: .asciz "hi\\n"\n')
+        mem = _load(program)
+        base = program.symbol("s")
+        assert bytes(mem[base:base + 4]) == b"hi\n\x00"
+
+    def test_word_with_symbol(self):
+        program = assemble(
+            ".data\nptr: .word target\ntarget: .word 42\n")
+        mem = _load(program)
+        base = program.symbol("ptr")
+        value = struct.unpack("<I", bytes(mem[base:base + 4]))[0]
+        assert value == program.symbol("target")
+
+    def test_equ(self):
+        program, items = listing(".equ SIZE, 64\naddi a0, x0, SIZE\n")
+        assert items[0][1].imm == 64
+
+
+class TestErrors:
+    @pytest.mark.parametrize("source", [
+        "frobnicate a0, a1",
+        "add a0, a1",               # missing operand
+        "lw a0, a1",                # not a memory operand
+        "addi a0, x0, 10000",       # imm too large
+        "beq a0, a1, nowhere",      # undefined label
+        "x: nop\nx: nop",           # duplicate label
+        ".bogus 1",                 # unknown directive
+        "add a9, a1, a2",           # bad register name
+    ])
+    def test_raises_asm_error(self, source):
+        with pytest.raises(AsmError):
+            assemble(source)
+
+    def test_error_carries_line_number(self):
+        try:
+            assemble("nop\nbogus_op x0\n")
+        except AsmError as exc:
+            assert "line 2" in str(exc)
+        else:  # pragma: no cover
+            pytest.fail("expected AsmError")
+
+
+class TestHelpers:
+    def test_split_operands_nested_parens(self):
+        assert _split_operands("a0, %lo(sym)(t0), 4") \
+            == ["a0", "%lo(sym)(t0)", "4"]
+
+    def test_strip_comment_preserves_char_literal(self):
+        assert _strip_comment("addi t0, x0, '#'") == "addi t0, x0, '#'"
+
+
+class TestDisassembler:
+    def test_round_trip_formatting(self):
+        src = """
+        main:
+            addi t0, x0, 5
+            lw a0, 4(sp)
+            sw a0, -8(s0)
+            beq t0, t1, main
+            jal ra, main
+            fadd.s ft0, ft1, ft2
+            fmadd.s ft0, ft1, ft2, ft3
+            fcvt.w.s t0, ft1
+            simt_s t0, t1, t2, 3
+            simt_e t0, t2
+            ebreak
+        """
+        program = assemble(src)
+        for addr, instr in program.listing.items():
+            text = format_instruction(instr)
+            assert instr.mnemonic in text
+            # raw word disassembles to the same mnemonic
+            assert instr.mnemonic in disassemble(instr.raw)
+
+    def test_invalid_word(self):
+        assert "invalid" in disassemble(0)
+
+
+def _load(program):
+    """Flatten a program into a dict-like byte view for assertions."""
+    size = max(seg.base + len(seg.data) for seg in program.segments)
+    mem = bytearray(size + 16)
+    for seg in program.segments:
+        mem[seg.base:seg.base + len(seg.data)] = seg.data
+    return mem

@@ -1,0 +1,65 @@
+"""Command-line interface (python -m repro)."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "hotspot"])
+        assert args.workload == "hotspot"
+        assert args.config == "F4C16"
+        assert args.threads == 1
+        assert not args.simt
+
+    def test_experiment_choices(self):
+        for exp_id in EXPERIMENTS:
+            args = build_parser().parse_args(["experiment", exp_id])
+            assert args.id == exp_id
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "nn", "--config", "Z9"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "hotspot" in out
+        assert "F4C32" in out
+        assert "headline" in out
+
+    def test_run(self, capsys):
+        code = main(["run", "hotspot", "--scale", "0.25",
+                     "--config", "F4C2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "speedup" in out
+        assert "verified=True" in out
+
+    def test_run_simt(self, capsys):
+        code = main(["run", "lbm", "--scale", "0.25",
+                     "--config", "F4C16", "--simt"])
+        assert code == 0
+        assert "DiAG F4C16" in capsys.readouterr().out
+
+    def test_experiment_table2(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "F4C32" in out and "512" in out
+
+    def test_experiment_table3(self, capsys):
+        assert main(["experiment", "table3"]) == 0
+        assert "REGLANE" in capsys.readouterr().out
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1", "--scale", "0.25"]) == 0
+        assert "Fetch" in capsys.readouterr().out

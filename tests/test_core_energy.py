@@ -1,0 +1,126 @@
+"""Area / energy model (Table 3 seeds, clock-gating accounting)."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core import (
+    CONFIG_PRESETS,
+    DiAGProcessor,
+    EnergyModel,
+    F4C2,
+    F4C32,
+    I4C2,
+)
+from repro.core.energy import (
+    FPU_AREA_UM2,
+    PCLUSTER_AREA_MM2,
+    PE_AREA_UM2,
+    REGLANE_AREA_UM2,
+)
+
+
+class TestAreaReport:
+    def test_f4c32_matches_table3(self):
+        report = EnergyModel(F4C32).area_report()
+        assert report.pe_um2 == pytest.approx(97014)
+        assert report.reglane_um2 == pytest.approx(15731)
+        assert report.fpu_um2 == pytest.approx(66592)
+        assert report.cluster_mm2 == pytest.approx(2.208, rel=0.01)
+        assert report.top_mm2 == pytest.approx(93.07, rel=0.01)
+
+    def test_area_scales_with_clusters(self):
+        small = EnergyModel(F4C2).area_report()
+        large = EnergyModel(F4C32).area_report()
+        assert large.top_mm2 > small.top_mm2 * 10
+
+    def test_integer_config_has_no_fpu(self):
+        report = EnergyModel(I4C2).area_report()
+        assert report.fpu_um2 == 0.0
+        assert report.pe_um2 == pytest.approx(PE_AREA_UM2 - FPU_AREA_UM2)
+
+    def test_rows_render_like_table3(self):
+        rows = EnergyModel(F4C32).area_report().rows()
+        names = [name for name, __ in rows]
+        assert names[0] == "F4C32 (TOP)"
+        assert "PCLUSTER" in names
+        assert "REGLANE" in names
+
+    def test_peak_power_matches_paper(self):
+        assert EnergyModel(F4C32).peak_power_w() \
+            == pytest.approx(74.30, rel=0.01)
+
+    def test_cluster_composition_is_sane(self):
+        # 16 PEs + lanes must be most of a cluster (paper: FPUs are
+        # 48% of the cluster, lanes 16.3%)
+        pe_lane = 16 * (PE_AREA_UM2 + REGLANE_AREA_UM2) / 1e6
+        assert pe_lane < PCLUSTER_AREA_MM2
+        assert pe_lane > 0.7 * PCLUSTER_AREA_MM2
+
+
+def _run(src, config):
+    program = assemble(src)
+    proc = DiAGProcessor(config, program)
+    result = proc.run()
+    assert result.halted
+    report = EnergyModel(config).energy_report(result, proc.hierarchy)
+    return result, report
+
+
+FP_LOOP = """
+li s0, 0
+li s1, 64
+la s2, buf
+loop:
+    fcvt.s.w ft0, s0
+    fmul.s ft1, ft0, ft0
+    fadd.s ft2, ft1, ft0
+    fsw ft2, 0(s2)
+    addi s0, s0, 1
+    blt s0, s1, loop
+ebreak
+.data
+buf: .word 0
+"""
+
+INT_LOOP = FP_LOOP.replace("fcvt.s.w ft0, s0", "mv t0, s0") \
+    .replace("fmul.s ft1, ft0, ft0", "mul t1, t0, t0") \
+    .replace("fadd.s ft2, ft1, ft0", "add t2, t1, t0") \
+    .replace("fsw ft2, 0(s2)", "sw t2, 0(s2)")
+
+
+class TestEnergyReport:
+    def test_breakdown_sums_to_one(self):
+        __, report = _run(FP_LOOP, F4C2)
+        assert sum(report.breakdown().values()) == pytest.approx(1.0)
+
+    def test_all_components_positive(self):
+        __, report = _run(FP_LOOP, F4C2)
+        assert report.fpu_j > 0
+        assert report.lanes_j > 0
+        assert report.memory_j > 0
+        assert report.control_j > 0
+
+    def test_fp_code_burns_more_fpu_energy(self):
+        __, fp_report = _run(FP_LOOP, F4C2)
+        __, int_report = _run(INT_LOOP, F4C2)
+        assert fp_report.fpu_j > int_report.fpu_j
+
+    def test_clock_gating(self):
+        # With FP fully idle, FPU energy is only leakage: a small
+        # fraction of the lanes energy.
+        __, report = _run(INT_LOOP, F4C2)
+        assert report.fpu_j < report.lanes_j
+
+    def test_efficiency_is_inverse_energy(self):
+        __, report = _run(FP_LOOP, F4C2)
+        assert report.efficiency == pytest.approx(1.0 / report.total_j)
+
+    def test_integer_config_zero_fpu_energy(self):
+        __, report = _run(INT_LOOP, I4C2)
+        assert report.fpu_j == 0.0
+
+    def test_config_presets_complete(self):
+        for name in ("I4C2", "F4C2", "F4C16", "F4C32"):
+            assert name in CONFIG_PRESETS
+            cfg = CONFIG_PRESETS[name]
+            assert cfg.total_pes == cfg.num_clusters * cfg.pes_per_cluster

@@ -1,0 +1,149 @@
+"""Static simt-region analysis (paper Section 4.4.3 constraints)."""
+
+from repro.asm import assemble
+from repro.core.config import F4C2, F4C16
+from repro.core.simt import analyze_simt_regions
+
+
+def regions_of(src, config=F4C16):
+    program = assemble(src)
+    return program, analyze_simt_regions(program, config)
+
+
+SIMPLE = """
+li t0, 0
+li t1, 1
+li t2, 4
+simt_s t0, t1, t2, 1
+add t3, t0, t0
+simt_e t0, t2
+ebreak
+"""
+
+
+class TestAccept:
+    def test_simple_region_pipelineable(self):
+        program, regions = regions_of(SIMPLE)
+        assert len(regions) == 2  # keyed by both endpoints
+        region = next(iter(regions.values()))
+        assert region.pipelineable
+        assert region.body_length == 1
+
+    def test_keyed_by_both_addresses(self):
+        program, regions = regions_of(SIMPLE)
+        starts = {r.simt_s_addr for r in regions.values()}
+        ends = {r.end_addr for r in regions.values()}
+        assert regions[starts.pop()] is regions[ends.pop()]
+
+    def test_forward_branch_inside_ok(self):
+        src = """
+        li t0, 0
+        li t1, 1
+        li t2, 4
+        simt_s t0, t1, t2, 1
+        beqz t0, skip
+        addi t3, t3, 1
+        skip:
+        simt_e t0, t2
+        ebreak
+        """
+        __, regions = regions_of(src)
+        assert next(iter(regions.values())).pipelineable
+
+
+class TestReject:
+    def _reason(self, src, config=F4C16):
+        __, regions = regions_of(src, config)
+        region = next(iter(regions.values()))
+        assert not region.pipelineable
+        return region.reject_reason
+
+    def test_backward_branch(self):
+        src = """
+        li t0, 0
+        li t1, 1
+        li t2, 4
+        simt_s t0, t1, t2, 1
+        li t4, 0
+        inner: addi t4, t4, 1
+        blt t4, t1, inner
+        simt_e t0, t2
+        ebreak
+        """
+        assert "backward" in self._reason(src)
+
+    def test_call_inside(self):
+        src = """
+        li t0, 0
+        li t1, 1
+        li t2, 4
+        simt_s t0, t1, t2, 1
+        call helper
+        simt_e t0, t2
+        ebreak
+        helper: ret
+        """
+        reason = self._reason(src)
+        assert "call" in reason or "jalr" in reason \
+            or "escapes" in reason
+
+    def test_nested_region(self):
+        src = """
+        li t0, 0
+        li t1, 1
+        li t2, 4
+        li t3, 0
+        li t5, 2
+        simt_s t0, t1, t2, 1
+        simt_s t3, t1, t5, 1
+        add t4, t3, t0
+        simt_e t3, t5
+        simt_e t0, t2
+        ebreak
+        """
+        program, regions = regions_of(src)
+        outer = regions[min(r.simt_s_addr for r in regions.values())]
+        assert not outer.pipelineable
+        assert "nested" in outer.reject_reason
+
+    def test_too_large_for_ring(self):
+        body = "\n".join("add t3, t0, t0" for __ in range(40))
+        src = f"""
+        li t0, 0
+        li t1, 1
+        li t2, 4
+        simt_s t0, t1, t2, 1
+        {body}
+        simt_e t0, t2
+        ebreak
+        """
+        assert "clusters" in self._reason(src, config=F4C2)
+        # the same region fits a 16-cluster ring
+        __, regions = regions_of(src, F4C16)
+        assert next(iter(regions.values())).pipelineable
+
+    def test_branch_escaping_region(self):
+        src = """
+        li t0, 0
+        li t1, 1
+        li t2, 4
+        simt_s t0, t1, t2, 1
+        beqz t0, outside
+        simt_e t0, t2
+        nop
+        outside:
+        ebreak
+        """
+        assert "escapes" in self._reason(src)
+
+    def test_unterminated_region_ignored(self):
+        src = """
+        li t0, 0
+        li t1, 1
+        li t2, 4
+        simt_s t0, t1, t2, 1
+        add t3, t0, t0
+        ebreak
+        """
+        __, regions = regions_of(src)
+        assert regions == {}

@@ -1,0 +1,112 @@
+"""Experiment harness: runner caching, table experiments, rendering."""
+
+import pytest
+
+from repro.harness import (
+    clear_cache,
+    format_table,
+    render_experiment,
+    run_baseline,
+    run_diag,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from repro.harness.experiments import geomean
+
+
+class TestRunner:
+    def setup_method(self):
+        clear_cache()
+
+    def test_run_diag_record(self):
+        record = run_diag("hotspot", config="F4C2", scale=0.25)
+        assert record.machine == "diag"
+        assert record.verified
+        assert record.cycles > 0
+        assert record.ipc > 0
+        assert 0.99 <= sum(record.energy_breakdown.values()) <= 1.01
+
+    def test_run_baseline_record(self):
+        record = run_baseline("hotspot", scale=0.25)
+        assert record.machine == "ooo"
+        assert record.verified
+        assert record.energy_j > 0
+
+    def test_caching_returns_same_object(self):
+        a = run_diag("hotspot", config="F4C2", scale=0.25)
+        b = run_diag("hotspot", config="F4C2", scale=0.25)
+        assert a is b
+        clear_cache()
+        c = run_diag("hotspot", config="F4C2", scale=0.25)
+        assert c is not a
+
+    def test_overrides_change_cache_key(self):
+        a = run_diag("hotspot", config="F4C2", scale=0.25)
+        b = run_diag("hotspot", config="F4C2", scale=0.25,
+                     config_overrides={"enable_reuse": False})
+        assert a is not b
+
+    def test_simt_ignored_for_incapable(self):
+        record = run_diag("bfs", config="F4C2", scale=0.2, simt=True)
+        assert not record.simt
+
+    def test_threads_clamped_for_sequential_workloads(self):
+        record = run_baseline("mcf", scale=0.2, threads=12)
+        assert record.threads == 1
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+    def test_ignores_nonpositive(self):
+        assert geomean([4.0, 0.0]) == pytest.approx(4.0)
+
+
+class TestTableExperiments:
+    def test_table1_reuse_evidence(self):
+        result = run_table1(scale=0.25)
+        assert result["verified"]
+        # with reuse, fetched lines per instruction collapse
+        assert result["fetch_per_instr_with_reuse"] \
+            < result["fetch_per_instr_without_reuse"]
+        assert result["reuse_hits"] > 0
+        assert len(result["rows"]) == 9
+
+    def test_table2_matches_paper(self):
+        rows = run_table2()["rows"]
+        assert rows["F4C32"]["total_pes"] == 512
+        assert rows["F4C16"]["total_pes"] == 256
+        assert rows["F4C2"]["total_pes"] == 32
+        assert rows["I4C2"]["isa"] == "RV32I"
+        assert rows["F4C32"]["l2_mb"] == 4
+
+    def test_table3_area(self):
+        result = run_table3()
+        assert result["top_mm2"] == pytest.approx(
+            result["paper_top_mm2"], rel=0.01)
+        assert result["peak_power_w"] == pytest.approx(
+            result["paper_peak_power_w"], rel=0.01)
+
+
+class TestRendering:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbb"], [["1", "2"], ["333", "4"]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bbb" in lines[1]
+        assert len({len(line) for line in lines[1:]}) <= 2
+
+    def test_render_table_experiments(self):
+        assert "Fetch" in render_experiment("table1",
+                                            run_table1(scale=0.25))
+        assert "F4C32" in render_experiment("table2", run_table2())
+        assert "REGLANE" in render_experiment("table3", run_table3())
+
+    def test_render_unknown_falls_back(self):
+        assert render_experiment("nope", {"x": 1}) == repr({"x": 1})

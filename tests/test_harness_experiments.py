@@ -1,0 +1,97 @@
+"""Experiment runners on reduced suites (fast structural checks)."""
+
+import pytest
+
+import repro.harness.experiments as exp
+from repro.harness import clear_cache, render_experiment
+
+SCALE = 0.2
+
+
+@pytest.fixture()
+def small_suites(monkeypatch):
+    """Shrink the benchmark lists so each runner completes in seconds."""
+    monkeypatch.setattr(exp, "RODINIA", ["hotspot", "bfs"])
+    monkeypatch.setattr(exp, "SPEC", ["lbm", "mcf"])
+    monkeypatch.setattr(exp, "BASELINE_CORES", 3)
+    monkeypatch.setattr(exp, "MT_THREADS", 4)
+    monkeypatch.setattr(exp, "SIMT_POINTS", ((4, 2), (2, 4)))
+    monkeypatch.setattr(exp, "FIG11_BENCHMARKS", ("hotspot", "bfs"))
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestSingleThreadRunners:
+    def test_fig9a_structure(self, small_suites):
+        result = exp.run_fig9a(scale=SCALE)
+        assert set(result["benchmarks"]) == {"hotspot", "bfs"}
+        for row in result["benchmarks"].values():
+            assert row["baseline_verified"]
+            for config in ("F4C2", "F4C16", "F4C32"):
+                assert row[config]["cycles"] > 0
+                assert row[config]["verified"]
+        assert set(result["average"]) == {"F4C2", "F4C16", "F4C32"}
+        assert result["paper_average"]["F4C32"] == 1.12
+        text = render_experiment("fig9a", result)
+        assert "hotspot" in text and "GEOMEAN" in text
+
+    def test_fig10a_structure(self, small_suites):
+        result = exp.run_fig10a(scale=SCALE)
+        assert set(result["benchmarks"]) == {"lbm", "mcf"}
+        assert render_experiment("fig10a", result)
+
+
+class TestMultiThreadRunners:
+    def test_fig9b_structure(self, small_suites):
+        result = exp.run_fig9b(scale=SCALE)
+        for row in result["benchmarks"].values():
+            assert row["mt"]["verified"]
+            assert row["simt"]["verified"]
+            assert "regions_any_point" in row["simt"]
+        assert result["average"]["mt"] > 0
+        assert "spatial" in render_experiment("fig9b", result)
+
+    def test_fig10b_structure(self, small_suites):
+        result = exp.run_fig10b(scale=SCALE)
+        assert result["average"]["simt"] > 0
+        assert render_experiment("fig10b", result)
+
+
+class TestEnergyRunners:
+    def test_fig11_structure(self, small_suites):
+        result = exp.run_fig11(scale=SCALE)
+        for row in result["benchmarks"].values():
+            assert abs(sum(row["breakdown"].values()) - 1.0) < 1e-6
+        assert "%" in render_experiment("fig11", result)
+
+    def test_fig12_structure(self, small_suites):
+        result = exp.run_fig12(scale=SCALE)
+        for row in result["benchmarks"].values():
+            assert set(row) == {"single", "multi", "simt"}
+            assert all(v > 0 for v in row.values())
+        assert "GEOMEAN" in render_experiment("fig12", result)
+
+
+class TestAggregateRunners:
+    def test_stall_breakdown_structure(self, small_suites):
+        result = exp.run_stall_breakdown(scale=SCALE)
+        assert set(result["paper"]) == {"memory", "control", "other"}
+        if result["average"]:
+            assert abs(sum(result["average"].values()) - 1.0) < 1e-6
+        assert "Paper" in render_experiment("stalls", result)
+
+    def test_headline_structure(self, small_suites):
+        result = exp.run_headline(scale=SCALE)
+        assert len(result["per_benchmark"]) == 4
+        assert result["speedup"] > 0
+        assert result["efficiency"] > 0
+        assert "speedup" in render_experiment("headline", result)
+
+    def test_best_simt_record_picks_fastest(self, small_suites):
+        from repro.harness.runner import run_diag
+        best = exp.best_simt_record("hotspot", SCALE)
+        candidates = [run_diag("hotspot", config="F4C32", scale=SCALE,
+                               threads=t, num_clusters=c, simt=True)
+                      for t, c in exp.SIMT_POINTS]
+        assert best.cycles == min(c.cycles for c in candidates)

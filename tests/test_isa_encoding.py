@@ -1,0 +1,123 @@
+"""Bit-manipulation helpers (repro.isa.encoding) and register names."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.encoding import (
+    bit,
+    bits,
+    fits_signed,
+    fits_unsigned,
+    sign_extend,
+    to_signed32,
+    to_unsigned32,
+)
+from repro.isa.registers import (
+    ABI_NAMES,
+    FP_ABI_NAMES,
+    fp_reg_name,
+    is_fp_register_name,
+    parse_fp_register,
+    parse_register,
+    reg_name,
+)
+
+
+class TestBits:
+    def test_bits_extracts_field(self):
+        assert bits(0b1101_0110, 7, 4) == 0b1101
+
+    def test_bits_full_word(self):
+        assert bits(0xFFFFFFFF, 31, 0) == 0xFFFFFFFF
+
+    def test_bits_single(self):
+        assert bits(0b100, 2, 2) == 1
+
+    def test_bits_invalid_range(self):
+        with pytest.raises(ValueError):
+            bits(0, 3, 5)
+
+    def test_bit(self):
+        assert bit(0b1000, 3) == 1
+        assert bit(0b1000, 2) == 0
+
+
+class TestSignExtend:
+    def test_positive(self):
+        assert sign_extend(0x7FF, 12) == 0x7FF
+
+    def test_negative(self):
+        assert sign_extend(0x800, 12) == -2048
+        assert sign_extend(0xFFF, 12) == -1
+
+    def test_width_one(self):
+        assert sign_extend(1, 1) == -1
+        assert sign_extend(0, 1) == 0
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            sign_extend(0, 0)
+
+    @given(st.integers(min_value=0, max_value=0xFFF))
+    def test_12bit_roundtrip(self, value):
+        extended = sign_extend(value, 12)
+        assert extended & 0xFFF == value
+        assert -2048 <= extended <= 2047
+
+
+class TestSigned32:
+    def test_to_signed32(self):
+        assert to_signed32(0xFFFFFFFF) == -1
+        assert to_signed32(0x80000000) == -(1 << 31)
+        assert to_signed32(0x7FFFFFFF) == (1 << 31) - 1
+
+    def test_to_unsigned32(self):
+        assert to_unsigned32(-1) == 0xFFFFFFFF
+        assert to_unsigned32(1 << 32) == 0
+
+    @given(st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1))
+    def test_roundtrip(self, value):
+        assert to_signed32(to_unsigned32(value)) == value
+
+
+class TestFits:
+    def test_signed_bounds(self):
+        assert fits_signed(2047, 12)
+        assert fits_signed(-2048, 12)
+        assert not fits_signed(2048, 12)
+        assert not fits_signed(-2049, 12)
+
+    def test_unsigned_bounds(self):
+        assert fits_unsigned(31, 5)
+        assert not fits_unsigned(32, 5)
+        assert not fits_unsigned(-1, 5)
+
+
+class TestRegisters:
+    def test_abi_name_count(self):
+        assert len(ABI_NAMES) == 32
+        assert len(FP_ABI_NAMES) == 32
+        assert len(set(ABI_NAMES)) == 32
+
+    def test_parse_abi_and_numeric(self):
+        assert parse_register("sp") == 2
+        assert parse_register("x2") == 2
+        assert parse_register("a0") == 10
+        assert parse_register("fp") == 8
+        assert parse_register("s0") == 8
+
+    def test_parse_fp(self):
+        assert parse_fp_register("fa0") == 10
+        assert parse_fp_register("f31") == 31
+        assert is_fp_register_name("ft0")
+        assert not is_fp_register_name("t0")
+
+    def test_round_trip_names(self):
+        for i in range(32):
+            assert parse_register(reg_name(i)) == i
+            assert parse_fp_register(fp_reg_name(i)) == i
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            parse_register("x32")

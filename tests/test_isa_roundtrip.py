@@ -1,0 +1,201 @@
+"""Decoder/encoder consistency for every mnemonic in the ISA table."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import MNEMONICS, decode, encode
+from repro.isa.decoder import DecodeError
+from repro.isa.encoder import EncodeError
+from repro.isa.instructions import Instruction, InstrFormat
+
+regs = st.integers(min_value=0, max_value=31)
+
+
+def _sample_instruction(mnemonic, rd=1, rs1=2, rs2=3, rs3=4, imm=0,
+                        csr=0xC00):
+    info = MNEMONICS[mnemonic]
+    instr = Instruction(mnemonic)
+    fmt = info.fmt
+    if fmt in (InstrFormat.R, InstrFormat.R4, InstrFormat.I,
+               InstrFormat.U, InstrFormat.J, InstrFormat.CSR,
+               InstrFormat.CSRI, InstrFormat.SIMT_S):
+        instr.rd = rd
+    if fmt in (InstrFormat.R, InstrFormat.R4, InstrFormat.I,
+               InstrFormat.S, InstrFormat.B, InstrFormat.CSR,
+               InstrFormat.SIMT_S, InstrFormat.SIMT_E):
+        instr.rs1 = rs1
+    if fmt in (InstrFormat.R, InstrFormat.R4, InstrFormat.S,
+               InstrFormat.B, InstrFormat.SIMT_S, InstrFormat.SIMT_E):
+        instr.rs2 = rs2
+    if fmt is InstrFormat.R4:
+        instr.rs3 = rs3
+    if fmt in (InstrFormat.I, InstrFormat.S, InstrFormat.B,
+               InstrFormat.U, InstrFormat.J, InstrFormat.CSRI,
+               InstrFormat.SIMT_S):
+        instr.imm = imm
+    if fmt in (InstrFormat.CSR, InstrFormat.CSRI):
+        instr.csr = csr
+    if info.fixed_rs2 is not None:
+        instr.rs2 = info.fixed_rs2
+    return instr
+
+
+def _valid_imm(fmt, info):
+    if fmt is InstrFormat.I:
+        return 5 if info.funct7 is not None else -7
+    if fmt is InstrFormat.S:
+        return -12
+    if fmt is InstrFormat.B:
+        return -8
+    if fmt is InstrFormat.U:
+        return 0x12345 << 12
+    if fmt is InstrFormat.J:
+        return 2048
+    if fmt is InstrFormat.CSRI:
+        return 13
+    if fmt is InstrFormat.SIMT_S:
+        return 5
+    return 0
+
+
+@pytest.mark.parametrize("mnemonic", sorted(MNEMONICS))
+def test_every_mnemonic_round_trips(mnemonic):
+    info = MNEMONICS[mnemonic]
+    instr = _sample_instruction(mnemonic,
+                                imm=_valid_imm(info.fmt, info))
+    word = encode(instr)
+    back = decode(word)
+    assert back.mnemonic == mnemonic
+    assert encode(back) == word
+
+
+@pytest.mark.parametrize("mnemonic", sorted(MNEMONICS))
+def test_decoded_fields_match(mnemonic):
+    info = MNEMONICS[mnemonic]
+    instr = _sample_instruction(mnemonic, rd=5, rs1=6, rs2=7, rs3=8,
+                                imm=_valid_imm(info.fmt, info))
+    back = decode(encode(instr))
+    fmt = info.fmt
+    if info.rd_file is not None and fmt not in (InstrFormat.SYS,
+                                                InstrFormat.FENCE):
+        assert back.rd == instr.rd
+    if fmt in (InstrFormat.I, InstrFormat.S, InstrFormat.B,
+               InstrFormat.U, InstrFormat.J, InstrFormat.CSRI,
+               InstrFormat.SIMT_S):
+        assert back.imm == instr.imm, mnemonic
+
+
+class TestImmediateEdges:
+    def test_branch_max_offsets(self):
+        for imm in (-4096, 4094, 0):
+            word = encode(Instruction("beq", rs1=1, rs2=2, imm=imm))
+            assert decode(word).imm == imm
+
+    def test_branch_out_of_range(self):
+        with pytest.raises(EncodeError):
+            encode(Instruction("beq", rs1=1, rs2=2, imm=4096))
+
+    def test_branch_misaligned(self):
+        with pytest.raises(EncodeError):
+            encode(Instruction("beq", rs1=1, rs2=2, imm=3))
+
+    def test_jal_range(self):
+        for imm in (-(1 << 20), (1 << 20) - 2):
+            assert decode(encode(Instruction("jal", rd=1, imm=imm))).imm \
+                == imm
+
+    def test_i_type_range(self):
+        for imm in (-2048, 2047):
+            assert decode(encode(
+                Instruction("addi", rd=1, rs1=1, imm=imm))).imm == imm
+        with pytest.raises(EncodeError):
+            encode(Instruction("addi", rd=1, rs1=1, imm=2048))
+
+    def test_store_negative_offset(self):
+        word = encode(Instruction("sw", rs1=2, rs2=3, imm=-4))
+        assert decode(word).imm == -4
+
+    def test_shift_amount(self):
+        assert decode(encode(
+            Instruction("srai", rd=1, rs1=1, imm=31))).imm == 31
+        with pytest.raises(EncodeError):
+            encode(Instruction("slli", rd=1, rs1=1, imm=32))
+
+    def test_lui_low_bits_rejected(self):
+        with pytest.raises(EncodeError):
+            encode(Instruction("lui", rd=1, imm=0x123))
+
+    def test_simt_s_interval_range(self):
+        instr = Instruction("simt_s", rd=5, rs1=6, rs2=7, imm=127)
+        assert decode(encode(instr)).imm == 127
+        with pytest.raises(EncodeError):
+            encode(Instruction("simt_s", rd=5, rs1=6, rs2=7, imm=128))
+
+
+class TestDecodeErrors:
+    def test_unknown_opcode(self):
+        with pytest.raises(DecodeError):
+            decode(0x0000007F)
+
+    def test_unknown_funct(self):
+        # opcode OP with an unused funct7 pattern
+        with pytest.raises(DecodeError):
+            decode(0b1111111_00001_00001_000_00001_0110011)
+
+    def test_all_zero_word(self):
+        with pytest.raises(DecodeError):
+            decode(0)
+
+
+@given(rd=regs, rs1=regs, rs2=regs,
+       imm=st.integers(min_value=-2048, max_value=2047))
+def test_property_itype_roundtrip(rd, rs1, rs2, imm):
+    instr = Instruction("addi", rd=rd, rs1=rs1, imm=imm)
+    back = decode(encode(instr))
+    assert (back.rd, back.rs1, back.imm) == (rd, rs1, imm)
+
+
+@given(rd=regs, rs1=regs, rs2=regs)
+def test_property_rtype_roundtrip(rd, rs1, rs2):
+    instr = Instruction("xor", rd=rd, rs1=rs1, rs2=rs2)
+    back = decode(encode(instr))
+    assert (back.rd, back.rs1, back.rs2) == (rd, rs1, rs2)
+
+
+@given(imm=st.integers(min_value=-2048, max_value=2046).map(
+    lambda x: x * 2))
+def test_property_branch_roundtrip(imm):
+    back = decode(encode(Instruction("bne", rs1=3, rs2=4, imm=imm)))
+    assert back.imm == imm
+
+
+class TestInstructionProperties:
+    def test_sources_elide_x0(self):
+        instr = decode(encode(Instruction("add", rd=1, rs1=0, rs2=2)))
+        assert instr.sources == [("x", 2)]
+
+    def test_dest_none_for_x0(self):
+        instr = decode(encode(Instruction("add", rd=0, rs1=1, rs2=2)))
+        assert instr.dest is None
+
+    def test_fp_register_files(self):
+        instr = Instruction("fcvt.s.w", rd=3, rs1=4)
+        assert instr.dest == ("f", 3)
+        assert instr.sources == [("x", 4)]
+
+    def test_fma_reads_three_fp(self):
+        instr = Instruction("fmadd.s", rd=1, rs1=2, rs2=3, rs3=4)
+        assert instr.sources == [("f", 2), ("f", 3), ("f", 4)]
+
+    def test_store_has_no_dest(self):
+        assert Instruction("sw", rs1=1, rs2=2).dest is None
+
+    def test_classification_flags(self):
+        assert Instruction("lw", rd=1, rs1=2).is_load
+        assert Instruction("sw", rs1=1, rs2=2).is_store
+        assert Instruction("beq", rs1=1, rs2=2).is_branch
+        assert Instruction("jal", rd=1).is_jump
+        assert Instruction("fadd.s", rd=1, rs1=2, rs2=3).is_fp
+        assert Instruction("simt_s", rd=1, rs1=2, rs2=3).is_simt
+        assert Instruction("ebreak").is_system

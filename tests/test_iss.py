@@ -1,0 +1,258 @@
+"""Functional ISS: programs, control flow, simt sequential semantics."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.iss import HaltReason, ISS, SimError
+
+
+def run_source(src, **kwargs):
+    iss = ISS(assemble(src), **kwargs)
+    reason = iss.run()
+    return iss, reason
+
+
+class TestBasics:
+    def test_halts_on_ebreak(self):
+        iss, reason = run_source("li a0, 7\nebreak\n")
+        assert reason is HaltReason.EBREAK
+        assert iss.x[10] == 7
+
+    def test_halts_on_ecall(self):
+        __, reason = run_source("ecall\n")
+        assert reason is HaltReason.ECALL
+
+    def test_max_steps(self):
+        iss = ISS(assemble("spin: j spin\n"))
+        assert iss.run(max_steps=100) is HaltReason.MAX_STEPS
+        assert iss.stats.instructions == 100
+
+    def test_x0_is_hardwired(self):
+        iss, __ = run_source("addi x0, x0, 5\nmv a0, x0\nebreak\n")
+        assert iss.x[10] == 0
+
+    def test_stack_pointer_initialized(self):
+        iss = ISS(assemble("ebreak\n"))
+        assert iss.x[2] == ISS.STACK_TOP
+
+    def test_bad_pc_raises(self):
+        iss = ISS(assemble("j nowhere_near\nnowhere_near:\n ebreak"))
+        iss.step()
+        # jump lands on ebreak; instead craft a jump out of .text:
+        iss2 = ISS(assemble("jr ra\nebreak\n"))  # ra = 0 -> no instruction
+        with pytest.raises(SimError):
+            iss2.run()
+
+    def test_trace_hook(self):
+        seen = []
+        iss = ISS(assemble("nop\nnop\nebreak\n"),
+                  trace=lambda pc, instr: seen.append(pc))
+        iss.run()
+        assert seen == [0x1000, 0x1004, 0x1008]
+
+
+class TestControlFlow:
+    def test_loop_sum(self):
+        src = """
+        li t0, 0
+        li t1, 1
+        li t2, 101
+        loop:
+            add t0, t0, t1
+            addi t1, t1, 1
+            blt t1, t2, loop
+        ebreak
+        """
+        iss, __ = run_source(src)
+        assert iss.x[5] == sum(range(1, 101))
+
+    def test_call_and_return(self):
+        src = """
+        main:
+            li a0, 5
+            call double
+            ebreak
+        double:
+            add a0, a0, a0
+            ret
+        """
+        iss, __ = run_source(src)
+        assert iss.x[10] == 10
+
+    def test_recursive_factorial(self):
+        src = """
+        main:
+            li a0, 6
+            call fact
+            ebreak
+        fact:
+            addi sp, sp, -8
+            sw ra, 0(sp)
+            sw a0, 4(sp)
+            li t0, 2
+            blt a0, t0, base
+            addi a0, a0, -1
+            call fact
+            lw t1, 4(sp)
+            mul a0, a0, t1
+            j done
+        base:
+            li a0, 1
+        done:
+            lw ra, 0(sp)
+            addi sp, sp, 8
+            ret
+        """
+        iss, __ = run_source(src)
+        assert iss.x[10] == 720
+
+    def test_branch_stats(self):
+        src = """
+        li t0, 3
+        loop: addi t0, t0, -1
+        bnez t0, loop
+        ebreak
+        """
+        iss, __ = run_source(src)
+        assert iss.stats.branches == 3
+        assert iss.stats.taken_branches == 2
+
+
+class TestSimtSequential:
+    def test_basic_region(self):
+        src = """
+        la a2, out
+        li t0, 0
+        li t1, 1
+        li t2, 8
+        simt_s t0, t1, t2, 1
+        slli t3, t0, 2
+        add  t3, t3, a2
+        sw   t0, 0(t3)
+        simt_e t0, t2
+        ebreak
+        .data
+        out: .space 32
+        """
+        iss, __ = run_source(src)
+        out = iss.program.symbol("out")
+        assert iss.memory.snapshot_words(out, 8) == list(range(8))
+        assert iss.stats.simt_iterations == 8
+
+    def test_negative_step(self):
+        src = """
+        la a2, out
+        li t0, 7
+        li t1, -1
+        li t2, 3
+        li t4, 0
+        simt_s t0, t1, t2, 1
+        addi t4, t4, 1
+        simt_e t0, t2
+        ebreak
+        .data
+        out: .word 0
+        """
+        iss, __ = run_source(src)
+        assert iss.x[29] == 4  # iterations: rc = 7,6,5,4
+
+    def test_zero_step_runs_once(self):
+        src = """
+        li t0, 0
+        li t1, 0
+        li t2, 100
+        li t4, 0
+        simt_s t0, t1, t2, 1
+        addi t4, t4, 1
+        simt_e t0, t2
+        ebreak
+        """
+        iss, __ = run_source(src)
+        assert iss.x[29] == 1
+
+    def test_nested_regions(self):
+        src = """
+        li s4, 0
+        li t0, 0
+        li t1, 1
+        li t2, 3
+        simt_s t0, t1, t2, 1
+        li t3, 0
+        li t5, 1
+        li t6, 2
+        simt_s t3, t5, t6, 1
+        addi s4, s4, 1
+        simt_e t3, t6
+        simt_e t0, t2
+        ebreak
+        """
+        iss, __ = run_source(src)
+        assert iss.x[20] == 6  # 3 outer x 2 inner
+
+    def test_simt_e_without_s_raises(self):
+        with pytest.raises(SimError):
+            run_source("simt_e t0, t1\nebreak\n")
+
+    def test_mismatched_rc_raises(self):
+        src = """
+        li t0, 0
+        li t1, 1
+        li t2, 2
+        simt_s t0, t1, t2, 1
+        simt_e t3, t2
+        ebreak
+        """
+        with pytest.raises(SimError):
+            run_source(src)
+
+
+class TestCSR:
+    def test_cycle_counter_monotonic(self):
+        src = """
+        csrr t0, cycle
+        nop
+        nop
+        csrr t1, cycle
+        ebreak
+        """
+        iss, __ = run_source(src)
+        assert iss.x[6] > iss.x[5]
+
+    def test_csrrw_readwrite(self):
+        src = """
+        li t0, 3
+        csrw fflags, t0
+        csrr t1, fflags
+        ebreak
+        """
+        iss, __ = run_source(src)
+        assert iss.x[6] == 3
+
+    def test_csrrs_sets_bits(self):
+        src = """
+        li t0, 1
+        csrw fflags, t0
+        li t1, 4
+        csrrs t2, fflags, t1
+        csrr t3, fflags
+        ebreak
+        """
+        iss, __ = run_source(src)
+        assert iss.x[7] == 1    # old value
+        assert iss.x[28] == 5   # 1 | 4
+
+    def test_mhartid_zero(self):
+        iss, __ = run_source("csrr t0, mhartid\nebreak\n")
+        assert iss.x[5] == 0
+
+
+class TestStats:
+    def test_mnemonic_counts(self):
+        iss, __ = run_source("nop\nnop\nlw t0, 0(sp)\nebreak\n")
+        assert iss.stats.mnemonic_counts["addi"] == 2
+        assert iss.stats.loads == 1
+
+    def test_fp_count(self):
+        iss, __ = run_source(
+            "fmv.w.x ft0, x0\nfadd.s ft1, ft0, ft0\nebreak\n")
+        assert iss.stats.fp_ops == 2

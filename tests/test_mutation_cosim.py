@@ -1,0 +1,127 @@
+"""Failure-injection co-simulation.
+
+Mutate one instruction of a known-good program into a different *valid*
+instruction and run the mutant on all three machines: whatever the
+mutant now computes, the machines must still agree bit-for-bit (or all
+fail to halt). This probes the equivalence property far from the
+happy path — squash logic, disabled slots, and forwarding must behave
+identically even for programs no compiler would emit.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.asm import assemble
+from repro.baseline import OoOConfig, OoOCore
+from repro.core import DiAGProcessor, F4C2
+from repro.isa import decode, encode
+from repro.isa.instructions import Instruction
+from repro.iss import ISS, SimError
+
+BASE_PROGRAM = """
+main:
+    la   s2, data
+    li   s0, 0
+    li   s1, 10
+loop:
+    slli t0, s0, 2
+    add  t0, t0, s2
+    lw   t1, 0(t0)
+    add  s3, s3, t1
+    andi t2, s0, 1
+    beqz t2, even
+    xor  s4, s4, t1
+even:
+    sw   s3, 40(s2)
+    addi s0, s0, 1
+    blt  s0, s1, loop
+    la   t3, dump
+    sw   s3, 0(t3)
+    sw   s4, 4(t3)
+    ebreak
+.data
+data: .word 3, 1, 4, 1, 5, 9, 2, 6, 5, 3
+.space 8
+dump: .space 8
+"""
+
+# replacement instructions that keep the program decodable
+MUTANTS = [
+    Instruction("addi", rd=5, rs1=5, imm=1),
+    Instruction("xor", rd=6, rs1=5, rs2=6),
+    Instruction("sub", rd=28, rs1=9, rs2=5),
+    Instruction("sltiu", rd=7, rs1=6, imm=100),
+    Instruction("andi", rd=9, rs1=9, imm=255),
+    Instruction("lw", rd=6, rs1=18, imm=8),
+    Instruction("sw", rs1=18, rs2=5, imm=44),
+    Instruction("beq", rs1=5, rs2=6, imm=8),
+]
+
+
+def _mutate(program, index, mutant):
+    """Overwrite the index-th instruction with ``mutant``; returns the
+    raw word patched into every machine's memory image."""
+    addrs = sorted(program.listing)
+    addr = addrs[index % len(addrs)]
+    instr = program.listing[addr]
+    if instr.mnemonic in ("ebreak", "jal", "jalr"):
+        return None, None  # keep the program halting and decodable
+    word = encode(mutant)
+    new_instr = decode(word, addr=addr)
+    program.listing[addr] = new_instr
+    # patch the byte image so raw-memory decoders agree
+    for seg in program.segments:
+        if seg.base <= addr < seg.base + len(seg.data):
+            off = addr - seg.base
+            seg.data[off:off + 4] = word.to_bytes(4, "little")
+    return addr, new_instr
+
+
+def _run_all(program):
+    """(halted?, dump bytes) for each machine; SimError counts as a
+    non-halt (the ISS walked off the listing)."""
+    dump = program.symbol("dump")
+    outcomes = []
+
+    iss = ISS(program)
+    try:
+        reason = iss.run(max_steps=20_000)
+        halted = reason is not None and reason.value == "ebreak"
+    except SimError:
+        halted = False
+    outcomes.append((halted, iss.memory.read_bytes(dump, 8)))
+
+    core = OoOCore(OoOConfig(), program)
+    core.run(max_cycles=60_000)
+    outcomes.append((core.halted,
+                     core.hierarchy.memory.read_bytes(dump, 8)))
+
+    proc = DiAGProcessor(F4C2, program)
+    result = proc.run(max_cycles=60_000)
+    outcomes.append((result.halted, proc.memory.read_bytes(dump, 8)))
+    return outcomes
+
+
+@given(index=st.integers(min_value=0, max_value=20),
+       mutant_index=st.integers(min_value=0, max_value=len(MUTANTS) - 1))
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_machines_agree_on_mutants(index, mutant_index):
+    program = assemble(BASE_PROGRAM)
+    addr, mutant = _mutate(program, index, MUTANTS[mutant_index])
+    if addr is None:
+        return
+    iss_out, ooo_out, diag_out = _run_all(program)
+    assert iss_out[0] == ooo_out[0] == diag_out[0], \
+        f"halt disagreement after mutating {addr:#x} to {mutant}"
+    if iss_out[0]:
+        assert iss_out[1] == ooo_out[1] == diag_out[1], \
+            f"state disagreement after mutating {addr:#x} to {mutant}"
+
+
+def test_unmutated_baseline_halts():
+    program = assemble(BASE_PROGRAM)
+    outcomes = _run_all(program)
+    assert all(halted for halted, __ in outcomes)
+    assert len({bytes(dump) for __, dump in outcomes}) == 1

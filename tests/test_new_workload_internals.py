@@ -1,0 +1,160 @@
+"""Internals of the btree / cfd / myocyte / leela / omnetpp / xalancbmk
+workloads (input generators and references)."""
+
+import heapq
+
+import numpy as np
+import pytest
+
+from repro.workloads.rodinia.btree import (
+    FANOUT,
+    LEAF_WORDS,
+    LEVELS,
+    NODE_WORDS,
+    _build_tree,
+)
+from repro.workloads.rodinia.myocyte import STATES, _reference as myo_ref
+from repro.workloads.spec.leela import (
+    MOVES,
+    _popcount,
+    _reference as leela_ref,
+    _xorshift32,
+)
+from repro.workloads.spec.omnetpp import _reference as omnet_ref
+from repro.workloads.spec.xalancbmk import (
+    TABLE_SIZE,
+    _build_table,
+    _fnv,
+)
+
+
+class TestBTreeBuild:
+    def setup_method(self):
+        n = FANOUT ** (LEVELS + 1)
+        self.keys = np.arange(10, 10 + 3 * n, 3, dtype=np.int32)
+        self.values = self.keys * 7
+        self.blob, self.root, self.leaf_base = _build_tree(
+            self.keys, self.values)
+
+    def _search(self, query):
+        """Software walk mirroring the assembly kernel."""
+        offset = self.root
+        for __ in range(LEVELS):
+            base = offset // 4
+            for c in range(FANOUT - 1):
+                if query < self.blob[base + c]:
+                    offset = int(self.blob[base + 3 + c])
+                    break
+            else:
+                offset = int(self.blob[base + 3 + FANOUT - 1])
+        base = offset // 4
+        for k in range(FANOUT):
+            if self.blob[base + k] == query:
+                return int(self.blob[base + FANOUT + k])
+        return -1
+
+    def test_every_key_findable(self):
+        for key, value in zip(self.keys, self.values):
+            assert self._search(int(key)) == int(value)
+
+    def test_absent_key_misses(self):
+        assert self._search(11) == -1  # between keys
+
+    def test_blob_geometry(self):
+        n_internal = sum(FANOUT ** i for i in range(LEVELS))
+        n_leaves = len(self.keys) // FANOUT
+        assert len(self.blob) == n_internal * NODE_WORDS \
+            + n_leaves * LEAF_WORDS
+        assert self.leaf_base == n_internal * NODE_WORDS
+
+
+class TestMyocyteReference:
+    def test_deterministic_and_bounded(self):
+        y0 = np.array([0.2, 0.3, 0.25, 0.1], dtype=np.float32)
+        a = np.ones(STATES, dtype=np.float32)
+        out = myo_ref(y0, a, np.float32(0.05), np.float32(0.01), 50)
+        assert out.shape == (STATES,)
+        assert np.all(np.isfinite(out))
+        again = myo_ref(y0, a, np.float32(0.05), np.float32(0.01), 50)
+        assert np.array_equal(out, again)
+
+    def test_zero_steps_identity(self):
+        y0 = np.array([0.2, 0.3, 0.25, 0.1], dtype=np.float32)
+        a = np.ones(STATES, dtype=np.float32)
+        assert np.array_equal(
+            myo_ref(y0, a, np.float32(0.1), np.float32(0.0), 0), y0)
+
+
+class TestLeela:
+    def test_xorshift_never_zero(self):
+        state = 1
+        seen = set()
+        for __ in range(1000):
+            state = _xorshift32(state)
+            assert state != 0
+            seen.add(state)
+        assert len(seen) == 1000  # no short cycle
+
+    def test_scores_bounded_by_moves(self):
+        seeds = np.arange(1, 20, dtype=np.int32)
+        scores = leela_ref(seeds)
+        assert (scores >= 1).all()
+        assert (scores <= MOVES).all()
+
+    def test_popcount(self):
+        assert _popcount(0) == 0
+        assert _popcount(0xFFFFFFFF) == 32
+
+
+class TestOmnetpp:
+    def test_checksum_matches_heapq_replace(self):
+        rng = np.random.default_rng(1)
+        times = rng.integers(0, 100, 16).astype(np.int32)
+        deltas = rng.integers(1, 10, 40).astype(np.int32)
+        checksum, __ = omnet_ref(times, deltas)
+        # independent recomputation with heapreplace
+        heap = [int(t) for t in times]
+        heapq.heapify(heap)
+        check2 = 0
+        for d in deltas:
+            top = heap[0]
+            check2 = (check2 + top) & 0xFFFFFFFF
+            heapq.heapreplace(heap, top + int(d))
+        assert checksum == check2
+
+    def test_min_monotone_nondecreasing(self):
+        # popped minima never decrease when all deltas are positive
+        times = np.array([5, 3, 9, 1], dtype=np.int32)
+        deltas = np.full(20, 7, dtype=np.int32)
+        heap = [int(t) for t in times]
+        heapq.heapify(heap)
+        last = -1
+        for d in deltas:
+            top = heapq.heappop(heap)
+            assert top >= last
+            last = top
+            heapq.heappush(heap, top + int(d))
+
+
+class TestXalancbmk:
+    def test_fnv_distributes(self):
+        tokens = [np.frombuffer(f"token{i:03d}".encode(), dtype=np.uint8)
+                  for i in range(64)]
+        hashes = {_fnv(t) % TABLE_SIZE for t in tokens}
+        assert len(hashes) > 32  # no catastrophic clustering
+
+    def test_table_probe_invariant(self):
+        rng = np.random.default_rng(2)
+        tokens = rng.integers(65, 91, size=(48, 8)).astype(np.uint8)
+        slots, index_of = _build_table(tokens)
+        # every distinct token findable by linear probing from its home
+        for tid, token in enumerate(tokens):
+            home = _fnv(token) % TABLE_SIZE
+            slot = home
+            for __ in range(TABLE_SIZE):
+                cand = slots[slot]
+                assert cand != -1, "hit an empty slot before the match"
+                if np.array_equal(tokens[cand], token):
+                    break
+                slot = (slot + 1) % TABLE_SIZE
+            assert slot == index_of[token.tobytes()]

@@ -1,0 +1,153 @@
+"""Out-of-order baseline microarchitecture details."""
+
+from repro.asm import assemble
+from repro.baseline import OoOConfig, OoOCore
+
+
+def run(src, **config_kwargs):
+    config = OoOConfig(**config_kwargs) if config_kwargs else OoOConfig()
+    core = OoOCore(config, assemble(src))
+    result = core.run(max_cycles=300_000)
+    assert core.halted
+    return core, result
+
+
+class TestROB:
+    def test_capacity_bounds_inflight(self):
+        # a DRAM-latency load at the head keeps the ROB full behind it
+        src = """
+        la t0, far
+        lw t1, 0(t0)
+        """ + "\n".join(f"addi t2, t2, {i}" for i in range(64)) + """
+        ebreak
+        .data
+        far: .word 5
+        """
+        core, result = run(src, rob_size=16)
+        # small ROB: the 64 adds can't all enter at once, so the run
+        # takes longer than with a big ROB
+        big_core, big_result = run(src, rob_size=224)
+        assert result.cycles >= big_result.cycles
+
+    def test_rob_never_overflows(self):
+        src = "\n".join(f"addi t0, t0, 1" for __ in range(300)) \
+            + "\nebreak\n"
+        config = OoOConfig(rob_size=32)
+        core = OoOCore(config, assemble(src))
+        while not core.halted:
+            core.step()
+            assert len(core.rob) <= config.rob_size
+
+
+class TestFrontend:
+    def test_frontend_latency_delays_first_issue(self):
+        fast_core, fast = run("li t0, 1\nebreak\n", frontend_latency=2)
+        slow_core, slow = run("li t0, 1\nebreak\n", frontend_latency=12)
+        assert slow.cycles > fast.cycles
+
+    def test_icache_miss_stalls_fetch(self):
+        # program spanning several lines: the first access to each
+        # line costs L2/DRAM on a cold I-cache
+        src = "\n".join("addi t0, t0, 1" for __ in range(64)) \
+            + "\nebreak\n"
+        core, result = run(src)
+        assert core.hierarchy.l1i.stats.misses >= 4
+
+    def test_btb_learns_indirect_targets(self):
+        # an indirect jump in a loop: first encounter blocks fetch, the
+        # BTB predicts it afterwards
+        src = """
+        la s2, hop
+        li s0, 0
+        li s1, 30
+        loop:
+        jr s2
+        nop
+        hop:
+        addi s0, s0, 1
+        blt s0, s1, loop
+        ebreak
+        """
+        core, result = run(src)
+        assert core.btb  # learned at least one target
+        # no repeated full stalls: the loop runs at a sane rate
+        assert result.cycles < 30 * 40
+
+
+class TestIssueDiscipline:
+    def test_issue_width_bounds_throughput(self):
+        # loop so I-lines warm up and width (not fetch) is the limiter
+        body = "\n".join(f"addi t{i % 3}, x0, {i}" for i in range(12))
+        src = f"""
+        li s0, 0
+        li s1, 40
+        loop:
+{body}
+        addi s0, s0, 1
+        blt s0, s1, loop
+        ebreak
+        """
+        narrow_core, narrow = run(src, issue_width=1, retire_width=1,
+                                  num_alu=1)
+        wide_core, wide = run(src)
+        assert narrow.cycles > wide.cycles
+        assert narrow.ipc <= 1.01
+        assert wide.ipc > 1.5
+
+    def test_fu_contention_divides(self):
+        src = "li s2, 99\nli s3, 7\n" + \
+            "\n".join(f"div t{i % 4}, s2, s3" for i in range(8)) \
+            + "\nebreak\n"
+        one_core, one = run(src, num_div=1)
+        four_core, four = run(src, num_div=4)
+        assert four.cycles < one.cycles
+
+    def test_loads_respect_port_count(self):
+        src = "la s2, data\n" + \
+            "\n".join(f"lw t{i % 4}, {4 * i}(s2)" for i in range(16)) \
+            + "\nebreak\n.data\ndata: .space 64\n"
+        one_core, one = run(src, num_load_ports=1)
+        two_core, two = run(src, num_load_ports=4)
+        assert two.cycles <= one.cycles
+
+
+class TestSquash:
+    def test_wrong_path_stores_never_commit(self):
+        # the not-taken arm stores a poison value; prediction follows
+        # the wrong path first (forward branches predict not-taken via
+        # gshare warmup) but the store must never drain
+        src = """
+        la s2, data
+        li t0, 1
+        bnez t0, good
+        li t1, 0xBAD
+        sw t1, 0(s2)
+        good:
+        li t1, 0x600D
+        sw t1, 4(s2)
+        ebreak
+        .data
+        data: .word 0, 0
+        """
+        core, result = run(src)
+        assert core.hierarchy.memory.read_word(
+            core.program.symbol("data")) == 0
+        assert core.hierarchy.memory.read_word(
+            core.program.symbol("data") + 4) == 0x600D
+
+    def test_mispredict_penalty_config(self):
+        src = """
+        li s0, 0
+        li s1, 40
+        loop:
+        andi t0, s0, 1
+        beqz t0, skip
+        addi s2, s2, 1
+        skip:
+        addi s0, s0, 1
+        blt s0, s1, loop
+        ebreak
+        """
+        cheap_core, cheap = run(src, mispredict_penalty=2)
+        costly_core, costly = run(src, mispredict_penalty=30)
+        assert costly.cycles > cheap.cycles

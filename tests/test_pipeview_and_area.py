@@ -1,0 +1,104 @@
+"""Pipeline viewer + 64-bit area projection (paper Section 6.1.1)."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core import DiAGProcessor, EnergyModel, F4C2, F4C32
+from repro.harness.pipeview import PipeTracer
+
+
+class TestPipeTracer:
+    def _traced_run(self, src):
+        program = assemble(src)
+        proc = DiAGProcessor(F4C2, program)
+        tracer = PipeTracer.attach(proc.rings[0])
+        result = proc.run()
+        assert result.halted
+        return tracer
+
+    def test_records_lifetimes(self):
+        tracer = self._traced_run("""
+        li t0, 1
+        li t1, 2
+        add t2, t0, t1
+        mul t3, t2, t2
+        ebreak
+        """)
+        assert len(tracer.lives) >= 5
+        lives = sorted(tracer.lives.values(), key=lambda l: l.seq)
+        add = next(l for l in lives if "add" in l.label)
+        assert add.dispatch >= 0
+        assert add.final_state == "retired"
+
+    def test_render_contains_marks(self):
+        tracer = self._traced_run("""
+        li t0, 0
+        li t1, 8
+        loop:
+        addi t0, t0, 1
+        blt t0, t1, loop
+        ebreak
+        """)
+        chart = tracer.render(limit=20)
+        assert "cycles" in chart
+        assert "addi" in chart
+        assert "R" in chart  # at least one retirement marked
+
+    def test_render_empty(self):
+        program = assemble("ebreak\n")
+        proc = DiAGProcessor(F4C2, program)
+        tracer = PipeTracer(ring=proc.rings[0])
+        assert "no instructions" in tracer.render()
+
+    def test_squash_rendered(self):
+        # forward taken branch leaves squashed/disabled shadows
+        tracer = self._traced_run("""
+        li t0, 1
+        bnez t0, over
+        addi t1, t1, 1
+        addi t1, t1, 2
+        over:
+        ebreak
+        """)
+        chart = tracer.render(limit=30)
+        assert "x" in chart or "d" in chart
+
+    def test_limit_respected(self):
+        tracer = self._traced_run("""
+        li t0, 0
+        li t1, 64
+        loop:
+        addi t0, t0, 1
+        blt t0, t1, loop
+        ebreak
+        """)
+        chart = tracer.render(limit=5)
+        # header + at most 5 rows
+        assert len(chart.splitlines()) <= 6
+
+
+class TestArea64Bit:
+    def test_naive_scaling_is_expensive(self):
+        est = EnergyModel(F4C32).area_64bit_estimate()
+        assert est["cluster_64bit_naive_mm2"] \
+            > est["cluster_64bit_multiplexed_mm2"] \
+            > est["cluster_32bit_mm2"]
+
+    def test_multiplexed_saves_most_of_the_growth(self):
+        est = EnergyModel(F4C32).area_64bit_estimate()
+        naive_growth = est["cluster_64bit_naive_mm2"] \
+            - est["cluster_32bit_mm2"]
+        mux_growth = est["cluster_64bit_multiplexed_mm2"] \
+            - est["cluster_32bit_mm2"]
+        assert mux_growth < 0.6 * naive_growth
+
+    def test_processor_total_scales(self):
+        est = EnergyModel(F4C32).area_64bit_estimate()
+        assert est["processor_64bit_mm2"] > 93.07  # bigger than 32-bit
+        assert est["processor_64bit_mm2"] < 2 * 93.07
+
+    def test_flag_selects_variant(self):
+        model = EnergyModel(F4C32)
+        assert model.area_64bit_estimate(multiplexed=False)[
+            "cluster_64bit_mm2"] == pytest.approx(
+            model.area_64bit_estimate()["cluster_64bit_naive_mm2"])

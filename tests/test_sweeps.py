@@ -1,0 +1,83 @@
+"""Design-space sweep utilities."""
+
+import pytest
+
+from repro.harness import clear_cache
+from repro.harness.sweeps import (
+    ALL_SWEEPS,
+    SweepResult,
+    sweep_clusters,
+    sweep_flush_penalty,
+    sweep_lsu_depth,
+    sweep_threads,
+)
+
+SCALE = 0.2
+
+
+class TestSweepClusters:
+    def test_monotone_or_saturating(self):
+        result = sweep_clusters("hotspot", scale=SCALE,
+                                cluster_counts=(2, 8, 32))
+        assert result.all_verified()
+        cycles = result.cycles()
+        # more clusters never dramatically hurt serial execution
+        assert cycles[32] <= cycles[2] * 1.1
+        # the best point is at least as good as the smallest ring
+        best_value, best_record = result.best()
+        assert best_record.cycles <= cycles[2]
+
+    def test_render(self):
+        result = sweep_clusters("hotspot", scale=SCALE,
+                                cluster_counts=(2, 8))
+        text = result.render()
+        assert "hotspot" in text
+        assert "clusters" in text
+        assert "uJ" in text
+
+
+class TestSweepThreads:
+    def test_parallel_workload_scales(self):
+        result = sweep_threads("lbm", scale=0.5,
+                               thread_counts=(1, 4, 8))
+        assert result.all_verified()
+        cycles = result.cycles()
+        assert cycles[8] < cycles[1]
+
+    def test_sequential_workload_flat(self):
+        result = sweep_threads("mcf", scale=SCALE,
+                               thread_counts=(1, 4))
+        cycles = result.cycles()
+        # mcf is MT-incapable: the runner clamps to one thread, and the
+        # only difference is the per-ring cluster budget
+        assert cycles[4] <= cycles[1] * 1.5
+
+
+class TestSweepKnobs:
+    def test_lsu_depth_helps_memory_kernels(self):
+        result = sweep_lsu_depth("lbm", scale=0.5, depths=(1, 8))
+        assert result.all_verified()
+        cycles = result.cycles()
+        assert cycles[8] <= cycles[1]
+
+    def test_flush_penalty_hurts_branchy_kernels(self):
+        clear_cache()
+        result = sweep_flush_penalty("bfs", scale=SCALE,
+                                     penalties=(1, 12))
+        cycles = result.cycles()
+        assert cycles[12] >= cycles[1]
+
+
+class TestSweepResult:
+    def test_best_selection(self):
+        from repro.harness.runner import RunRecord
+        result = SweepResult(workload="x", knob="k")
+        result.points[1] = RunRecord("x", "diag", "F4C2", 1, False,
+                                     cycles=500)
+        result.points[2] = RunRecord("x", "diag", "F4C2", 1, False,
+                                     cycles=300)
+        assert result.best()[0] == 2
+
+    def test_registry(self):
+        assert set(ALL_SWEEPS) == {"clusters", "threads", "lsu_depth",
+                                   "flush_penalty"}

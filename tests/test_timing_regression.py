@@ -1,0 +1,111 @@
+"""Timing-model regression guards.
+
+Cycle counts for a few pinned kernels, with generous bands: these
+catch accidental order-of-magnitude regressions in the timing models
+(e.g. a scheduling bug that serializes everything, or one that makes
+everything free) without over-fitting exact values.
+"""
+
+import pytest
+
+from repro.asm import assemble
+from repro.baseline import OoOConfig, OoOCore
+from repro.core import DiAGProcessor, F4C16, F4C2
+
+TIGHT_LOOP = """
+li s0, 0
+li s1, 500
+loop:
+addi s0, s0, 1
+blt s0, s1, loop
+ebreak
+"""
+
+STREAM = """
+la s2, buf
+li s0, 0
+li s1, 128
+loop:
+slli t0, s0, 2
+add t0, t0, s2
+lw t1, 0(t0)
+addi t1, t1, 1
+sw t1, 0(t0)
+addi s0, s0, 1
+blt s0, s1, loop
+ebreak
+.data
+buf: .space 512
+"""
+
+SIMT_KERNEL = """
+la a2, out
+li t2, 0
+li t3, 1
+li t4, 128
+simt_s t2, t3, t4, 1
+mul t0, t2, t2
+slli t1, t2, 2
+add t1, t1, a2
+sw t0, 0(t1)
+simt_e t2, t4
+ebreak
+.data
+out: .space 512
+"""
+
+
+def diag_cycles(src, config):
+    result = DiAGProcessor(config, assemble(src)).run()
+    assert result.halted
+    return result.cycles
+
+
+def ooo_cycles(src):
+    core = OoOCore(OoOConfig(), assemble(src))
+    result = core.run()
+    assert core.halted
+    return result.cycles
+
+
+class TestDiAGBands:
+    def test_tight_loop(self):
+        # 500 iterations x ~2-8 cycles + cold start
+        cycles = diag_cycles(TIGHT_LOOP, F4C16)
+        assert 800 < cycles < 6_000
+
+    def test_stream_loop(self):
+        cycles = diag_cycles(STREAM, F4C16)
+        assert 400 < cycles < 8_000
+
+    def test_simt_kernel(self):
+        # 128 threads: interval-bound ~1/thread + fill/cold costs; far
+        # below 128 x chain-length if the pipeline works at all
+        cycles = diag_cycles(SIMT_KERNEL, F4C16)
+        assert 150 < cycles < 2_000
+
+    def test_small_ring_slower_not_broken(self):
+        small = diag_cycles(STREAM, F4C2)
+        big = diag_cycles(STREAM, F4C16)
+        assert big <= small <= 12 * big
+
+
+class TestBaselineBands:
+    def test_tight_loop(self):
+        cycles = ooo_cycles(TIGHT_LOOP)
+        # taken-branch limited: >= ~1 cycle/iteration, plus warmup
+        assert 500 < cycles < 5_000
+
+    def test_stream_loop(self):
+        cycles = ooo_cycles(STREAM)
+        assert 300 < cycles < 8_000
+
+
+class TestRelativeSanity:
+    def test_machines_within_20x(self):
+        """Neither machine may be pathologically off on common code."""
+        for src in (TIGHT_LOOP, STREAM):
+            d = diag_cycles(src, F4C16)
+            o = ooo_cycles(src)
+            assert d < 20 * o
+            assert o < 20 * d

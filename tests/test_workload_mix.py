@@ -1,0 +1,70 @@
+"""Instruction-mix characterization: each proxy must actually have the
+behaviour profile its docstring claims."""
+
+import pytest
+
+from repro.workloads.analysis import (
+    profile_suite,
+    profile_workload,
+    render_profiles,
+)
+
+SCALE = 0.3
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    names = ("nn", "kmeans", "srad", "bfs", "mcf", "lbm", "deepsjeng",
+             "xz", "myocyte", "btree", "leela")
+    return {p.workload: p for p in profile_suite(names, scale=SCALE)}
+
+
+class TestProfiles:
+    def test_fractions_sane(self, profiles):
+        for name, p in profiles.items():
+            assert p.instructions > 100, name
+            for frac in (p.load_frac, p.store_frac, p.branch_frac,
+                         p.fp_frac, p.alu_frac):
+                assert 0.0 <= frac <= 1.0, name
+            assert p.taken_branch_frac <= p.branch_frac + 1e-9, name
+
+    def test_fp_kernels_have_fp(self, profiles):
+        for name in ("nn", "kmeans", "srad", "lbm", "myocyte"):
+            assert profiles[name].fp_frac > 0.10, name
+
+    def test_integer_kernels_have_none(self, profiles):
+        for name in ("bfs", "mcf", "deepsjeng", "xz", "btree", "leela"):
+            assert profiles[name].fp_frac == 0.0, name
+
+    def test_memory_kernels_are_memory_heavy(self, profiles):
+        # bfs mixes its load traffic with frontier-control branches, so
+        # its memory fraction sits a little lower than the pure chasers
+        for name in ("mcf", "btree"):
+            assert profiles[name].mem_frac > 0.2, name
+        assert profiles["bfs"].mem_frac > 0.15
+
+    def test_control_kernels_branch_a_lot(self, profiles):
+        for name in ("deepsjeng", "xz", "leela"):
+            assert profiles[name].branch_frac > 0.1, name
+
+    def test_myocyte_is_serial_fp(self, profiles):
+        p = profiles["myocyte"]
+        assert p.fp_frac > 0.5          # dominated by the FP chain
+        assert p.mem_frac < 0.1         # registers only
+
+    def test_pointer_chaser_is_load_dominated(self, profiles):
+        p = profiles["mcf"]
+        assert p.load_frac > 0.2
+        assert p.store_frac < 0.05
+
+
+class TestRendering:
+    def test_table(self, profiles):
+        text = render_profiles(list(profiles.values()))
+        assert "dynamic instruction mix" in text
+        assert "mcf" in text and "%" in text
+
+    def test_verification_enforced(self):
+        # profiling runs the real kernel; a bogus name raises
+        with pytest.raises(KeyError):
+            profile_workload("nonexistent")

@@ -1,0 +1,75 @@
+"""Cross-machine integration: workloads verify on DiAG and the OoO
+baseline, in the modes the experiment harness uses."""
+
+import pytest
+
+from repro.baseline import MulticoreCPU, OoOConfig, OoOCore
+from repro.core import DiAGProcessor, F4C16, F4C2
+from repro.workloads import get_workload
+
+SCALE = 0.25
+FAST_SET = ("nn", "hotspot", "pathfinder", "lbm", "x264", "bfs", "mcf")
+SIMT_SET = ("nn", "hotspot", "lbm", "povray")
+
+
+@pytest.mark.parametrize("name", FAST_SET)
+def test_diag_single_thread(name):
+    inst = get_workload(name)().build(scale=SCALE, threads=1)
+    proc = DiAGProcessor(F4C2, inst.program)
+    inst.setup(proc.memory)
+    result = proc.run(max_cycles=3_000_000)
+    assert result.halted
+    assert inst.verify(proc.memory)
+    assert result.instructions > 0
+
+
+@pytest.mark.parametrize("name", FAST_SET)
+def test_baseline_single_thread(name):
+    inst = get_workload(name)().build(scale=SCALE, threads=1)
+    core = OoOCore(OoOConfig(), inst.program)
+    inst.setup(core.hierarchy.memory)
+    core.run(max_cycles=3_000_000)
+    assert core.halted
+    assert inst.verify(core.hierarchy.memory)
+
+
+@pytest.mark.parametrize("name", SIMT_SET)
+def test_diag_simt_pipelined(name):
+    inst = get_workload(name)().build(scale=SCALE, threads=1, simt=True)
+    proc = DiAGProcessor(F4C16, inst.program)
+    inst.setup(proc.memory)
+    result = proc.run(max_cycles=3_000_000)
+    assert result.halted
+    assert inst.verify(proc.memory)
+    assert result.stats.simt_regions >= 1, "region was not pipelined"
+
+
+@pytest.mark.parametrize("name", ("nn", "lbm"))
+def test_multithreaded_pair(name):
+    inst = get_workload(name)().build(scale=SCALE, threads=3)
+    proc = DiAGProcessor(F4C2, inst.program, num_threads=3)
+    inst.setup(proc.memory)
+    assert proc.run(max_cycles=3_000_000).halted
+    assert inst.verify(proc.memory)
+
+    inst2 = get_workload(name)().build(scale=SCALE, threads=3)
+    cpu = MulticoreCPU(OoOConfig(), inst2.program, 3)
+    inst2.setup(cpu.memory)
+    assert cpu.run(max_cycles=3_000_000).halted
+    assert inst2.verify(cpu.memory)
+
+
+def test_diag_and_baseline_agree_architecturally():
+    """Same workload, same inputs: byte-identical output regions."""
+    inst_a = get_workload("kmeans")().build(scale=SCALE)
+    inst_b = get_workload("kmeans")().build(scale=SCALE)
+    proc = DiAGProcessor(F4C2, inst_a.program)
+    inst_a.setup(proc.memory)
+    proc.run(max_cycles=3_000_000)
+    core = OoOCore(OoOConfig(), inst_b.program)
+    inst_b.setup(core.hierarchy.memory)
+    core.run(max_cycles=3_000_000)
+    n = inst_a.params["n"]
+    sym = inst_a.program.symbol("assign")
+    assert proc.memory.read_bytes(sym, 4 * n) \
+        == core.hierarchy.memory.read_bytes(sym, 4 * n)
