@@ -39,6 +39,8 @@ class MulticoreResult:
     stats: OoOStats = field(default_factory=OoOStats)
     core_stats: list = field(default_factory=list)
     halted: bool = False
+    #: True when the run stopped on the cycle budget rather than a halt
+    timed_out: bool = False
 
     @property
     def instructions(self):
@@ -83,6 +85,7 @@ class MulticoreCPU:
         while live and cycle < budget:
             for core in live:
                 core.step()
+                core.check_watchdog()
             live = [c for c in live if not c.halted]
             cycle += 1
         return self._collect()
@@ -110,6 +113,7 @@ class MulticoreCPU:
         result.stats = merged
         result.cycles = merged.cycles
         result.halted = all(c.halted for c in self.cores)
+        result.timed_out = not result.halted
         return result
 
 

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 from repro.baseline.predictor import GSharePredictor
 from repro.core.lanes import ArchLanes
+from repro.core.watchdog import ProgressWatchdog
 from repro.iss.semantics import compute, finish_load
 from repro.memory.lsu import resolve_store_access
 from repro.isa.instructions import FUClass
@@ -48,6 +49,9 @@ class OoOConfig:
     l1d_size: int = 64 * 1024
     l2_size: int = 4 * 1024 * 1024
     max_cycles: int = 50_000_000
+    # Liveness watchdog: raise SimulationHang after this many cycles
+    # without a retirement (0 disables). See repro.core.watchdog.
+    watchdog_window: int = 200_000
 
     def hierarchy_config(self):
         from repro.memory.hierarchy import HierarchyConfig
@@ -96,6 +100,8 @@ class OoOResult:
     cycles: int = 0
     stats: OoOStats = field(default_factory=OoOStats)
     halted: bool = False
+    #: True when the run stopped on the cycle budget rather than a halt
+    timed_out: bool = False
     halt_reason: str = None
 
     @property
@@ -189,16 +195,55 @@ class OoOCore:
         self.csrs = {}
         #: optional callable(addr, instr) invoked at each retirement
         self.retire_hook = None
+        #: optional FaultInjector (repro.faults): routed through at each
+        #: value-producing site ("rob" results, "regfile" commits)
+        self.fault_hook = None
+        self.watchdog = ProgressWatchdog(
+            getattr(config, "watchdog_window", 0))
 
     # ---------------------------------------------------------------- run
 
     def run(self, max_cycles=None):
+        """Run to the next halt or the cycle budget.
+
+        Raises :class:`repro.core.watchdog.SimulationHang` when no
+        instruction retires for ``config.watchdog_window`` cycles."""
         budget = max_cycles if max_cycles is not None \
             else self.config.max_cycles
         while not self.halted and self.cycle < budget:
             self.step()
+            self.check_watchdog()
         return OoOResult(cycles=self.cycle, stats=self.stats,
-                         halted=self.halted, halt_reason=self.halt_reason)
+                         halted=self.halted, timed_out=not self.halted,
+                         halt_reason=self.halt_reason)
+
+    def check_watchdog(self):
+        """Raise SimulationHang if the core has stopped retiring."""
+        if self.halted:
+            return
+        self.watchdog.check("ooo", self.cycle, self.stats.retired,
+                            self.head_state)
+
+    def head_state(self):
+        """Diagnostic snapshot of the ROB head and front-end state."""
+        state = {
+            "core_id": self.core_id,
+            "retired": self.stats.retired,
+            "rob_depth": len(self.rob),
+            "fetch_pc": hex(self.fetch_pc)
+            if self.fetch_pc is not None else None,
+            "fetch_stalled_until": self._fetch_stalled_until,
+            "fetch_blocked": repr(self._fetch_blocked)
+            if self._fetch_blocked is not None else None,
+            "pending_stores": len(self.pending_stores),
+            "blocked_loads": len(self._blocked_loads),
+        }
+        if self.rob:
+            head = self.rob[0]
+            state["head"] = (f"{head.instr.mnemonic}@{head.addr:#x} "
+                             f"state={head.state}")
+            state["head_pending_producers"] = head.pending_producers
+        return state
 
     def post_interrupt(self, vector):
         """Request a precise interrupt (taken at the next cycle)."""
@@ -470,6 +515,8 @@ class OoOCore:
             result = compute(instr, entry.addr, rs1, rs2, rs3)
             entry.result = result
             entry.value = result.value
+            if self.fault_hook is not None and entry.value is not None:
+                entry.value = self.fault_hook.value("rob", entry.value)
         entry.state = _RobEntry.EXECUTING
         entry.done_cycle = self.cycle + max(1, latency)
         if not instr.is_mem:
@@ -510,6 +557,8 @@ class OoOCore:
             return 1
         raw = self.hierarchy.memory.load(addr, size)
         entry.value = finish_load(instr, raw)
+        if self.fault_hook is not None and entry.value is not None:
+            entry.value = self.fault_hook.value("rob", entry.value)
         return self.hierarchy.data_access_latency(addr, self.cycle)
 
     def _exec_simt_e(self, entry, rc_value):
@@ -662,6 +711,8 @@ class OoOCore:
         if instr.mnemonic == "simt_e":
             dest = ("x", instr.rs1)
         if dest is not None and entry.value is not None:
+            if self.fault_hook is not None:
+                entry.value = self.fault_hook.value("regfile", entry.value)
             self.arch.write(dest[0], dest[1], entry.value)
             if self.lane_tail.get(dest) is entry:
                 del self.lane_tail[dest]

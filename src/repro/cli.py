@@ -7,6 +7,7 @@ Commands:
 * ``experiment <id> [options]`` — regenerate a paper table/figure
 * ``fpga``                      — run the I4C2 bring-up suite (§6.2)
 * ``sweep <knob> <workload>``   — design-space sensitivity sweep
+* ``faults [workload]``         — transient fault-injection campaign
 
 Everything the CLI does is also available as a library; see README.md.
 """
@@ -38,22 +39,33 @@ def _cmd_list(args):
     return 0
 
 
+def _describe(record):
+    """One result line; failures show their status (and error) rather
+    than being conflated with a verification failure."""
+    line = (f"{record.cycles:8d} cycles  IPC {record.ipc:5.2f}  "
+            f"{record.energy_j * 1e6:8.2f} uJ  "
+            f"verified={record.verified}")
+    if record.failed:
+        line += f"  status={record.status}"
+        if record.error:
+            line += f" ({record.error})"
+    return line
+
+
 def _cmd_run(args):
     from repro.harness import run_baseline, run_diag
 
     base = run_baseline(args.workload, scale=args.scale,
-                        threads=args.threads)
+                        threads=args.threads,
+                        max_cycles=args.max_cycles)
     diag = run_diag(args.workload, config=args.config, scale=args.scale,
-                    threads=args.threads, simt=args.simt)
+                    threads=args.threads, simt=args.simt,
+                    max_cycles=args.max_cycles)
     print(f"workload {args.workload} (scale {args.scale}, "
           f"{args.threads} thread(s)):")
-    print(f"  baseline : {base.cycles:8d} cycles  IPC {base.ipc:5.2f}  "
-          f"{base.energy_j * 1e6:8.2f} uJ  "
-          f"verified={base.verified}")
-    print(f"  DiAG {args.config:5s}: {diag.cycles:8d} cycles  "
-          f"IPC {diag.ipc:5.2f}  {diag.energy_j * 1e6:8.2f} uJ  "
-          f"verified={diag.verified}")
-    if diag.cycles:
+    print(f"  baseline : {_describe(base)}")
+    print(f"  DiAG {args.config:5s}: {_describe(diag)}")
+    if diag.cycles and not (base.failed or diag.failed):
         print(f"  speedup {base.cycles / diag.cycles:.2f}x   "
               f"energy efficiency "
               f"{base.energy_j / diag.energy_j:.2f}x")
@@ -86,6 +98,25 @@ def _cmd_sweep(args):
     return 0 if result.all_verified() else 1
 
 
+def _cmd_faults(args):
+    from repro.faults import CampaignError, run_campaign
+    from repro.workloads import all_workloads
+
+    if args.workload not in all_workloads():
+        print(f"unknown workload '{args.workload}'; one of: "
+              f"{', '.join(sorted(all_workloads()))}", file=sys.stderr)
+        return 2
+    try:
+        report = run_campaign(args.workload, machine=args.machine,
+                              config=args.config, scale=args.scale,
+                              trials=args.trials, seed=args.seed)
+    except CampaignError as exc:
+        print(f"campaign aborted: {exc}", file=sys.stderr)
+        return 1
+    print(report.summary())
+    return 0
+
+
 def _cmd_fpga(args):
     from repro.core.fpga import run_fpga_proof
 
@@ -109,6 +140,9 @@ def build_parser():
     run_p.add_argument("--scale", type=float, default=0.5)
     run_p.add_argument("--threads", type=int, default=1)
     run_p.add_argument("--simt", action="store_true")
+    run_p.add_argument("--max-cycles", type=int, default=None,
+                       help="cycle budget (exhaustion reports "
+                            "status=timed_out)")
 
     exp_p = sub.add_parser("experiment",
                            help="regenerate a paper table/figure")
@@ -123,6 +157,17 @@ def build_parser():
                                           "lsu_depth", "flush_penalty"))
     sweep_p.add_argument("workload")
     sweep_p.add_argument("--scale", type=float, default=0.5)
+
+    faults_p = sub.add_parser(
+        "faults", help="seed-driven transient fault-injection campaign")
+    faults_p.add_argument("workload", nargs="?", default="nn")
+    faults_p.add_argument("--machine", default="diag",
+                          choices=("diag", "ooo"))
+    faults_p.add_argument("--config", default="F4C2",
+                          choices=("I4C2", "F4C2", "F4C16", "F4C32"))
+    faults_p.add_argument("--scale", type=float, default=0.25)
+    faults_p.add_argument("--trials", type=int, default=20)
+    faults_p.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -134,6 +179,7 @@ def main(argv=None):
         "experiment": _cmd_experiment,
         "fpga": _cmd_fpga,
         "sweep": _cmd_sweep,
+        "faults": _cmd_faults,
     }[args.command]
     return handler(args)
 

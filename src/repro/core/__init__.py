@@ -20,6 +20,7 @@ from repro.core.config import (
 from repro.core.energy import AreaReport, EnergyModel, EnergyReport
 from repro.core.processor import DiAGProcessor, DiAGResult, run_program
 from repro.core.stats import RingStats, StallReason
+from repro.core.watchdog import ProgressWatchdog, SimulationHang
 
 __all__ = [
     "AreaReport",
@@ -33,7 +34,9 @@ __all__ = [
     "F4C2",
     "F4C32",
     "I4C2",
+    "ProgressWatchdog",
     "RingStats",
+    "SimulationHang",
     "StallReason",
     "run_program",
 ]

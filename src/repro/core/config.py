@@ -77,6 +77,9 @@ class DiAGConfig:
     mem_timings: MemTimings = field(default_factory=MemTimings)
 
     max_cycles: int = 50_000_000
+    # Liveness watchdog: raise SimulationHang after this many cycles
+    # without a retirement (0 disables). See repro.core.watchdog.
+    watchdog_window: int = 200_000
 
     @property
     def total_pes(self):

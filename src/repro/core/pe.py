@@ -62,6 +62,16 @@ class PEEntry:
         #: is available, before the store's data arrives
         self.store_addr = None
 
+    def apply_fault(self, injector, site):
+        """Route this entry's value through a fault-injection hook.
+
+        ``injector`` is a ``repro.faults.FaultInjector`` (or None): each
+        call counts one dynamic event at ``site`` and may return the
+        value with a single bit flipped — the transient-fault model for
+        register-lane latches ("lane") and PE result buses ("pe")."""
+        if injector is not None and self.value is not None:
+            self.value = injector.value(site, self.value)
+
     @property
     def position(self):
         return (self.activation.seq, self.pe_index)

@@ -25,6 +25,8 @@ class DiAGResult:
     stats: RingStats = field(default_factory=RingStats)
     ring_stats: list = field(default_factory=list)
     halted: bool = False
+    #: True when the run stopped on the cycle budget rather than a halt
+    timed_out: bool = False
     halt_reasons: list = field(default_factory=list)
 
     @property
@@ -73,7 +75,10 @@ class DiAGProcessor:
         return self.hierarchy.memory
 
     def run(self, max_cycles=None):
-        """Run all rings in lockstep until every thread halts."""
+        """Run all rings in lockstep until every thread halts.
+
+        Raises :class:`repro.core.watchdog.SimulationHang` if any ring
+        stops retiring for ``config.watchdog_window`` cycles."""
         budget = max_cycles if max_cycles is not None \
             else self.config.max_cycles
         live = list(self.rings)
@@ -81,6 +86,7 @@ class DiAGProcessor:
         while live and cycle < budget:
             for ring in live:
                 ring.step()
+                ring.check_watchdog()
             live = [r for r in live if not r.halted]
             cycle += 1
         return self._collect()
@@ -95,6 +101,7 @@ class DiAGProcessor:
         result.stats = merged
         result.cycles = max((r.cycle for r in self.rings), default=0)
         result.halted = all(r.halted for r in self.rings)
+        result.timed_out = not result.halted
         return result
 
 

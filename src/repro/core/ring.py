@@ -30,6 +30,7 @@ from repro.core.lanes import ArchLanes, lane_delay
 from repro.core.pe import PEEntry, PEState
 from repro.core.simt import SimtExecutor, analyze_simt_regions
 from repro.core.stats import RingStats, StallReason
+from repro.core.watchdog import ProgressWatchdog
 from repro.iss.semantics import compute, finish_load
 from repro.memory.lsu import resolve_store_access
 from repro.isa.decoder import DecodeError, decode
@@ -102,16 +103,56 @@ class RingEngine:
         #: optional callable(addr, instr) invoked at each retirement,
         #: in program order (test/trace hook)
         self.retire_hook = None
+        #: optional FaultInjector (repro.faults): routed through at each
+        #: value-producing site ("pe" results, "lane" commits)
+        self.fault_hook = None
+        self.watchdog = ProgressWatchdog(
+            getattr(config, "watchdog_window", 0))
 
     # ================================================================ API
 
     def run(self, max_cycles=None):
-        """Run to completion (or the cycle budget); returns stats."""
+        """Run to completion (or the cycle budget); returns stats.
+
+        Raises :class:`repro.core.watchdog.SimulationHang` when no
+        instruction retires for ``config.watchdog_window`` cycles."""
         budget = max_cycles if max_cycles is not None \
             else self.config.max_cycles
         while not self.halted and self.cycle < budget:
             self.step()
+            self.check_watchdog()
         return self.stats
+
+    def check_watchdog(self):
+        """Raise SimulationHang if the ring has stopped retiring."""
+        if self.halted:
+            return
+        self.watchdog.check("diag", self.cycle, self.stats.retired,
+                            self.head_state,
+                            progressing=self._simt_until is not None)
+
+    def head_state(self):
+        """Diagnostic snapshot of the window head and dispatch state."""
+        state = {
+            "ring_id": self.ring_id,
+            "retired": self.stats.retired,
+            "window_depth": len(self.window),
+            "next_fetch_pc": hex(self.next_fetch_pc)
+            if self.next_fetch_pc is not None else None,
+            "arm_pending": self._arm_pending is not None,
+            "waiting_redirect": repr(self._waiting_redirect)
+            if self._waiting_redirect is not None else None,
+            "resident_clusters": self._resident_count,
+            "pending_stores": len(self.pending_stores),
+            "blocked_loads": len(self._blocked_loads),
+        }
+        if self.window:
+            head = self.window[0]
+            state["head"] = repr(head)
+            state["head_pending_producers"] = head.pending_producers
+            state["head_blocked_on"] = repr(head.blocked_on) \
+                if head.blocked_on is not None else None
+        return state
 
     def step(self):
         """Advance one cycle."""
@@ -478,6 +519,7 @@ class RingEngine:
             result = compute(instr, entry.addr, rs1, rs2, rs3)
             entry.result = result
             entry.value = result.value
+            entry.apply_fault(self.fault_hook, "pe")
         entry.state = PEState.EXECUTING
         entry.start_cycle = self.cycle
         done = self.cycle + latency
@@ -631,6 +673,7 @@ class RingEngine:
             if self.config.enable_prefetch:
                 self._prefetch(entry, addr)
         entry.value = finish_load(entry.instr, raw)
+        entry.apply_fault(self.fault_hook, "pe")
         entry.waiting_on_memory = True
         entry.state = PEState.EXECUTING
         entry.start_cycle = self.cycle
@@ -822,6 +865,7 @@ class RingEngine:
         if instr.mnemonic == "simt_e":
             dest = ("x", instr.rs1)
         if dest is not None and entry.value is not None:
+            entry.apply_fault(self.fault_hook, "lane")
             self.arch.write(dest[0], dest[1], entry.value)
             if self.lane_tail.get(dest) is entry:
                 del self.lane_tail[dest]

@@ -1,0 +1,231 @@
+"""Fault-injection campaigns: inject, classify, aggregate.
+
+A campaign takes one workload, picks ``trials`` deterministic single-bit
+faults (seed-driven, population-weighted across the machine's injection
+sites), runs each under a bounded budget, and classifies the outcome
+against the functional ISS as golden reference:
+
+========== ==========================================================
+outcome    meaning
+========== ==========================================================
+masked     run halted, outputs verify, architectural registers match
+           the ISS — the flip was absorbed (dead value, rewritten
+           register, unread line)
+sdc        run halted but outputs or final registers differ — silent
+           data corruption, the dangerous class
+detected   the engine raised a structured error (decode fault, bad
+           memory access, simulator assertion)
+hang       the liveness watchdog fired: no retirement for a full
+           quiet window (see repro.core.watchdog)
+timed_out  the run kept retiring but exhausted the cycle budget
+           (e.g. a corrupted loop bound) — a runaway, not a livelock
+========== ==========================================================
+
+Everything is derived from ``seed`` with no global RNG or wall-clock
+input, so two campaigns with the same arguments produce bit-identical
+outcome sequences.
+"""
+
+from collections import Counter
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.baseline import OoOConfig, OoOCore
+from repro.core import CONFIG_PRESETS, DiAGProcessor, SimulationHang
+from repro.faults.injector import (
+    DIAG_SITES,
+    OOO_SITES,
+    FaultInjector,
+    FaultSpec,
+)
+from repro.iss import ISS
+from repro.workloads import get_workload
+
+OUTCOMES = ("masked", "sdc", "detected", "hang", "timed_out")
+
+
+class CampaignError(RuntimeError):
+    """The fault-free reference run failed, so no campaign can run."""
+
+
+@dataclass
+class TrialResult:
+    """One injection and its classified outcome."""
+
+    spec: FaultSpec
+    outcome: str
+    cycles: int = 0
+    error: str = None
+
+
+@dataclass
+class CampaignReport:
+    """Aggregate outcome of one campaign."""
+
+    workload: str
+    machine: str
+    config: str
+    scale: float
+    seed: int
+    clean_cycles: int = 0
+    site_population: dict = field(default_factory=dict)
+    trials: list = field(default_factory=list)
+
+    @property
+    def counts(self):
+        """{outcome: trials} over the full taxonomy (zeros included)."""
+        counter = Counter(t.outcome for t in self.trials)
+        return {outcome: counter.get(outcome, 0) for outcome in OUTCOMES}
+
+    def outcome_sequence(self):
+        """The per-trial outcome list (reproducibility checks)."""
+        return [t.outcome for t in self.trials]
+
+    def summary(self):
+        """Human-readable breakdown for the CLI."""
+        total = len(self.trials) or 1
+        lines = [
+            f"fault campaign: {self.workload} on {self.machine} "
+            f"({self.config}, scale {self.scale}, seed {self.seed})",
+            f"  clean run: {self.clean_cycles} cycles; site population: "
+            + ", ".join(f"{site}={count}" for site, count
+                        in sorted(self.site_population.items())),
+            f"  {len(self.trials)} injection(s):",
+        ]
+        for outcome in OUTCOMES:
+            count = self.counts[outcome]
+            lines.append(f"    {outcome:10s} {count:4d}  "
+                         f"({100.0 * count / total:5.1f}%)")
+        return "\n".join(lines)
+
+
+def _machine_sites(machine):
+    return DIAG_SITES if machine == "diag" else OOO_SITES
+
+
+def _execute(machine, config, program, inst, injector, max_cycles):
+    """One run with ``injector`` attached; returns (halted, memory,
+    x-regs, f-regs, cycles)."""
+    if machine == "diag":
+        proc = DiAGProcessor(config, program)
+        inst.setup(proc.memory)
+        injector.attach(proc.rings[0], proc.hierarchy)
+        result = proc.run(max_cycles=max_cycles)
+        arch = proc.rings[0].arch
+        return result.halted, proc.memory, arch.x, arch.f, result.cycles
+    core = OoOCore(config, program)
+    inst.setup(core.hierarchy.memory)
+    injector.attach(core, core.hierarchy)
+    result = core.run(max_cycles=max_cycles)
+    return (result.halted, core.hierarchy.memory, core.arch.x,
+            core.arch.f, result.cycles)
+
+
+def _golden(program, inst):
+    """Run the ISS to completion; returns (x, f) register lists."""
+    iss = ISS(program)
+    inst.setup(iss.memory)
+    iss.run()
+    if not inst.verify(iss.memory):
+        raise CampaignError("ISS reference run failed verification")
+    return list(iss.x), list(iss.f)
+
+
+def plan_campaign(site_population, sites, trials, seed):
+    """Derive ``trials`` FaultSpecs from ``seed``.
+
+    Sites are weighted by their dynamic event population so e.g. a
+    lane-heavy program receives proportionally more lane flips —
+    matching how uniformly-random physical upsets would distribute.
+    """
+    populated = [s for s in sites if site_population.get(s, 0) > 0]
+    if not populated:
+        raise CampaignError("no injectable events at any site")
+    weights = np.array([site_population[s] for s in populated],
+                       dtype=float)
+    weights /= weights.sum()
+    rng = np.random.default_rng(seed)
+    specs = []
+    for __ in range(trials):
+        site = populated[int(rng.choice(len(populated), p=weights))]
+        index = int(rng.integers(site_population[site]))
+        bit = int(rng.integers(32))
+        specs.append(FaultSpec(site, index, bit))
+    return specs
+
+
+def _classify(machine, config, program, inst, spec, max_cycles,
+              gold_x, gold_f):
+    injector = FaultInjector(spec)
+    try:
+        halted, memory, x, f, cycles = _execute(
+            machine, config, program, inst, injector, max_cycles)
+    except SimulationHang as exc:
+        return TrialResult(spec, "hang", cycles=exc.cycle,
+                           error=str(exc))
+    except Exception as exc:  # engine raised: the fault was detected
+        return TrialResult(spec, "detected",
+                           error=f"{type(exc).__name__}: {exc}")
+    if not halted:
+        return TrialResult(spec, "timed_out", cycles=cycles)
+    try:
+        ok = bool(inst.verify(memory))
+    except Exception as exc:
+        # outputs so corrupted the checker itself choked
+        return TrialResult(spec, "sdc", cycles=cycles,
+                           error=f"verify raised {type(exc).__name__}")
+    if not ok or x[1:] != gold_x[1:] or f != gold_f:
+        return TrialResult(spec, "sdc", cycles=cycles)
+    return TrialResult(spec, "masked", cycles=cycles)
+
+
+def run_campaign(workload, machine="diag", config="F4C2", scale=0.25,
+                 trials=20, seed=0, watchdog_window=None):
+    """Run a full injection campaign; returns a :class:`CampaignReport`.
+
+    ``config`` names a Table 2 preset for ``machine="diag"`` and is
+    ignored for ``machine="ooo"``. The per-trial cycle budget is 4x the
+    fault-free run (plus slack) so hangs and runaways terminate
+    quickly; ``watchdog_window`` defaults to the clean cycle count plus
+    slack, which no fault-free quiet period can approach.
+    """
+    if machine not in ("diag", "ooo"):
+        raise ValueError(f"unknown machine {machine!r}")
+    cls = get_workload(workload)
+    inst = cls().build(scale=scale, threads=1, simt=False)
+    program = inst.program
+    gold_x, gold_f = _golden(program, inst)
+
+    # Fault-free profiling run: learns the per-site event population
+    # and the cycle budget, and proves the baseline is sound.
+    base_cfg = CONFIG_PRESETS[config] if machine == "diag" \
+        else OoOConfig()
+    profiler = FaultInjector(spec=None)
+    halted, memory, x, f, clean_cycles = _execute(
+        machine, base_cfg, program, inst, profiler, None)
+    if not halted:
+        raise CampaignError(
+            f"fault-free {machine} run did not halt "
+            f"({clean_cycles} cycles)")
+    if not inst.verify(memory) or x[1:] != gold_x[1:] or f != gold_f:
+        raise CampaignError(
+            f"fault-free {machine} run diverged from the ISS")
+
+    window = watchdog_window if watchdog_window is not None \
+        else clean_cycles + 1000
+    run_cfg = replace(base_cfg, watchdog_window=window)
+    budget = 4 * clean_cycles + 2000
+
+    sites = _machine_sites(machine)
+    population = {site: profiler.counts.get(site, 0) for site in sites}
+    specs = plan_campaign(population, sites, trials, seed)
+
+    report = CampaignReport(workload=workload, machine=machine,
+                            config=base_cfg.name, scale=scale, seed=seed,
+                            clean_cycles=clean_cycles,
+                            site_population=population)
+    for spec in specs:
+        report.trials.append(_classify(machine, run_cfg, program, inst,
+                                       spec, budget, gold_x, gold_f))
+    return report

@@ -9,6 +9,7 @@ the paper's rows/series.
 """
 
 from repro.harness.runner import (
+    RUN_STATUSES,
     RunRecord,
     run_baseline,
     run_diag,
@@ -30,6 +31,7 @@ from repro.harness.experiments import (
 from repro.harness.report import format_table, render_experiment
 
 __all__ = [
+    "RUN_STATUSES",
     "RunRecord",
     "clear_cache",
     "format_table",

@@ -121,20 +121,40 @@ def run_table3():
 # Figures 9 and 10 — performance
 # ===================================================================
 
+def _note_failure(result, name, record):
+    """Record a failed cell in the experiment's skip report."""
+    if record.failed:
+        result.setdefault("failures", []).append(
+            {"benchmark": name, "machine": record.machine,
+             "config": record.config, "status": record.status,
+             "error": record.error})
+
+
 def _single_thread_suite(benchmarks, scale):
-    """Per-benchmark speedup of each DiAG config vs the 1-core OoO."""
-    result = {"benchmarks": {}, "average": {}}
+    """Per-benchmark speedup of each DiAG config vs the 1-core OoO.
+
+    Failed cells (engine error / hang / timeout) are skipped and
+    reported under ``result["failures"]`` instead of aborting the
+    sweep; averages are taken over the surviving cells.
+    """
+    result = {"benchmarks": {}, "average": {}, "failures": []}
     for name in benchmarks:
         base = run_baseline(name, scale=scale, threads=1)
+        _note_failure(result, name, base)
         row = {"baseline_cycles": base.cycles,
-               "baseline_verified": base.verified}
+               "baseline_verified": base.verified,
+               "baseline_status": base.status}
         for config in SINGLE_CONFIGS:
             diag = run_diag(name, config=config, scale=scale, threads=1,
                             simt=False)
+            _note_failure(result, name, diag)
             row[config] = {
                 "cycles": diag.cycles,
-                "speedup": base.cycles / diag.cycles if diag.cycles else 0,
+                "speedup": base.cycles / diag.cycles
+                if diag.cycles and not diag.failed and not base.failed
+                else 0,
                 "verified": diag.verified,
+                "status": diag.status,
             }
         result["benchmarks"][name] = row
     for config in SINGLE_CONFIGS:
@@ -155,37 +175,51 @@ def best_simt_record(name, scale):
         record = run_diag(name, config="F4C32", scale=scale,
                           threads=threads, num_clusters=clusters,
                           simt=True)
-        any_regions = max(any_regions, record.extra["simt_regions"])
-        if best is None or (record.cycles and record.cycles < best.cycles):
+        any_regions = max(any_regions,
+                          record.extra.get("simt_regions", 0))
+        if best is None or best.failed \
+                or (record.cycles and not record.failed
+                    and record.cycles < best.cycles):
             best = record
     best.extra["regions_any_point"] = any_regions
     return best
 
 
 def _multi_thread_suite(benchmarks, scale):
-    """Multi-thread spatial + SIMT results vs the 12-core baseline."""
-    result = {"benchmarks": {}, "average": {}}
+    """Multi-thread spatial + SIMT results vs the 12-core baseline.
+
+    Failed cells are skipped and reported under ``result["failures"]``
+    (see :func:`_single_thread_suite`).
+    """
+    result = {"benchmarks": {}, "average": {}, "failures": []}
     for name in benchmarks:
         base = run_baseline(name, scale=scale, threads=BASELINE_CORES)
         diag_mt = run_diag(name, config="F4C32", scale=scale,
                            threads=MT_THREADS,
                            num_clusters=MT_CLUSTERS_PER_RING, simt=False)
         diag_simt = best_simt_record(name, scale)
+        for record in (base, diag_mt, diag_simt):
+            _note_failure(result, name, record)
+        simt_failed = base.failed or diag_simt.failed
         result["benchmarks"][name] = {
             "baseline_cycles": base.cycles,
             "baseline_verified": base.verified,
+            "baseline_status": base.status,
             "mt": {"cycles": diag_mt.cycles,
                    "speedup": base.cycles / diag_mt.cycles
-                   if diag_mt.cycles else 0,
-                   "verified": diag_mt.verified},
+                   if diag_mt.cycles and not diag_mt.failed
+                   and not base.failed else 0,
+                   "verified": diag_mt.verified,
+                   "status": diag_mt.status},
             "simt": {"cycles": diag_simt.cycles,
                      "speedup": base.cycles / diag_simt.cycles
-                     if diag_simt.cycles else 0,
+                     if diag_simt.cycles and not simt_failed else 0,
                      "verified": diag_simt.verified,
+                     "status": diag_simt.status,
                      "threads": diag_simt.threads,
-                     "regions": diag_simt.extra["simt_regions"],
+                     "regions": diag_simt.extra.get("simt_regions", 0),
                      "regions_any_point":
-                         diag_simt.extra["regions_any_point"]},
+                         diag_simt.extra.get("regions_any_point", 0)},
         }
     rows = result["benchmarks"].values()
     result["average"]["mt"] = geomean([r["mt"]["speedup"] for r in rows])

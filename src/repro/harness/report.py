@@ -67,7 +67,7 @@ def _render_table3(result):
 
 def _render_single(result, title):
     present = next(iter(result["benchmarks"].values())).keys() \
-        - {"baseline_cycles", "baseline_verified"}
+        - {"baseline_cycles", "baseline_verified", "baseline_status"}
     configs = [c for c in ("F4C2", "F4C16", "F4C32") if c in present]
     configs += sorted(present - set(configs))
     headers = ["Benchmark"] + [f"{c} speedup" for c in configs]

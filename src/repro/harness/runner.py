@@ -1,6 +1,16 @@
-"""Single-run execution + caching for the experiment harness."""
+"""Single-run execution + caching for the experiment harness.
+
+Runs degrade gracefully: an engine exception, a liveness hang, or a
+cycle-budget timeout becomes ``RunRecord.status`` / ``RunRecord.error``
+instead of propagating, so one pathological (workload, config) cell can
+no longer abort a whole experiment sweep. Only clean, halted runs are
+cached (a truncated run must never satisfy a later full-budget
+request), the cache key includes the cycle budget, and the cache is
+LRU-bounded so long sweeps don't grow memory without limit.
+"""
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.baseline import (
@@ -10,7 +20,14 @@ from repro.baseline import (
     OoOCore,
 )
 from repro.core import CONFIG_PRESETS, DiAGProcessor, EnergyModel
+from repro.core.watchdog import SimulationHang
 from repro.workloads import get_workload
+
+#: RunRecord.status values: "ok" = ran to halt (verified says whether
+#: outputs matched), "timed_out" = cycle budget exhausted while still
+#: retiring, "hang" = liveness watchdog fired, "error" = the engine or
+#: the workload's verifier raised.
+RUN_STATUSES = ("ok", "timed_out", "hang", "error")
 
 
 @dataclass
@@ -25,6 +42,8 @@ class RunRecord:
     cycles: int = 0
     instructions: int = 0
     verified: bool = False
+    status: str = "ok"
+    error: str = None
     energy_j: float = 0.0
     energy_breakdown: dict = field(default_factory=dict)
     stall_fractions: dict = field(default_factory=dict)
@@ -35,8 +54,17 @@ class RunRecord:
     def ipc(self):
         return self.instructions / self.cycles if self.cycles else 0.0
 
+    @property
+    def failed(self):
+        """True when the run did not complete cleanly (independent of
+        whether a clean run's outputs verified)."""
+        return self.status != "ok"
 
-_CACHE = {}
+
+_CACHE = OrderedDict()
+#: LRU bound on cached run records; sweeps touching more distinct
+#: (workload, config) cells than this re-run the oldest ones.
+CACHE_MAX_ENTRIES = 512
 
 
 def clear_cache():
@@ -46,10 +74,22 @@ def clear_cache():
 
 def _cached(key, factory):
     record = _CACHE.get(key)
-    if record is None:
-        record = factory()
+    if record is not None:
+        _CACHE.move_to_end(key)
+        return record
+    record = factory()
+    # Never cache failed or truncated records: a later call must get a
+    # fresh attempt (and a truncated run must never impersonate a
+    # full-budget one).
+    if record.status == "ok":
         _CACHE[key] = record
+        while len(_CACHE) > CACHE_MAX_ENTRIES:
+            _CACHE.popitem(last=False)
     return record
+
+
+def _status_of(result):
+    return "ok" if result.halted else "timed_out"
 
 
 def run_diag(workload, config="F4C32", scale=1.0, threads=1, simt=False,
@@ -64,7 +104,7 @@ def run_diag(workload, config="F4C32", scale=1.0, threads=1, simt=False,
     overrides = dict(config_overrides or {})
     if num_clusters is not None:
         overrides["num_clusters"] = num_clusters
-    key = ("diag", workload, config, scale, threads, simt,
+    key = ("diag", workload, config, scale, threads, simt, max_cycles,
            tuple(sorted(overrides.items())))
 
     def factory():
@@ -74,31 +114,46 @@ def run_diag(workload, config="F4C32", scale=1.0, threads=1, simt=False,
         cls = get_workload(workload)
         use_simt = simt and cls.SIMT_CAPABLE
         use_threads = threads if cls.MT_CAPABLE else 1
-        inst = cls().build(scale=scale, threads=use_threads, simt=use_simt)
+        record = RunRecord(workload=workload, machine="diag",
+                           config=cfg.name, threads=use_threads,
+                           simt=use_simt)
         start = time.time()
-        proc = DiAGProcessor(cfg, inst.program, num_threads=use_threads)
-        inst.setup(proc.memory)
-        result = proc.run(max_cycles=max_cycles)
-        wall = time.time() - start
-        verified = result.halted and inst.verify(proc.memory)
-        energy = EnergyModel(cfg).energy_report(result, proc.hierarchy)
-        return RunRecord(
-            workload=workload, machine="diag", config=cfg.name,
-            threads=use_threads, simt=use_simt,
-            cycles=result.cycles, instructions=result.instructions,
-            verified=verified, energy_j=energy.total_j,
-            energy_breakdown=energy.breakdown(),
-            stall_fractions={k.value: v for k, v in
-                             result.stats.stall_fractions().items()},
-            extra={
+        try:
+            inst = cls().build(scale=scale, threads=use_threads,
+                               simt=use_simt)
+            proc = DiAGProcessor(cfg, inst.program,
+                                 num_threads=use_threads)
+            inst.setup(proc.memory)
+            result = proc.run(max_cycles=max_cycles)
+            record.cycles = result.cycles
+            record.instructions = result.instructions
+            record.status = _status_of(result)
+            energy = EnergyModel(cfg).energy_report(result,
+                                                    proc.hierarchy)
+            record.energy_j = energy.total_j
+            record.energy_breakdown = energy.breakdown()
+            record.stall_fractions = {
+                k.value: v for k, v in
+                result.stats.stall_fractions().items()}
+            record.extra = {
                 "reuse_hits": result.stats.reuse_hits,
                 "lines_fetched": result.stats.lines_fetched,
                 "mispredicts": result.stats.mispredicts,
                 "simt_regions": result.stats.simt_regions,
                 "simt_threads": result.stats.simt_threads,
                 "params": inst.params,
-            },
-            wall_seconds=wall)
+            }
+            record.verified = result.halted \
+                and bool(inst.verify(proc.memory))
+        except SimulationHang as exc:
+            record.status = "hang"
+            record.error = str(exc)
+            record.cycles = exc.cycle
+        except Exception as exc:
+            record.status = "error"
+            record.error = f"{type(exc).__name__}: {exc}"
+        record.wall_seconds = time.time() - start
+        return record
 
     return _cached(key, factory)
 
@@ -107,41 +162,52 @@ def run_baseline(workload, scale=1.0, threads=1, max_cycles=None,
                  config=None):
     """Run ``workload`` on the out-of-order baseline (multicore if
     ``threads`` > 1); returns a :class:`RunRecord`."""
-    key = ("ooo", workload, scale, threads,
+    key = ("ooo", workload, scale, threads, max_cycles,
            config.name if config else "ooo8")
 
     def factory():
         cfg = config or OoOConfig()
         cls = get_workload(workload)
         use_threads = threads if cls.MT_CAPABLE else 1
-        inst = cls().build(scale=scale, threads=use_threads, simt=False)
+        record = RunRecord(workload=workload, machine="ooo",
+                           config=cfg.name, threads=use_threads,
+                           simt=False)
         start = time.time()
-        if use_threads == 1:
-            core = OoOCore(cfg, inst.program)
-            inst.setup(core.hierarchy.memory)
-            result = core.run(max_cycles=max_cycles)
-            hierarchies = [core.hierarchy]
-            memory = core.hierarchy.memory
-            halted = core.halted
-        else:
-            cpu = MulticoreCPU(cfg, inst.program, use_threads)
-            inst.setup(cpu.memory)
-            result = cpu.run(max_cycles=max_cycles)
-            hierarchies = [c.hierarchy for c in cpu.cores]
-            memory = cpu.memory
-            halted = result.halted
-        wall = time.time() - start
-        verified = halted and inst.verify(memory)
-        power = BaselinePowerModel(cfg, num_cores=use_threads)
-        energy = power.energy_report(result, hierarchies)
-        return RunRecord(
-            workload=workload, machine="ooo", config=cfg.name,
-            threads=use_threads, simt=False,
-            cycles=result.cycles, instructions=result.instructions,
-            verified=verified, energy_j=energy.total_j,
-            energy_breakdown=energy.breakdown(),
-            extra={"mispredicts": result.stats.mispredicts,
-                   "params": inst.params},
-            wall_seconds=wall)
+        try:
+            inst = cls().build(scale=scale, threads=use_threads,
+                               simt=False)
+            if use_threads == 1:
+                core = OoOCore(cfg, inst.program)
+                inst.setup(core.hierarchy.memory)
+                result = core.run(max_cycles=max_cycles)
+                hierarchies = [core.hierarchy]
+                memory = core.hierarchy.memory
+                halted = core.halted
+            else:
+                cpu = MulticoreCPU(cfg, inst.program, use_threads)
+                inst.setup(cpu.memory)
+                result = cpu.run(max_cycles=max_cycles)
+                hierarchies = [c.hierarchy for c in cpu.cores]
+                memory = cpu.memory
+                halted = result.halted
+            record.cycles = result.cycles
+            record.instructions = result.instructions
+            record.status = "ok" if halted else "timed_out"
+            power = BaselinePowerModel(cfg, num_cores=use_threads)
+            energy = power.energy_report(result, hierarchies)
+            record.energy_j = energy.total_j
+            record.energy_breakdown = energy.breakdown()
+            record.extra = {"mispredicts": result.stats.mispredicts,
+                            "params": inst.params}
+            record.verified = halted and bool(inst.verify(memory))
+        except SimulationHang as exc:
+            record.status = "hang"
+            record.error = str(exc)
+            record.cycles = exc.cycle
+        except Exception as exc:
+            record.status = "error"
+            record.error = f"{type(exc).__name__}: {exc}"
+        record.wall_seconds = time.time() - start
+        return record
 
     return _cached(key, factory)

@@ -29,21 +29,29 @@ class SweepResult:
                 for value, record in self.points.items()}
 
     def best(self):
-        """(knob value, record) minimizing cycles."""
-        return min(self.points.items(), key=lambda kv: kv[1].cycles)
+        """(knob value, record) minimizing cycles over clean runs;
+        falls back to all points when every cell failed."""
+        clean = {v: r for v, r in self.points.items() if not r.failed}
+        candidates = clean or self.points
+        return min(candidates.items(), key=lambda kv: kv[1].cycles)
 
     def render(self):
         rows = []
         for value, record in self.points.items():
             rows.append([value, record.cycles, f"{record.ipc:.2f}",
                          f"{record.energy_j * 1e6:.2f} uJ",
-                         "Y" if record.verified else "N"])
+                         "Y" if record.verified else "N",
+                         record.status])
         return format_table(
-            [self.knob, "cycles", "IPC", "energy", "ok"], rows,
-            title=f"{self.workload}: sweep over {self.knob}")
+            [self.knob, "cycles", "IPC", "energy", "ok", "status"],
+            rows, title=f"{self.workload}: sweep over {self.knob}")
 
     def all_verified(self):
         return all(r.verified for r in self.points.values())
+
+    def failures(self):
+        """{knob value: RunRecord} of cells that did not run cleanly."""
+        return {v: r for v, r in self.points.items() if r.failed}
 
 
 def sweep_clusters(workload, scale=0.5, cluster_counts=(2, 4, 8, 16, 32),

@@ -66,6 +66,10 @@ class Cache:
         self.stats = CacheStats()
         self._sets = [dict() for _ in range(self.num_sets)]
         self._tick = 0
+        #: optional callable(addr, is_write) observing each demand
+        #: access — the transient-fault injection point for cache lines
+        #: (repro.faults flips a bit in the backing word)
+        self.fault_hook = None
 
     def _locate(self, addr):
         line_addr = addr // self.line_bytes
@@ -77,6 +81,8 @@ class Cache:
         A miss recursively accesses the lower level and fills the line.
         """
         self._tick += 1
+        if self.fault_hook is not None and not prefetch:
+            self.fault_hook(addr, is_write)
         set_index, tag = self._locate(addr)
         cache_set = self._sets[set_index]
         line = cache_set.get(tag)
@@ -142,8 +148,11 @@ class NullCache:
         self.lower = None
         self.lower_latency = dram_latency
         self.stats = CacheStats()
+        self.fault_hook = None
 
     def access(self, addr, is_write=False, prefetch=False):
+        if self.fault_hook is not None and not prefetch:
+            self.fault_hook(addr, is_write)
         self.stats.misses += not prefetch
         return self.lower_latency
 
