@@ -109,6 +109,11 @@ class MulticoreCPU:
             merged.issues += stats.issues
             merged.rob_writes += stats.rob_writes
             merged.regfile_reads += stats.regfile_reads
+            merged.fu_cycles += stats.fu_cycles
+            merged.fpu_cycles += stats.fpu_cycles
+            merged.rob_occupancy_sum += stats.rob_occupancy_sum
+            for reason, count in stats.stall_cycles.items():
+                merged.stall(reason, count)
             merged.cycles = max(merged.cycles, stats.cycles)
         result.stats = merged
         result.cycles = merged.cycles

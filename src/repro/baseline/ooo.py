@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 from repro.baseline.predictor import GSharePredictor
 from repro.core.lanes import ArchLanes
+from repro.core.stats import StallReason
 from repro.core.watchdog import ProgressWatchdog
 from repro.iss.semantics import compute, finish_load
 from repro.memory.lsu import resolve_store_access
@@ -89,10 +90,30 @@ class OoOStats:
     regfile_reads: int = 0
     fu_cycles: int = 0      # FU-occupancy cycles (ALU/MUL/DIV/FPU)
     fpu_cycles: int = 0     # subset of fu_cycles on the FP pipes
+    # stall taxonomy (same StallReason scheme as RingStats so both
+    # engines land identical core.stall.* names in the stats registry)
+    stall_cycles: dict = field(default_factory=dict)
+    rob_occupancy_sum: int = 0   # sum of ROB depth per cycle
 
     @property
     def ipc(self):
         return self.retired / self.cycles if self.cycles else 0.0
+
+    def stall(self, reason, cycles=1):
+        self.stall_cycles[reason] = self.stall_cycles.get(reason, 0) \
+            + cycles
+
+    @property
+    def total_stalls(self):
+        return sum(self.stall_cycles.values())
+
+    def stall_fractions(self):
+        """{reason: fraction of all stall cycles}; empty dict if none."""
+        total = self.total_stalls
+        if not total:
+            return {}
+        return {reason: count / total
+                for reason, count in self.stall_cycles.items()}
 
 
 @dataclass
@@ -198,6 +219,10 @@ class OoOCore:
         #: optional FaultInjector (repro.faults): routed through at each
         #: value-producing site ("rob" results, "regfile" commits)
         self.fault_hook = None
+        #: optional repro.obs.EventTracer; every emission site is
+        #: guarded by a None check so disabled tracing stays free
+        self.tracer = None
+        self._retired_this_cycle = 0
         self.watchdog = ProgressWatchdog(
             getattr(config, "watchdog_window", 0))
 
@@ -271,6 +296,7 @@ class OoOCore:
             + self.config.mispredict_penalty
 
     def step(self):
+        self._retired_this_cycle = 0
         if self._pending_interrupt is not None:
             self._take_interrupt()
         self._complete()
@@ -278,6 +304,8 @@ class OoOCore:
         self._retry_loads()
         self._fetch()
         self._retire()
+        self._account_stall()
+        self.stats.rob_occupancy_sum += len(self.rob)
         self.cycle += 1
         self.stats.cycles = self.cycle
 
@@ -324,6 +352,10 @@ class OoOCore:
         self.rob.append(entry)
         self.stats.renames += 1
         self.stats.rob_writes += 1
+        if self.tracer is not None:
+            self.tracer.instant("dispatch", self.cycle, pid=1,
+                                tid=self.core_id, cat="dispatch",
+                                args={"pc": pc, "op": instr.mnemonic})
         if instr.mnemonic == "simt_e":
             # Pair with the in-flight simt_s before wiring sources.
             entry.predicted_target = self._simt_region_start(entry)
@@ -523,6 +555,11 @@ class OoOCore:
             self.stats.fu_cycles += max(1, latency)
             if instr.is_fp:
                 self.stats.fpu_cycles += max(1, latency)
+        if self.tracer is not None:
+            self.tracer.complete(mnem, self.cycle,
+                                 entry.done_cycle - self.cycle, pid=1,
+                                 tid=self.core_id, cat="execute",
+                                 args={"pc": entry.addr})
         heapq.heappush(self._executing,
                        (entry.done_cycle, entry.seq, entry))
         return True
@@ -553,13 +590,24 @@ class OoOCore:
             break
         if forward is not None:
             self.stats.store_forwards += 1
+            if self.tracer is not None:
+                self.tracer.instant("lane_forward", self.cycle, pid=1,
+                                    tid=self.core_id,
+                                    args={"addr": addr})
             entry.value = finish_load(instr, forward & MASK32)
             return 1
         raw = self.hierarchy.memory.load(addr, size)
         entry.value = finish_load(instr, raw)
         if self.fault_hook is not None and entry.value is not None:
             entry.value = self.fault_hook.value("rob", entry.value)
-        return self.hierarchy.data_access_latency(addr, self.cycle)
+        latency = self.hierarchy.data_access_latency(addr, self.cycle)
+        if self.tracer is not None \
+                and latency > self.hierarchy.config.timings.l1d_hit:
+            self.tracer.instant("cache_miss", self.cycle, pid=1,
+                                tid=self.core_id,
+                                args={"addr": addr,
+                                      "latency": latency})
+        return latency
 
     def _exec_simt_e(self, entry, rc_value):
         from repro.iss.semantics import ExecResult
@@ -640,6 +688,12 @@ class OoOCore:
 
     def _squash_after(self, entry, correct_target):
         self.stats.mispredicts += 1
+        if self.tracer is not None:
+            squashed = sum(1 for e in self.rob if e.seq > entry.seq)
+            self.tracer.instant("squash", self.cycle, pid=1,
+                                tid=self.core_id, cat="squash",
+                                args={"pc": entry.addr,
+                                      "entries": squashed})
         keep = []
         for e in self.rob:
             if e.seq <= entry.seq:
@@ -683,11 +737,57 @@ class OoOCore:
             self._commit(head)
             if self.retire_hook is not None:
                 self.retire_hook(head.addr, head.instr)
+            if self.tracer is not None:
+                self.tracer.instant("retire", self.cycle, pid=1,
+                                    tid=self.core_id, cat="retire",
+                                    args={"pc": head.addr,
+                                          "op": head.instr.mnemonic})
             self.rob.pop(0)
             retired += 1
             self.stats.retired += 1
+            self._retired_this_cycle += 1
             if self.halted:
                 break
+
+    def _account_stall(self):
+        """Attribute a zero-retirement cycle to its head-of-ROB cause,
+        mirroring RingStats' Section 7.3.2 taxonomy so the two engines
+        emit comparable ``core.stall.*`` counters."""
+        if self.halted or self._retired_this_cycle:
+            return
+        reason = self._classify_stall()
+        if reason is not None:
+            self.stats.stall(reason)
+
+    def _classify_stall(self):
+        if not self.rob:
+            if self._fetch_blocked is not None:
+                return StallReason.CONTROL
+            if self.cycle < self._fetch_stalled_until:
+                # Redirect or I-fetch refill draining the front end.
+                return StallReason.CONTROL
+            return StallReason.STRUCTURAL
+        head = self.rob[0]
+        return self._stall_origin(head, depth=0)
+
+    def _stall_origin(self, entry, depth):
+        """Walk producer links to the stall source (like the ring's)."""
+        if depth > 64:
+            return StallReason.STRUCTURAL
+        if entry.state == _RobEntry.EXECUTING:
+            return StallReason.MEMORY if entry.instr.is_mem else None
+        if entry.state == _RobEntry.DONE:
+            return None  # retires next cycle; not a stall source
+        if entry in self._blocked_loads:
+            return StallReason.MEMORY
+        for __, __, producer in entry.sources:
+            if producer is not None and not producer.executed:
+                return self._stall_origin(producer, depth + 1)
+        if entry.ready_time > self.cycle:
+            # Still traversing the front end (fetch->issue latency).
+            return StallReason.CONTROL
+        # Operands ready but not issued: FU ports / issue width.
+        return StallReason.STRUCTURAL
 
     def _commit(self, entry):
         instr = entry.instr

@@ -4,6 +4,8 @@ Commands:
 
 * ``list``                      — available workloads and configurations
 * ``run <workload> [options]``  — run one workload on DiAG + baseline
+* ``stats <workload> [options]``— dump the full stats document
+* ``trace <workload> [options]``— write a Chrome/Perfetto event trace
 * ``experiment <id> [options]`` — regenerate a paper table/figure
 * ``fpga``                      — run the I4C2 bring-up suite (§6.2)
 * ``sweep <knob> <workload>``   — design-space sensitivity sweep
@@ -13,6 +15,7 @@ Everything the CLI does is also available as a library; see README.md.
 """
 
 import argparse
+import json
 import sys
 
 EXPERIMENTS = ("table1", "table2", "table3", "fig9a", "fig9b", "fig10a",
@@ -52,24 +55,137 @@ def _describe(record):
     return line
 
 
-def _cmd_run(args):
+def _stall_line(record):
+    """Stall-reason breakdown from the shared ``core.stall.*`` counters."""
+    cycles = record.stat("core.cycles") or record.cycles
+    parts = []
+    for reason in ("memory", "control", "other"):
+        stalls = record.stat(f"core.stall.{reason}")
+        pct = 100.0 * stalls / cycles if cycles else 0.0
+        parts.append(f"{reason} {pct:4.1f}%")
+    return "stalls: " + "  ".join(parts)
+
+
+def _cache_line(record):
+    """Hit rates from the shared ``mem.*`` counters."""
+    parts = []
+    for level in ("l1i", "l1d", "l2"):
+        hits = record.stat(f"mem.{level}.hits")
+        misses = record.stat(f"mem.{level}.misses")
+        total = hits + misses
+        rate = 100.0 * hits / total if total else 100.0
+        parts.append(f"{level} {rate:5.1f}%")
+    return "cache hit: " + "  ".join(parts)
+
+
+def _record_doc(record):
+    """Machine-readable document for one run (stable top-level keys +
+    the full flat stats namespace under ``stats``)."""
+    return {
+        "workload": record.workload,
+        "machine": record.machine,
+        "config": record.config,
+        "threads": record.threads,
+        "cycles": record.cycles,
+        "instructions": record.instructions,
+        "ipc": record.ipc,
+        "status": record.status,
+        "verified": record.verified,
+        "energy_j": record.energy_j,
+        "wall_seconds": record.wall_seconds,
+        "stats": record.stats,
+    }
+
+
+def _emit_json(doc, dest):
+    """Write ``doc`` as JSON to ``dest`` ('-' = stdout)."""
+    text = json.dumps(doc, indent=2, sort_keys=True)
+    if dest == "-":
+        print(text)
+    else:
+        with open(dest, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {dest}", file=sys.stderr)
+
+
+def _run_machines(args, tracer=None):
+    """Run the workload on the machine(s) ``args.machine`` selects;
+    returns ``{machine_name: RunRecord}`` in run order."""
     from repro.harness import run_baseline, run_diag
 
-    base = run_baseline(args.workload, scale=args.scale,
-                        threads=args.threads,
-                        max_cycles=args.max_cycles)
-    diag = run_diag(args.workload, config=args.config, scale=args.scale,
-                    threads=args.threads, simt=args.simt,
-                    max_cycles=args.max_cycles)
+    records = {}
+    if args.machine in ("both", "ooo"):
+        records["ooo"] = run_baseline(
+            args.workload, scale=args.scale, threads=args.threads,
+            max_cycles=args.max_cycles, tracer=tracer)
+    if args.machine in ("both", "diag"):
+        records["diag"] = run_diag(
+            args.workload, config=args.config, scale=args.scale,
+            threads=args.threads, simt=getattr(args, "simt", False),
+            max_cycles=args.max_cycles, tracer=tracer)
+    return records
+
+
+def _cmd_run(args):
+    records = _run_machines(args)
+    if args.json is not None:
+        docs = {name: _record_doc(rec) for name, rec in records.items()}
+        doc = next(iter(docs.values())) if len(docs) == 1 else docs
+        _emit_json(doc, args.json)
+        return 0 if all(r.verified for r in records.values()) else 1
+    base = records.get("ooo")
+    diag = records.get("diag")
     print(f"workload {args.workload} (scale {args.scale}, "
           f"{args.threads} thread(s)):")
-    print(f"  baseline : {_describe(base)}")
-    print(f"  DiAG {args.config:5s}: {_describe(diag)}")
-    if diag.cycles and not (base.failed or diag.failed):
+    if base is not None:
+        print(f"  baseline : {_describe(base)}")
+        print(f"             {_stall_line(base)}")
+        print(f"             {_cache_line(base)}")
+    if diag is not None:
+        print(f"  DiAG {args.config:5s}: {_describe(diag)}")
+        print(f"             {_stall_line(diag)}")
+        print(f"             {_cache_line(diag)}")
+    if base is not None and diag is not None and diag.cycles \
+            and not (base.failed or diag.failed):
         print(f"  speedup {base.cycles / diag.cycles:.2f}x   "
               f"energy efficiency "
               f"{base.energy_j / diag.energy_j:.2f}x")
-    return 0 if (base.verified and diag.verified) else 1
+    return 0 if all(r.verified for r in records.values()) else 1
+
+
+def _cmd_stats(args):
+    from repro.obs import format_flat
+
+    records = _run_machines(args)
+    if args.json is not None:
+        docs = {name: _record_doc(rec) for name, rec in records.items()}
+        doc = next(iter(docs.values())) if len(docs) == 1 else docs
+        _emit_json(doc, args.json)
+    else:
+        for name, rec in records.items():
+            print(f"==> {args.workload} on {name} "
+                  f"({rec.config}, status={rec.status})")
+            print(format_flat(rec.stats))
+    return 0 if all(not r.failed for r in records.values()) else 1
+
+
+def _cmd_trace(args):
+    from repro.obs import EventTracer
+
+    tracer = EventTracer(max_events=args.max_events)
+    records = _run_machines(args, tracer=tracer)
+    tracer.write(args.output)
+    machines = "+".join(records)
+    print(f"wrote {args.output}: {len(tracer.events())} events "
+          f"({tracer.emitted} emitted, {tracer.dropped} dropped) "
+          f"from {machines}")
+    print("open in https://ui.perfetto.dev or chrome://tracing")
+    for name, rec in records.items():
+        if rec.failed:
+            print(f"warning: {name} run status={rec.status}"
+                  + (f" ({rec.error})" if rec.error else ""),
+                  file=sys.stderr)
+    return 0 if all(not r.failed for r in records.values()) else 1
 
 
 def _cmd_experiment(args):
@@ -133,16 +249,46 @@ def build_parser():
 
     sub.add_parser("list", help="list workloads / configs / experiments")
 
-    run_p = sub.add_parser("run", help="run one workload")
-    run_p.add_argument("workload")
-    run_p.add_argument("--config", default="F4C16",
+    def add_machine_opts(p, default_machine="both", simt=True):
+        p.add_argument("workload")
+        p.add_argument("--machine", default=default_machine,
+                       choices=("both", "diag", "ooo"),
+                       help="engine(s) to run "
+                            f"(default: {default_machine})")
+        p.add_argument("--config", default="F4C16",
                        choices=("I4C2", "F4C2", "F4C16", "F4C32"))
-    run_p.add_argument("--scale", type=float, default=0.5)
-    run_p.add_argument("--threads", type=int, default=1)
-    run_p.add_argument("--simt", action="store_true")
-    run_p.add_argument("--max-cycles", type=int, default=None,
+        p.add_argument("--scale", type=float, default=0.5)
+        p.add_argument("--threads", type=int, default=1)
+        if simt:
+            p.add_argument("--simt", action="store_true")
+        p.add_argument("--max-cycles", type=int, default=None,
                        help="cycle budget (exhaustion reports "
                             "status=timed_out)")
+
+    run_p = sub.add_parser("run", help="run one workload")
+    add_machine_opts(run_p)
+    run_p.add_argument("--json", nargs="?", const="-", default=None,
+                       metavar="PATH",
+                       help="emit the full stats document as JSON to "
+                            "PATH (stdout if omitted)")
+
+    stats_p = sub.add_parser(
+        "stats", help="run and dump the full stats document "
+                      "(gem5-style text, or --json)")
+    add_machine_opts(stats_p, default_machine="diag")
+    stats_p.add_argument("--json", nargs="?", const="-", default=None,
+                         metavar="PATH",
+                         help="JSON instead of text (stdout if PATH "
+                              "omitted)")
+
+    trace_p = sub.add_parser(
+        "trace", help="run with the event tracer and write a Chrome "
+                      "trace_event JSON (Perfetto-loadable)")
+    add_machine_opts(trace_p, default_machine="diag")
+    trace_p.add_argument("-o", "--output", default="trace.json")
+    trace_p.add_argument("--max-events", type=int, default=200_000,
+                         help="ring-buffer bound on retained events "
+                              "(older events drop first)")
 
     exp_p = sub.add_parser("experiment",
                            help="regenerate a paper table/figure")
@@ -176,12 +322,20 @@ def main(argv=None):
     handler = {
         "list": _cmd_list,
         "run": _cmd_run,
+        "stats": _cmd_stats,
+        "trace": _cmd_trace,
         "experiment": _cmd_experiment,
         "fpga": _cmd_fpga,
         "sweep": _cmd_sweep,
         "faults": _cmd_faults,
     }[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    except BrokenPipeError:
+        # e.g. ``repro stats ... | head`` — downstream closed stdout
+        import os
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -44,16 +44,19 @@ class DiAGProcessor:
     STACK_BYTES_PER_THREAD = 64 * 1024
 
     def __init__(self, config, program, num_threads=1, thread_regs=None,
-                 hierarchy=None):
+                 hierarchy=None, tracer=None):
         """``thread_regs``: optional per-thread {reg_index: value} seeds.
 
         By default thread ``t`` starts with a0 = t and a1 = num_threads
         (the SPMD convention all multi-threaded workloads use) and a
         private 64 KiB stack carved below the shared stack top.
+        ``tracer``: optional :class:`repro.obs.EventTracer` shared by
+        every ring (ring ``t`` emits on trace thread-track ``t``).
         """
         self.config = config
         self.program = program
         self.num_threads = num_threads
+        self.tracer = tracer
         self.hierarchy = hierarchy if hierarchy is not None \
             else MemoryHierarchy(config.hierarchy_config())
         program.load_into(self.hierarchy.memory)
@@ -67,8 +70,10 @@ class DiAGProcessor:
             if thread_regs is not None and tid < len(thread_regs):
                 for reg, value in thread_regs[tid].items():
                     arch.x[reg] = value & 0xFFFFFFFF
-            self.rings.append(RingEngine(config, self.hierarchy, program,
-                                         arch=arch, ring_id=tid))
+            ring = RingEngine(config, self.hierarchy, program,
+                              arch=arch, ring_id=tid)
+            ring.tracer = tracer
+            self.rings.append(ring)
 
     @property
     def memory(self):

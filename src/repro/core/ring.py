@@ -106,6 +106,9 @@ class RingEngine:
         #: optional FaultInjector (repro.faults): routed through at each
         #: value-producing site ("pe" results, "lane" commits)
         self.fault_hook = None
+        #: optional repro.obs.EventTracer; every emission site is
+        #: guarded by a None check so disabled tracing stays free
+        self.tracer = None
         self.watchdog = ProgressWatchdog(
             getattr(config, "watchdog_window", 0))
 
@@ -289,6 +292,11 @@ class RingEngine:
         activation = cluster.arm(next(self._activation_seq), self.cycle,
                                  ready_cycle, entry_pc)
         self._last_armed_slot = cluster.slot
+        if self.tracer is not None:
+            self.tracer.instant("dispatch", self.cycle,
+                                tid=self.ring_id, cat="dispatch",
+                                args={"pc": entry_pc,
+                                      "slot": cluster.slot})
         path_pc = entry_pc
         stop_after = None
         for pe_index, instr in enumerate(cluster.instrs):
@@ -524,6 +532,10 @@ class RingEngine:
         entry.start_cycle = self.cycle
         done = self.cycle + latency
         entry.done_cycle = done
+        if self.tracer is not None:
+            self.tracer.complete(mnem, self.cycle, latency,
+                                 tid=self.ring_id, cat="execute",
+                                 args={"pc": entry.addr})
         heapq.heappush(self._executing, (done, entry.seq, entry))
 
     def _exec_simt_e(self, entry, rc_value):
@@ -666,10 +678,20 @@ class RingEngine:
             cluster.memory_lanes.stats_forwards += 1
             raw = forward_value
             latency = 1
+            if self.tracer is not None:
+                self.tracer.instant("lane_forward", self.cycle,
+                                    tid=self.ring_id,
+                                    args={"addr": addr})
         else:
             raw = self.hierarchy.memory.load(addr, size)
             latency, __ = cluster.lsu.access(addr, self.cycle,
                                              is_write=False)
+            if self.tracer is not None \
+                    and latency > self.hierarchy.config.timings.l1d_hit:
+                self.tracer.instant("cache_miss", self.cycle,
+                                    tid=self.ring_id,
+                                    args={"addr": addr,
+                                          "latency": latency})
             if self.config.enable_prefetch:
                 self._prefetch(entry, addr)
         entry.value = finish_load(entry.instr, raw)
@@ -678,6 +700,10 @@ class RingEngine:
         entry.state = PEState.EXECUTING
         entry.start_cycle = self.cycle
         entry.done_cycle = self.cycle + max(1, latency)
+        if self.tracer is not None:
+            self.tracer.complete(entry.instr.mnemonic, self.cycle,
+                                 max(1, latency), tid=self.ring_id,
+                                 cat="execute", args={"pc": entry.addr})
         heapq.heappush(self._executing, (entry.done_cycle, entry.seq, entry))
 
     def _block_load(self, entry, store):
@@ -744,6 +770,12 @@ class RingEngine:
     def _mispredict(self, entry, correct_target):
         """Squash everything younger and redirect (Section 5.1.4)."""
         self.stats.mispredicts += 1
+        if self.tracer is not None:
+            squashed = sum(1 for e in self.window if e.seq > entry.seq)
+            self.tracer.instant("squash", self.cycle,
+                                tid=self.ring_id, cat="squash",
+                                args={"pc": entry.addr,
+                                      "entries": squashed})
         keep = []
         for e in self.window:
             if e.seq <= entry.seq:
@@ -808,6 +840,11 @@ class RingEngine:
             self._commit(head)
             if self.retire_hook is not None:
                 self.retire_hook(head.addr, head.instr)
+            if self.tracer is not None:
+                self.tracer.instant("retire", self.cycle,
+                                    tid=self.ring_id, cat="retire",
+                                    args={"pc": head.addr,
+                                          "op": head.instr.mnemonic})
             self.window.pop(0)
             retired += 1
             self.stats.retired += 1
@@ -884,9 +921,18 @@ class RingEngine:
         self._simt_pending_entry = None
         step, end = entry.simt_latched
         executor = SimtExecutor(self.config, self.hierarchy, self.program,
-                                region, self.arch, stats=self.stats)
+                                region, self.arch, stats=self.stats,
+                                tracer=self.tracer,
+                                trace_ids=(0, self.ring_id))
         outcome = executor.run(start_cycle=self.cycle, rc_value_step_end=(
             self.arch.read("x", entry.instr.rd), step, end))
+        if self.tracer is not None:
+            self.tracer.complete("simt_region", self.cycle,
+                                 outcome.finish_cycle - self.cycle,
+                                 tid=self.ring_id, cat="simt_region",
+                                 args={"threads": outcome.threads,
+                                       "instructions":
+                                       outcome.instructions})
         self.stats.simt_regions += 1
         self.stats.simt_threads += outcome.threads
         self.stats.simt_insts += outcome.instructions

@@ -140,13 +140,17 @@ class SimtExecutor:
     """
 
     def __init__(self, config, hierarchy, program, region, arch,
-                 stats=None):
+                 stats=None, tracer=None, trace_ids=(0, 0)):
         self.config = config
         self.hierarchy = hierarchy
         self.program = program
         self.region = region
         self.arch = arch
         self.stats = stats
+        #: optional repro.obs.EventTracer + (pid, tid) track to emit
+        #: per-thread start/stop events on
+        self.tracer = tracer
+        self.trace_ids = trace_ids
         self._bank_busy = {}
         # per (copy, stage) cluster LSU last-line buffers: consecutive
         # threads touch adjacent addresses, so most accesses hit the
@@ -226,6 +230,14 @@ class SimtExecutor:
                 busy_fpu_cycles += fpu_cyc
             total_instrs += 1  # the simt_e "stage" retiring the thread
             finish = max(finish, enter)
+            if self.tracer is not None:
+                pid, tid = self.trace_ids
+                self.tracer.instant("simt_thread_start", spawn,
+                                    pid=pid, tid=tid,
+                                    args={"thread": t, "rc": rc})
+                self.tracer.instant("simt_thread_stop", enter,
+                                    pid=pid, tid=tid,
+                                    args={"thread": t})
         span = max(1, finish - start_cycle)
         outcome = SimtOutcome(
             finish_cycle=finish,

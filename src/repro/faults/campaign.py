@@ -40,6 +40,7 @@ from repro.faults.injector import (
     FaultSpec,
 )
 from repro.iss import ISS
+from repro.obs import collect_diag, collect_ooo
 from repro.workloads import get_workload
 
 OUTCOMES = ("masked", "sdc", "detected", "hang", "timed_out")
@@ -51,11 +52,16 @@ class CampaignError(RuntimeError):
 
 @dataclass
 class TrialResult:
-    """One injection and its classified outcome."""
+    """One injection and its classified outcome.
+
+    ``cycles`` and ``retired`` come from the run's registry counters
+    (``core.cycles`` / ``core.instructions``); a hang or detected fault
+    reports the counts reached before the run aborted."""
 
     spec: FaultSpec
     outcome: str
     cycles: int = 0
+    retired: int = 0
     error: str = None
 
 
@@ -69,6 +75,7 @@ class CampaignReport:
     scale: float
     seed: int
     clean_cycles: int = 0
+    clean_retired: int = 0
     site_population: dict = field(default_factory=dict)
     trials: list = field(default_factory=list)
 
@@ -88,7 +95,8 @@ class CampaignReport:
         lines = [
             f"fault campaign: {self.workload} on {self.machine} "
             f"({self.config}, scale {self.scale}, seed {self.seed})",
-            f"  clean run: {self.clean_cycles} cycles; site population: "
+            f"  clean run: {self.clean_cycles} cycles, "
+            f"{self.clean_retired} retired; site population: "
             + ", ".join(f"{site}={count}" for site, count
                         in sorted(self.site_population.items())),
             f"  {len(self.trials)} injection(s):",
@@ -105,21 +113,27 @@ def _machine_sites(machine):
 
 
 def _execute(machine, config, program, inst, injector, max_cycles):
-    """One run with ``injector`` attached; returns (halted, memory,
-    x-regs, f-regs, cycles)."""
+    """One run with ``injector`` attached; returns (stats, memory,
+    x-regs, f-regs) where ``stats`` is the run's flat registry dump.
+
+    Classification reads the shared counters (``sim.halted``,
+    ``core.cycles``, ``core.instructions``) out of ``stats`` rather
+    than engine-private result fields, so both machines are handled by
+    identical downstream code."""
     if machine == "diag":
         proc = DiAGProcessor(config, program)
         inst.setup(proc.memory)
         injector.attach(proc.rings[0], proc.hierarchy)
         result = proc.run(max_cycles=max_cycles)
+        stats = collect_diag(result, proc.hierarchy).as_dict()
         arch = proc.rings[0].arch
-        return result.halted, proc.memory, arch.x, arch.f, result.cycles
+        return stats, proc.memory, arch.x, arch.f
     core = OoOCore(config, program)
     inst.setup(core.hierarchy.memory)
     injector.attach(core, core.hierarchy)
     result = core.run(max_cycles=max_cycles)
-    return (result.halted, core.hierarchy.memory, core.arch.x,
-            core.arch.f, result.cycles)
+    stats = collect_ooo(result, core.hierarchy).as_dict()
+    return stats, core.hierarchy.memory, core.arch.x, core.arch.f
 
 
 def _golden(program, inst):
@@ -159,25 +173,31 @@ def _classify(machine, config, program, inst, spec, max_cycles,
               gold_x, gold_f):
     injector = FaultInjector(spec)
     try:
-        halted, memory, x, f, cycles = _execute(
+        stats, memory, x, f = _execute(
             machine, config, program, inst, injector, max_cycles)
     except SimulationHang as exc:
+        # the watchdog's progress marker IS the retired-instruction
+        # counter; the head-state dump carries its final value
         return TrialResult(spec, "hang", cycles=exc.cycle,
+                           retired=exc.head_state.get("retired", 0),
                            error=str(exc))
     except Exception as exc:  # engine raised: the fault was detected
         return TrialResult(spec, "detected",
                            error=f"{type(exc).__name__}: {exc}")
-    if not halted:
-        return TrialResult(spec, "timed_out", cycles=cycles)
+    cycles = stats["core.cycles"]
+    retired = stats["core.instructions"]
+    if not stats["sim.halted"]:
+        return TrialResult(spec, "timed_out", cycles=cycles,
+                           retired=retired)
     try:
         ok = bool(inst.verify(memory))
     except Exception as exc:
         # outputs so corrupted the checker itself choked
-        return TrialResult(spec, "sdc", cycles=cycles,
+        return TrialResult(spec, "sdc", cycles=cycles, retired=retired,
                            error=f"verify raised {type(exc).__name__}")
     if not ok or x[1:] != gold_x[1:] or f != gold_f:
-        return TrialResult(spec, "sdc", cycles=cycles)
-    return TrialResult(spec, "masked", cycles=cycles)
+        return TrialResult(spec, "sdc", cycles=cycles, retired=retired)
+    return TrialResult(spec, "masked", cycles=cycles, retired=retired)
 
 
 def run_campaign(workload, machine="diag", config="F4C2", scale=0.25,
@@ -202,9 +222,10 @@ def run_campaign(workload, machine="diag", config="F4C2", scale=0.25,
     base_cfg = CONFIG_PRESETS[config] if machine == "diag" \
         else OoOConfig()
     profiler = FaultInjector(spec=None)
-    halted, memory, x, f, clean_cycles = _execute(
+    stats, memory, x, f = _execute(
         machine, base_cfg, program, inst, profiler, None)
-    if not halted:
+    clean_cycles = stats["core.cycles"]
+    if not stats["sim.halted"]:
         raise CampaignError(
             f"fault-free {machine} run did not halt "
             f"({clean_cycles} cycles)")
@@ -224,6 +245,7 @@ def run_campaign(workload, machine="diag", config="F4C2", scale=0.25,
     report = CampaignReport(workload=workload, machine=machine,
                             config=base_cfg.name, scale=scale, seed=seed,
                             clean_cycles=clean_cycles,
+                            clean_retired=stats["core.instructions"],
                             site_population=population)
     for spec in specs:
         report.trials.append(_classify(machine, run_cfg, program, inst,

@@ -36,19 +36,48 @@ class PipeTracer:
     ring: object
     lives: dict = field(default_factory=dict)
     max_entries: int = 2000
+    #: instructions NOT recorded because the buffer was full — rendered
+    #: as an explicit marker, never silently swallowed
+    dropped: int = 0
+    _dropped_seqs: set = field(default_factory=set)
 
     @classmethod
-    def attach(cls, ring):
-        """Wrap ``ring.step`` to sample entry states each cycle."""
-        tracer = cls(ring=ring)
-        original_step = ring.step
+    def attach(cls, ring, max_entries=2000):
+        """Wrap ``ring.step`` to sample entry states each cycle.
+
+        Re-attaching to an already-traced ring first detaches the
+        previous tracer, so repeated ``attach`` calls never stack
+        wrappers (each stacked wrapper would re-sample the same cycle).
+        """
+        previous = getattr(ring, "_pipetracer", None)
+        if previous is not None:
+            previous.detach()
+        tracer = cls(ring=ring, max_entries=max_entries)
+        tracer._original_step = ring.step
 
         def traced_step():
-            original_step()
+            tracer._original_step()
             tracer.sample()
 
         ring.step = traced_step
+        ring._pipetracer = tracer
         return tracer
+
+    def detach(self):
+        """Restore the ring's unwrapped ``step``; sampling stops."""
+        original = getattr(self, "_original_step", None)
+        if original is not None and \
+                getattr(self.ring, "_pipetracer", None) is self:
+            self.ring.step = original
+            self.ring._pipetracer = None
+        self._original_step = None
+
+    def _drop(self, seq):
+        # sample() revisits live entries every cycle, so count each
+        # overflowing instruction once, not once per cycle it lingers
+        if seq not in self._dropped_seqs:
+            self._dropped_seqs.add(seq)
+            self.dropped += 1
 
     def sample(self):
         ring = self.ring
@@ -57,6 +86,7 @@ class PipeTracer:
             life = self.lives.get(entry.seq)
             if life is None:
                 if len(self.lives) >= self.max_entries:
+                    self._drop(entry.seq)
                     continue
                 life = _Life(seq=entry.seq,
                              label=f"{entry.addr:#06x} "
@@ -82,6 +112,8 @@ class PipeTracer:
         """An ASCII chart of the first ``limit`` instruction lifetimes."""
         lives = sorted(self.lives.values(), key=lambda l: l.seq)[:limit]
         if not lives:
+            if self.dropped:
+                return f"... {self.dropped} entries dropped"
             return "(no instructions traced)"
         t0 = min(l.dispatch for l in lives)
         t1 = max((l.retire or l.dispatch) for l in lives)
@@ -114,4 +146,7 @@ class PipeTracer:
             elif life.final_state == "disabled":
                 row = ["d" if c != " " else c for c in row]
             lines.append(f"{life.label:24s} |{''.join(row)}|")
+        if self.dropped:
+            lines.append(f"... {self.dropped} entries dropped "
+                         f"(buffer holds {self.max_entries})")
         return "\n".join(lines)

@@ -21,6 +21,13 @@ from repro.baseline import (
 )
 from repro.core import CONFIG_PRESETS, DiAGProcessor, EnergyModel
 from repro.core.watchdog import SimulationHang
+from repro.obs import (
+    PhaseProfiler,
+    attach_tracer_names,
+    collect_diag,
+    collect_ooo,
+    export_throughput,
+)
 from repro.workloads import get_workload
 
 #: RunRecord.status values: "ok" = ran to halt (verified says whether
@@ -49,10 +56,19 @@ class RunRecord:
     stall_fractions: dict = field(default_factory=dict)
     extra: dict = field(default_factory=dict)
     wall_seconds: float = 0.0
+    #: full machine-readable stats document — the flat dump of the
+    #: repro.obs.StatsRegistry this run populated (shared ``core.*`` /
+    #: ``mem.*`` namespace plus engine detail; see docs/OBSERVABILITY.md)
+    stats: dict = field(default_factory=dict)
 
     @property
     def ipc(self):
         return self.instructions / self.cycles if self.cycles else 0.0
+
+    def stat(self, name, default=0):
+        """One counter from the stats document (``default`` if the run
+        failed before stats were collected)."""
+        return self.stats.get(name, default)
 
     @property
     def failed(self):
@@ -72,7 +88,12 @@ def clear_cache():
     _CACHE.clear()
 
 
-def _cached(key, factory):
+def _cached(key, factory, bypass=False):
+    """``bypass=True`` (traced runs) always executes the factory and
+    never populates the cache — a cached record would have emitted no
+    events into the caller's tracer."""
+    if bypass:
+        return factory()
     record = _CACHE.get(key)
     if record is not None:
         _CACHE.move_to_end(key)
@@ -93,13 +114,15 @@ def _status_of(result):
 
 
 def run_diag(workload, config="F4C32", scale=1.0, threads=1, simt=False,
-             num_clusters=None, max_cycles=None, config_overrides=None):
+             num_clusters=None, max_cycles=None, config_overrides=None,
+             tracer=None):
     """Run ``workload`` on a DiAG processor; returns a :class:`RunRecord`.
 
     ``config`` is a Table 2 preset name; ``num_clusters`` optionally
     overrides the clusters available *per ring* (used to split an
     F4C32 into multiple rings for spatial multi-threading — paper
-    Section 7.2.1's "16-by-2 format").
+    Section 7.2.1's "16-by-2 format"). ``tracer`` is an optional
+    :class:`repro.obs.EventTracer`; traced runs bypass the run cache.
     """
     overrides = dict(config_overrides or {})
     if num_clusters is not None:
@@ -117,14 +140,20 @@ def run_diag(workload, config="F4C32", scale=1.0, threads=1, simt=False,
         record = RunRecord(workload=workload, machine="diag",
                            config=cfg.name, threads=use_threads,
                            simt=use_simt)
+        profiler = PhaseProfiler()
         start = time.time()
         try:
-            inst = cls().build(scale=scale, threads=use_threads,
-                               simt=use_simt)
-            proc = DiAGProcessor(cfg, inst.program,
-                                 num_threads=use_threads)
-            inst.setup(proc.memory)
-            result = proc.run(max_cycles=max_cycles)
+            with profiler.phase("build"):
+                inst = cls().build(scale=scale, threads=use_threads,
+                                   simt=use_simt)
+                proc = DiAGProcessor(cfg, inst.program,
+                                     num_threads=use_threads,
+                                     tracer=tracer)
+                inst.setup(proc.memory)
+            if tracer is not None:
+                attach_tracer_names(tracer, "diag", use_threads)
+            with profiler.phase("run"):
+                result = proc.run(max_cycles=max_cycles)
             record.cycles = result.cycles
             record.instructions = result.instructions
             record.status = _status_of(result)
@@ -143,8 +172,17 @@ def run_diag(workload, config="F4C32", scale=1.0, threads=1, simt=False,
                 "simt_threads": result.stats.simt_threads,
                 "params": inst.params,
             }
-            record.verified = result.halted \
-                and bool(inst.verify(proc.memory))
+            with profiler.phase("verify"):
+                record.verified = result.halted \
+                    and bool(inst.verify(proc.memory))
+            registry = collect_diag(result, proc.hierarchy)
+            profiler.export(registry)
+            export_throughput(registry, result.cycles,
+                              result.instructions,
+                              profiler.seconds("run"),
+                              tracer.emitted if tracer is not None
+                              else 0)
+            record.stats = registry.as_dict()
         except SimulationHang as exc:
             record.status = "hang"
             record.error = str(exc)
@@ -155,13 +193,15 @@ def run_diag(workload, config="F4C32", scale=1.0, threads=1, simt=False,
         record.wall_seconds = time.time() - start
         return record
 
-    return _cached(key, factory)
+    return _cached(key, factory, bypass=tracer is not None)
 
 
 def run_baseline(workload, scale=1.0, threads=1, max_cycles=None,
-                 config=None):
+                 config=None, tracer=None):
     """Run ``workload`` on the out-of-order baseline (multicore if
-    ``threads`` > 1); returns a :class:`RunRecord`."""
+    ``threads`` > 1); returns a :class:`RunRecord`. ``tracer`` is an
+    optional :class:`repro.obs.EventTracer`; traced runs bypass the
+    run cache."""
     key = ("ooo", workload, scale, threads, max_cycles,
            config.name if config else "ooo8")
 
@@ -172,24 +212,33 @@ def run_baseline(workload, scale=1.0, threads=1, max_cycles=None,
         record = RunRecord(workload=workload, machine="ooo",
                            config=cfg.name, threads=use_threads,
                            simt=False)
+        profiler = PhaseProfiler()
         start = time.time()
         try:
-            inst = cls().build(scale=scale, threads=use_threads,
-                               simt=False)
-            if use_threads == 1:
-                core = OoOCore(cfg, inst.program)
-                inst.setup(core.hierarchy.memory)
-                result = core.run(max_cycles=max_cycles)
-                hierarchies = [core.hierarchy]
-                memory = core.hierarchy.memory
-                halted = core.halted
-            else:
-                cpu = MulticoreCPU(cfg, inst.program, use_threads)
-                inst.setup(cpu.memory)
-                result = cpu.run(max_cycles=max_cycles)
-                hierarchies = [c.hierarchy for c in cpu.cores]
-                memory = cpu.memory
-                halted = result.halted
+            with profiler.phase("build"):
+                inst = cls().build(scale=scale, threads=use_threads,
+                                   simt=False)
+                if use_threads == 1:
+                    core = OoOCore(cfg, inst.program)
+                    cores = [core]
+                    runner = core
+                    inst.setup(core.hierarchy.memory)
+                    memory = core.hierarchy.memory
+                else:
+                    cpu = MulticoreCPU(cfg, inst.program, use_threads)
+                    cores = cpu.cores
+                    runner = cpu
+                    inst.setup(cpu.memory)
+                    memory = cpu.memory
+            if tracer is not None:
+                attach_tracer_names(tracer, "ooo", use_threads)
+                for core in cores:
+                    core.tracer = tracer
+            hierarchies = [c.hierarchy for c in cores]
+            with profiler.phase("run"):
+                result = runner.run(max_cycles=max_cycles)
+            halted = result.halted if use_threads > 1 \
+                else cores[0].halted
             record.cycles = result.cycles
             record.instructions = result.instructions
             record.status = "ok" if halted else "timed_out"
@@ -197,9 +246,21 @@ def run_baseline(workload, scale=1.0, threads=1, max_cycles=None,
             energy = power.energy_report(result, hierarchies)
             record.energy_j = energy.total_j
             record.energy_breakdown = energy.breakdown()
+            record.stall_fractions = {
+                k.value: v for k, v in
+                result.stats.stall_fractions().items()}
             record.extra = {"mispredicts": result.stats.mispredicts,
                             "params": inst.params}
-            record.verified = halted and bool(inst.verify(memory))
+            with profiler.phase("verify"):
+                record.verified = halted and bool(inst.verify(memory))
+            registry = collect_ooo(result, hierarchies)
+            profiler.export(registry)
+            export_throughput(registry, result.cycles,
+                              result.instructions,
+                              profiler.seconds("run"),
+                              tracer.emitted if tracer is not None
+                              else 0)
+            record.stats = registry.as_dict()
         except SimulationHang as exc:
             record.status = "hang"
             record.error = str(exc)
@@ -210,4 +271,4 @@ def run_baseline(workload, scale=1.0, threads=1, max_cycles=None,
         record.wall_seconds = time.time() - start
         return record
 
-    return _cached(key, factory)
+    return _cached(key, factory, bypass=tracer is not None)

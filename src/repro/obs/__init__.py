@@ -1,0 +1,50 @@
+"""Unified instrumentation layer: counters, events, self-profiling.
+
+Three pieces (see docs/OBSERVABILITY.md):
+
+* :class:`StatsRegistry` — hierarchical counter/gauge/histogram
+  registry both engines dump into under one naming scheme
+  (``core.*`` shared, ``diag.*`` / ``ooo.*`` / ``mem.*`` specific).
+* :class:`EventTracer` — ring-buffer-bounded structured event tracer
+  with a Chrome ``trace_event`` exporter (opens in Perfetto).
+* :class:`PhaseProfiler` — wall-clock self-profiling of the simulator.
+
+The harness threads all three through ``RunRecord.stats`` so figure
+suites, sweeps and fault campaigns report from the same counters.
+"""
+
+from repro.obs.bridge import (
+    SHARED_CORE_COUNTERS,
+    attach_tracer_names,
+    collect_diag,
+    collect_hierarchy,
+    collect_iss,
+    collect_ooo,
+)
+from repro.obs.events import EVENT_NAMES, EventTracer
+from repro.obs.profile import PhaseProfiler, export_throughput
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    StatsRegistry,
+    format_flat,
+)
+
+__all__ = [
+    "Counter",
+    "EVENT_NAMES",
+    "EventTracer",
+    "Gauge",
+    "Histogram",
+    "PhaseProfiler",
+    "SHARED_CORE_COUNTERS",
+    "StatsRegistry",
+    "attach_tracer_names",
+    "collect_diag",
+    "collect_hierarchy",
+    "collect_iss",
+    "collect_ooo",
+    "export_throughput",
+    "format_flat",
+]

@@ -1,0 +1,57 @@
+"""Self-profiling of the simulator: per-phase wall-clock + throughput.
+
+The instrumentation layer also watches the *simulator itself*: how
+long each phase of a run took (program build, engine execution, output
+verification) and how fast the engine is simulating (cycles/sec and
+retired instructions/sec of host time). The harness threads these into
+``RunRecord.stats`` under ``host.*`` / ``sim.*`` so the bench smoke
+job can track the repo's own performance trajectory.
+"""
+
+import time
+from contextlib import contextmanager
+
+
+class PhaseProfiler:
+    """Accumulates wall-clock seconds per named phase."""
+
+    def __init__(self):
+        self.phases = {}
+
+    @contextmanager
+    def phase(self, name):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.phases[name] = self.phases.get(name, 0.0) + elapsed
+
+    def seconds(self, name):
+        return self.phases.get(name, 0.0)
+
+    @property
+    def total_seconds(self):
+        return sum(self.phases.values())
+
+    def export(self, registry, prefix="host.phase"):
+        """Register ``<prefix>.<name>.seconds`` gauges."""
+        for name, seconds in self.phases.items():
+            registry.set(f"{prefix}.{name}.seconds", seconds,
+                         desc=f"wall-clock seconds in the {name} phase")
+        registry.set(f"{prefix}.total.seconds", self.total_seconds,
+                     desc="wall-clock seconds across all phases")
+
+
+def export_throughput(registry, cycles, instructions, run_seconds,
+                      events_emitted=0):
+    """Register the simulator-throughput gauges under ``sim.host``."""
+    registry.set("sim.host.run_seconds", run_seconds,
+                 desc="wall-clock seconds inside the engine run loop")
+    rate = 1.0 / run_seconds if run_seconds > 0 else 0.0
+    registry.set("sim.host.cycles_per_sec", cycles * rate,
+                 desc="simulated cycles per host second")
+    registry.set("sim.host.instructions_per_sec", instructions * rate,
+                 desc="retired instructions per host second")
+    registry.set("sim.host.events_per_sec", events_emitted * rate,
+                 desc="trace events emitted per host second")

@@ -1,0 +1,257 @@
+"""Hierarchical counter/metrics registry (the gem5 ``stats`` analogue).
+
+Every simulator component registers its counters here under a dotted
+naming scheme (``diag.ring0.stall.memory``, ``ooo.rob.occupancy_avg``,
+``mem.l1d.misses``) so one run produces *one* machine-readable stats
+document regardless of which engine executed it. Three stat kinds:
+
+* :class:`Counter` — monotonically increasing event count
+* :class:`Gauge`   — a point-in-time scalar (IPC, miss rate, seconds)
+* :class:`Histogram` — a distribution (count/sum/min/max/mean)
+
+The registry dumps as a flat ``{name: value}`` dict (histograms expand
+to ``name.count`` / ``name.mean`` / ...), as JSON, or as gem5-style
+``stats.txt`` text (``name  value  # description``). Both engines must
+emit the *shared core namespace* — ``core.*`` and ``mem.*`` — with
+identical names; engine-specific detail lives under ``diag.*`` /
+``ooo.*`` / ``iss.*`` / ``sim.*``. See docs/OBSERVABILITY.md.
+"""
+
+import json
+
+
+class Stat:
+    """Base class: a named, described statistic."""
+
+    __slots__ = ("name", "desc")
+
+    def __init__(self, name, desc=""):
+        self.name = name
+        self.desc = desc
+
+    def value_dict(self):
+        """{suffix: scalar} contribution to the flat dump ('' = self)."""
+        raise NotImplementedError
+
+
+class Counter(Stat):
+    """A monotonically increasing event counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, name, desc=""):
+        super().__init__(name, desc)
+        self.value = 0
+
+    def inc(self, n=1):
+        self.value += n
+
+    def value_dict(self):
+        return {"": self.value}
+
+
+class Gauge(Stat):
+    """A point-in-time scalar (rates, ratios, wall-clock seconds)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, name, desc=""):
+        super().__init__(name, desc)
+        self.value = 0.0
+
+    def set(self, value):
+        self.value = value
+
+    def value_dict(self):
+        return {"": self.value}
+
+
+class Histogram(Stat):
+    """A streaming distribution: count / sum / min / max / mean."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self, name, desc=""):
+        super().__init__(name, desc)
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+
+    def sample(self, value, n=1):
+        self.count += n
+        self.total += value * n
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    def value_dict(self):
+        return {".count": self.count, ".sum": self.total,
+                ".min": self.min if self.min is not None else 0,
+                ".max": self.max if self.max is not None else 0,
+                ".mean": self.mean}
+
+
+class StatsRegistry:
+    """A flat namespace of dotted stat names (insertion-ordered).
+
+    ``counter()`` / ``gauge()`` / ``histogram()`` get-or-create, so a
+    component can re-register idempotently; asking for an existing name
+    with a different kind raises ``TypeError`` (one name, one meaning).
+    """
+
+    def __init__(self):
+        self._stats = {}
+
+    # ------------------------------------------------------ registration
+
+    def _get_or_create(self, cls, name, desc):
+        stat = self._stats.get(name)
+        if stat is None:
+            stat = cls(name, desc)
+            self._stats[name] = stat
+        elif type(stat) is not cls:
+            raise TypeError(
+                f"stat {name!r} already registered as "
+                f"{type(stat).__name__}, not {cls.__name__}")
+        elif desc and not stat.desc:
+            stat.desc = desc
+        return stat
+
+    def counter(self, name, desc=""):
+        return self._get_or_create(Counter, name, desc)
+
+    def gauge(self, name, desc=""):
+        return self._get_or_create(Gauge, name, desc)
+
+    def histogram(self, name, desc=""):
+        return self._get_or_create(Histogram, name, desc)
+
+    # ------------------------------------------------------- convenience
+
+    def inc(self, name, n=1, desc=""):
+        self.counter(name, desc).inc(n)
+
+    def set(self, name, value, desc=""):
+        self.gauge(name, desc).set(value)
+
+    def group(self, prefix):
+        """A namespaced view: ``group('diag.ring0').inc('retired')``."""
+        return _Group(self, prefix)
+
+    # ------------------------------------------------------------ access
+
+    def __contains__(self, name):
+        return name in self._stats
+
+    def __iter__(self):
+        return iter(self._stats.values())
+
+    def __len__(self):
+        return len(self._stats)
+
+    def get(self, name):
+        """The registered Stat object, or None."""
+        return self._stats.get(name)
+
+    def __getitem__(self, name):
+        """Scalar value of a flat-dump entry (accepts histogram
+        suffixes like ``lat.mean``)."""
+        flat = self.as_dict()
+        if name not in flat:
+            raise KeyError(name)
+        return flat[name]
+
+    def names(self, prefix=""):
+        """Flat-dump names, optionally filtered by dotted prefix."""
+        return [n for n in self.as_dict()
+                if not prefix or n == prefix
+                or n.startswith(prefix + ".")]
+
+    # ------------------------------------------------------------- dumps
+
+    def as_dict(self):
+        """Flat ``{dotted-name: scalar}`` (histograms expanded)."""
+        flat = {}
+        for stat in self._stats.values():
+            for suffix, value in stat.value_dict().items():
+                flat[stat.name + suffix] = value
+        return flat
+
+    def to_json(self, indent=2):
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def format_text(self):
+        """gem5-style ``stats.txt``: aligned name/value/# description."""
+        flat = []
+        for stat in self._stats.values():
+            for suffix, value in stat.value_dict().items():
+                flat.append((stat.name + suffix, value,
+                             stat.desc if not suffix else ""))
+        if not flat:
+            return "(no statistics registered)"
+        width = max(len(name) for name, __, __ in flat)
+        lines = ["---------- Begin Simulation Statistics ----------"]
+        for name, value, desc in flat:
+            if isinstance(value, float):
+                rendered = f"{value:14.6f}"
+            else:
+                rendered = f"{value:14d}"
+            line = f"{name:{width}s}  {rendered}"
+            if desc:
+                line += f"  # {desc}"
+            lines.append(line)
+        lines.append("---------- End Simulation Statistics   ----------")
+        return "\n".join(lines)
+
+
+def format_flat(flat):
+    """gem5-style ``stats.txt`` text for an already-flattened
+    ``{name: value}`` dump (e.g. ``RunRecord.stats``), which no longer
+    carries per-stat descriptions."""
+    if not flat:
+        return "(no statistics registered)"
+    width = max(len(name) for name in flat)
+    lines = ["---------- Begin Simulation Statistics ----------"]
+    for name, value in flat.items():
+        if isinstance(value, float):
+            rendered = f"{value:14.6f}"
+        else:
+            rendered = f"{int(value):14d}"
+        lines.append(f"{name:{width}s}  {rendered}")
+    lines.append("---------- End Simulation Statistics   ----------")
+    return "\n".join(lines)
+
+
+class _Group:
+    """Prefix view over a registry (shares the underlying stats)."""
+
+    __slots__ = ("_registry", "_prefix")
+
+    def __init__(self, registry, prefix):
+        self._registry = registry
+        self._prefix = prefix.rstrip(".")
+
+    def _name(self, name):
+        return f"{self._prefix}.{name}" if self._prefix else name
+
+    def counter(self, name, desc=""):
+        return self._registry.counter(self._name(name), desc)
+
+    def gauge(self, name, desc=""):
+        return self._registry.gauge(self._name(name), desc)
+
+    def histogram(self, name, desc=""):
+        return self._registry.histogram(self._name(name), desc)
+
+    def inc(self, name, n=1, desc=""):
+        self._registry.inc(self._name(name), n, desc)
+
+    def set(self, name, value, desc=""):
+        self._registry.set(self._name(name), value, desc)
+
+    def group(self, prefix):
+        return _Group(self._registry, self._name(prefix))

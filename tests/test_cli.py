@@ -1,5 +1,7 @@
 """Command-line interface (python -m repro)."""
 
+import json
+
 import pytest
 
 from repro.cli import EXPERIMENTS, build_parser, main
@@ -28,6 +30,25 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "nn", "--config", "Z9"])
 
+    def test_run_machine_and_json(self):
+        args = build_parser().parse_args(["run", "nn"])
+        assert args.machine == "both" and args.json is None
+        args = build_parser().parse_args(
+            ["run", "nn", "--machine", "diag", "--json"])
+        assert args.machine == "diag" and args.json == "-"
+        args = build_parser().parse_args(
+            ["run", "nn", "--json", "out.json"])
+        assert args.json == "out.json"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "nn", "--machine", "vax"])
+
+    def test_stats_and_trace_defaults(self):
+        args = build_parser().parse_args(["stats", "nn"])
+        assert args.machine == "diag" and args.json is None
+        args = build_parser().parse_args(["trace", "nn"])
+        assert args.output == "trace.json"
+        assert args.max_events == 200_000
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -44,6 +65,66 @@ class TestCommands:
         assert code == 0
         assert "speedup" in out
         assert "verified=True" in out
+        # stall-reason breakdown + cache hit rates print by default
+        assert "stalls: memory" in out and "control" in out
+        assert "cache hit: l1i" in out and "l1d" in out
+
+    def test_run_single_machine(self, capsys):
+        code = main(["run", "hotspot", "--scale", "0.25",
+                     "--config", "F4C2", "--machine", "diag"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "DiAG" in out and "baseline" not in out
+        assert "speedup" not in out  # needs both machines
+
+    def test_run_json_stdout(self, capsys):
+        code = main(["run", "hotspot", "--scale", "0.25",
+                     "--config", "F4C2", "--machine", "diag",
+                     "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["machine"] == "diag"
+        assert doc["verified"] is True
+        assert doc["stats"]["core.cycles"] == doc["cycles"]
+
+    def test_run_json_both_machines_to_file(self, capsys, tmp_path):
+        path = tmp_path / "run.json"
+        code = main(["run", "hotspot", "--scale", "0.25",
+                     "--config", "F4C2", "--json", str(path)])
+        assert code == 0
+        doc = json.loads(path.read_text())
+        assert set(doc) == {"diag", "ooo"}
+        for machine in ("diag", "ooo"):
+            assert doc[machine]["stats"]["core.instructions"] > 0
+
+    def test_stats_text(self, capsys):
+        code = main(["stats", "hotspot", "--scale", "0.25",
+                     "--config", "F4C2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Begin Simulation Statistics" in out
+        assert "core.cycles" in out
+
+    def test_stats_json(self, capsys):
+        code = main(["stats", "hotspot", "--scale", "0.25",
+                     "--config", "F4C2", "--machine", "ooo",
+                     "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["machine"] == "ooo"
+        assert "core.stall.memory" in doc["stats"]
+
+    def test_trace_writes_chrome_json(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        code = main(["trace", "hotspot", "--scale", "0.25",
+                     "--config", "F4C2", "--machine", "both",
+                     "-o", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "perfetto" in out.lower()
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+        assert {e["pid"] for e in doc["traceEvents"]} == {0, 1}
 
     def test_run_simt(self, capsys):
         code = main(["run", "lbm", "--scale", "0.25",

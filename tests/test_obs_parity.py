@@ -1,0 +1,136 @@
+"""Counter parity between engines + harness stats threading.
+
+The contract: a DiAG run and an OoO run of the same workload both
+emit :data:`repro.obs.SHARED_CORE_COUNTERS` with identical names, so
+experiments and fault campaigns can read either machine's stats
+document without knowing which engine produced it.
+"""
+
+import json
+
+import pytest
+
+from repro.harness.runner import clear_cache, run_baseline, run_diag
+from repro.obs import SHARED_CORE_COUNTERS, EventTracer
+
+WORKLOAD = "nn"
+SCALE = 0.25
+
+
+@pytest.fixture(scope="module")
+def records():
+    clear_cache()
+    diag = run_diag(WORKLOAD, config="F4C2", scale=SCALE)
+    ooo = run_baseline(WORKLOAD, scale=SCALE)
+    return {"diag": diag, "ooo": ooo}
+
+
+class TestCounterParity:
+    def test_both_runs_clean(self, records):
+        for rec in records.values():
+            assert rec.status == "ok"
+            assert rec.verified
+
+    def test_shared_namespace_on_both_engines(self, records):
+        for name, rec in records.items():
+            missing = [key for key in SHARED_CORE_COUNTERS
+                       if key not in rec.stats]
+            assert not missing, f"{name} missing {missing}"
+
+    def test_core_counters_match_record_fields(self, records):
+        for rec in records.values():
+            assert rec.stat("core.cycles") == rec.cycles
+            assert rec.stat("core.instructions") == rec.instructions
+            assert rec.stat("core.ipc") == pytest.approx(rec.ipc)
+
+    def test_same_program_same_retired_count(self, records):
+        # both engines execute the identical binary to completion
+        assert records["diag"].stat("core.instructions") == \
+            records["ooo"].stat("core.instructions")
+
+    def test_stall_total_is_sum_of_reasons(self, records):
+        for rec in records.values():
+            total = sum(rec.stat(f"core.stall.{r}")
+                        for r in ("memory", "control", "other"))
+            assert rec.stat("core.stall.total") == total
+
+    def test_engine_detail_is_namespaced(self, records):
+        assert any(k.startswith("diag.ring0.")
+                   for k in records["diag"].stats)
+        assert not any(k.startswith("ooo.")
+                       for k in records["diag"].stats)
+        assert any(k.startswith("ooo.")
+                   for k in records["ooo"].stats)
+        assert not any(k.startswith("diag.")
+                       for k in records["ooo"].stats)
+
+    def test_profiling_gauges_present(self, records):
+        for rec in records.values():
+            assert rec.stat("sim.host.run_seconds") > 0
+            assert rec.stat("sim.host.cycles_per_sec") > 0
+            assert rec.stat("host.phase.run.seconds") > 0
+
+    def test_stats_document_is_json_serializable(self, records):
+        for rec in records.values():
+            assert json.loads(json.dumps(rec.stats)) == rec.stats
+
+
+class TestTracedRuns:
+    def test_diag_emits_events(self):
+        clear_cache()
+        tracer = EventTracer()
+        record = run_diag(WORKLOAD, config="F4C2", scale=SCALE,
+                          tracer=tracer)
+        assert record.status == "ok"
+        assert tracer.emitted > 0
+        categories = {e.get("cat", e["name"])
+                      for e in tracer.events()}
+        assert {"dispatch", "execute", "retire"} <= categories
+
+    def test_ooo_emits_events(self):
+        clear_cache()
+        tracer = EventTracer()
+        record = run_baseline(WORKLOAD, scale=SCALE, tracer=tracer)
+        assert record.status == "ok"
+        assert tracer.emitted > 0
+        categories = {e.get("cat", e["name"])
+                      for e in tracer.events()}
+        assert {"dispatch", "execute", "retire"} <= categories
+
+    def test_traced_run_bypasses_cache(self):
+        clear_cache()
+        first = run_diag(WORKLOAD, config="F4C2", scale=SCALE)
+        cached = run_diag(WORKLOAD, config="F4C2", scale=SCALE)
+        assert cached is first  # plain runs are cached
+        tracer = EventTracer()
+        traced = run_diag(WORKLOAD, config="F4C2", scale=SCALE,
+                          tracer=tracer)
+        assert traced is not first
+        assert tracer.emitted > 0
+        # and a traced record never poisons the cache
+        again = run_diag(WORKLOAD, config="F4C2", scale=SCALE)
+        assert again is first
+
+    def test_trace_pids_separate_machines(self):
+        clear_cache()
+        tracer = EventTracer()
+        run_diag(WORKLOAD, config="F4C2", scale=SCALE, tracer=tracer)
+        run_baseline(WORKLOAD, scale=SCALE, tracer=tracer)
+        pids = {e["pid"] for e in tracer.events()}
+        assert pids == {0, 1}
+        doc = tracer.chrome_trace()
+        process_names = {e["args"]["name"]
+                         for e in doc["traceEvents"]
+                         if e["name"] == "process_name"}
+        assert process_names == {"diag", "ooo"}
+
+
+class TestFailureStats:
+    def test_failed_run_keeps_empty_stats(self):
+        clear_cache()
+        record = run_diag(WORKLOAD, config="F4C2", scale=SCALE,
+                          max_cycles=3)
+        assert record.status == "timed_out"
+        assert record.stat("core.cycles", default=-1) in (-1, 3)
+        # stat() never raises on a sparse document
+        assert record.stat("no.such.counter") == 0

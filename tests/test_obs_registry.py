@@ -1,0 +1,145 @@
+"""Stats registry: kinds, idempotent registration, dumps."""
+
+import json
+
+import pytest
+
+from repro.obs import StatsRegistry, format_flat
+from repro.obs.registry import Counter, Gauge, Histogram
+
+
+class TestKinds:
+    def test_counter_increments(self):
+        reg = StatsRegistry()
+        stat = reg.counter("core.instructions", "retired")
+        stat.inc()
+        stat.inc(9)
+        assert reg["core.instructions"] == 10
+
+    def test_gauge_sets(self):
+        reg = StatsRegistry()
+        reg.set("core.ipc", 1.25)
+        reg.set("core.ipc", 0.75)
+        assert reg["core.ipc"] == 0.75
+
+    def test_histogram_expands_in_dump(self):
+        reg = StatsRegistry()
+        hist = reg.histogram("mem.lat")
+        for value in (2, 4, 12):
+            hist.sample(value)
+        flat = reg.as_dict()
+        assert flat["mem.lat.count"] == 3
+        assert flat["mem.lat.sum"] == 18
+        assert flat["mem.lat.min"] == 2
+        assert flat["mem.lat.max"] == 12
+        assert flat["mem.lat.mean"] == 6.0
+
+    def test_empty_histogram_dumps_zeros(self):
+        reg = StatsRegistry()
+        reg.histogram("mem.lat")
+        flat = reg.as_dict()
+        assert flat["mem.lat.count"] == 0
+        assert flat["mem.lat.mean"] == 0.0
+
+
+class TestRegistration:
+    def test_get_or_create_is_idempotent(self):
+        reg = StatsRegistry()
+        a = reg.counter("core.cycles")
+        b = reg.counter("core.cycles")
+        assert a is b
+        a.inc(5)
+        assert reg["core.cycles"] == 5
+
+    def test_kind_mismatch_raises(self):
+        reg = StatsRegistry()
+        reg.counter("core.cycles")
+        with pytest.raises(TypeError):
+            reg.gauge("core.cycles")
+        with pytest.raises(TypeError):
+            reg.histogram("core.cycles")
+
+    def test_later_desc_fills_blank(self):
+        reg = StatsRegistry()
+        reg.counter("core.cycles")
+        stat = reg.counter("core.cycles", "simulated cycles")
+        assert stat.desc == "simulated cycles"
+
+    def test_group_prefixes(self):
+        reg = StatsRegistry()
+        ring = reg.group("diag.ring0")
+        ring.inc("retired", 7)
+        ring.group("stall").inc("memory", 3)
+        assert reg["diag.ring0.retired"] == 7
+        assert reg["diag.ring0.stall.memory"] == 3
+
+    def test_contains_and_len(self):
+        reg = StatsRegistry()
+        reg.counter("a")
+        reg.gauge("b")
+        assert "a" in reg and "b" in reg and "c" not in reg
+        assert len(reg) == 2
+        assert {s.name for s in reg} == {"a", "b"}
+
+
+class TestDumps:
+    def _populated(self):
+        reg = StatsRegistry()
+        reg.counter("core.cycles", "simulated cycles").inc(100)
+        reg.set("core.ipc", 0.5, desc="retired per cycle")
+        reg.group("mem").counter("l1d.misses").inc(4)
+        return reg
+
+    def test_names_prefix_filter(self):
+        reg = self._populated()
+        assert reg.names("core") == ["core.cycles", "core.ipc"]
+        assert reg.names("mem.l1d") == ["mem.l1d.misses"]
+        assert reg.names("core.cycles") == ["core.cycles"]
+        # prefix match is per dotted component, not per character
+        assert reg.names("core.cy") == []
+
+    def test_getitem_unknown_raises(self):
+        reg = self._populated()
+        with pytest.raises(KeyError):
+            reg["nope"]
+
+    def test_json_round_trips(self):
+        reg = self._populated()
+        doc = json.loads(reg.to_json())
+        assert doc["core.cycles"] == 100
+        assert doc["mem.l1d.misses"] == 4
+
+    def test_format_text_gem5_style(self):
+        text = self._populated().format_text()
+        assert text.startswith(
+            "---------- Begin Simulation Statistics ----------")
+        assert text.rstrip().endswith("----------")
+        assert "# simulated cycles" in text
+        line = next(l for l in text.splitlines()
+                    if l.startswith("core.cycles"))
+        assert "100" in line
+
+    def test_format_text_empty(self):
+        assert "no statistics" in StatsRegistry().format_text()
+
+    def test_format_flat_matches_registry_dump(self):
+        reg = self._populated()
+        text = format_flat(reg.as_dict())
+        assert "core.cycles" in text and "mem.l1d.misses" in text
+        assert text.startswith(
+            "---------- Begin Simulation Statistics ----------")
+
+    def test_format_flat_empty(self):
+        assert "no statistics" in format_flat({})
+
+
+class TestStatClasses:
+    def test_kinds_are_distinct_types(self):
+        assert Counter("a").value_dict() == {"": 0}
+        gauge = Gauge("b")
+        gauge.set(2.5)
+        assert gauge.value_dict() == {"": 2.5}
+        hist = Histogram("c")
+        hist.sample(3, n=2)
+        assert hist.value_dict()[".count"] == 2
+        assert hist.mean == 3.0

@@ -1,0 +1,136 @@
+"""Event tracer: Chrome trace_event schema, ring-buffer bounding."""
+
+import json
+
+from repro.obs import EVENT_NAMES, EventTracer
+
+#: Phases the exporter may produce and the keys every event must carry.
+REQUIRED_KEYS = ("name", "ph", "pid", "tid")
+VALID_PHASES = ("X", "i", "C", "M")
+
+
+def _validate(doc):
+    """Structural validation of a Chrome trace_event document."""
+    assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+    assert isinstance(doc["traceEvents"], list)
+    for event in doc["traceEvents"]:
+        for key in REQUIRED_KEYS:
+            assert key in event, event
+        assert event["ph"] in VALID_PHASES, event
+        if event["ph"] == "X":
+            assert event["ts"] >= 0 and event["dur"] >= 1, event
+        elif event["ph"] == "i":
+            assert "ts" in event and event["s"] == "t", event
+        elif event["ph"] == "C":
+            assert isinstance(event["args"], dict), event
+        elif event["ph"] == "M":
+            assert event["name"] in ("process_name", "thread_name")
+            assert "name" in event["args"], event
+
+
+class TestEmission:
+    def test_complete_span(self):
+        tracer = EventTracer()
+        tracer.complete("addw", ts=10, dur=3, pid=0, tid=1,
+                        cat="execute", args={"pc": "0x100"})
+        (event,) = tracer.events()
+        assert event["ph"] == "X"
+        assert event["ts"] == 10 and event["dur"] == 3
+        assert event["cat"] == "execute"
+        assert event["args"]["pc"] == "0x100"
+
+    def test_zero_duration_clamped_to_one(self):
+        tracer = EventTracer()
+        tracer.complete("nop", ts=5, dur=0)
+        assert tracer.events()[0]["dur"] == 1
+
+    def test_instant_and_count(self):
+        tracer = EventTracer()
+        tracer.instant("cache_miss", ts=7, args={"addr": "0x80"})
+        tracer.count("rob_occupancy", ts=8, value=12)
+        instant, count = tracer.events()
+        assert instant["ph"] == "i" and instant["s"] == "t"
+        assert count["ph"] == "C"
+        assert count["args"] == {"rob_occupancy": 12}
+
+    def test_clear_resets(self):
+        tracer = EventTracer()
+        tracer.instant("retire", ts=1)
+        tracer.clear()
+        assert len(tracer) == 0 and tracer.emitted == 0
+
+
+class TestRingBuffer:
+    def test_bounded_with_explicit_drop_count(self):
+        tracer = EventTracer(max_events=10)
+        for i in range(25):
+            tracer.instant("retire", ts=i)
+        assert len(tracer) == 10
+        assert tracer.emitted == 25
+        assert tracer.dropped == 15
+        # newest events survive, oldest dropped
+        assert tracer.events()[0]["ts"] == 15
+        assert tracer.events()[-1]["ts"] == 24
+
+    def test_dropped_is_zero_under_capacity(self):
+        tracer = EventTracer(max_events=10)
+        tracer.instant("retire", ts=0)
+        assert tracer.dropped == 0
+
+    def test_export_reports_drops(self):
+        tracer = EventTracer(max_events=4)
+        for i in range(9):
+            tracer.instant("retire", ts=i)
+        doc = tracer.chrome_trace()
+        assert doc["otherData"]["emitted"] == 9
+        assert doc["otherData"]["dropped"] == 5
+        assert "dropped" in tracer.summary()
+
+
+class TestChromeExport:
+    def _traced(self):
+        tracer = EventTracer()
+        tracer.set_process(0, "diag")
+        tracer.set_process(1, "ooo")
+        tracer.set_thread(0, 0, "ring0")
+        tracer.set_thread(1, 0, "core0")
+        tracer.complete("lw", ts=0, dur=4, pid=0, cat="execute")
+        tracer.instant("cache_miss", ts=2, pid=0)
+        tracer.complete("addw", ts=1, dur=1, pid=1, cat="execute")
+        tracer.count("occupancy", ts=3, value=7, pid=1)
+        return tracer
+
+    def test_schema_valid(self):
+        _validate(self._traced().chrome_trace())
+
+    def test_json_round_trips(self):
+        doc = json.loads(self._traced().to_json())
+        _validate(doc)
+        names = [e["name"] for e in doc["traceEvents"]]
+        assert "process_name" in names and "thread_name" in names
+        assert "lw" in names and "cache_miss" in names
+
+    def test_metadata_precedes_events(self):
+        events = self._traced().chrome_trace()["traceEvents"]
+        phases = [e["ph"] for e in events]
+        last_meta = max(i for i, p in enumerate(phases) if p == "M")
+        first_real = min(i for i, p in enumerate(phases) if p != "M")
+        assert last_meta < first_real
+
+    def test_write_is_loadable(self, tmp_path):
+        path = tmp_path / "trace.json"
+        self._traced().write(str(path))
+        _validate(json.loads(path.read_text()))
+
+    def test_summary_groups_by_category(self):
+        summary = self._traced().summary()
+        assert "execute=2" in summary
+        assert "4 event(s) emitted" in summary
+
+
+class TestVocabulary:
+    def test_engine_event_names_declared(self):
+        for name in ("dispatch", "execute", "retire", "squash",
+                     "cache_miss", "lane_forward",
+                     "simt_thread_start", "simt_thread_stop"):
+            assert name in EVENT_NAMES

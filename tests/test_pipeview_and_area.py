@@ -76,6 +76,69 @@ class TestPipeTracer:
         # header + at most 5 rows
         assert len(chart.splitlines()) <= 6
 
+    LOOP_SRC = """
+    li t0, 0
+    li t1, 64
+    loop:
+    addi t0, t0, 1
+    blt t0, t1, loop
+    ebreak
+    """
+
+    def test_overflow_renders_dropped_marker(self):
+        program = assemble(self.LOOP_SRC)
+        proc = DiAGProcessor(F4C2, program)
+        tracer = PipeTracer.attach(proc.rings[0], max_entries=4)
+        assert proc.run().halted
+        assert len(tracer.lives) == 4
+        assert tracer.dropped > 0
+        assert f"... {tracer.dropped} entries dropped" \
+            in tracer.render()
+
+    def test_dropped_counts_each_entry_once(self):
+        program = assemble(self.LOOP_SRC)
+        proc = DiAGProcessor(F4C2, program)
+        tracer = PipeTracer.attach(proc.rings[0], max_entries=1)
+        assert proc.run().halted
+        # each untraced entry counts once, however many cycles it
+        # lingered in the window: re-sampling must not inflate it
+        before = tracer.dropped
+        tracer.sample()
+        assert tracer.dropped == before
+
+    def test_no_marker_without_drops(self):
+        tracer = self._traced_run("""
+        li t0, 1
+        ebreak
+        """)
+        assert tracer.dropped == 0
+        assert "dropped" not in tracer.render()
+
+    def test_reattach_replaces_instead_of_stacking(self):
+        program = assemble(self.LOOP_SRC)
+        proc = DiAGProcessor(F4C2, program)
+        ring = proc.rings[0]
+        unwrapped = ring.step
+        first = PipeTracer.attach(ring)
+        second = PipeTracer.attach(ring)
+        assert ring._pipetracer is second
+        assert proc.run().halted
+        # the replaced tracer stopped sampling; the live one records
+        assert not first.lives
+        assert len(second.lives) >= 5
+        second.detach()
+        assert ring.step == unwrapped
+
+    def test_detach_stops_sampling(self):
+        program = assemble(self.LOOP_SRC)
+        proc = DiAGProcessor(F4C2, program)
+        tracer = PipeTracer.attach(proc.rings[0])
+        tracer.detach()
+        assert proc.run().halted
+        assert not tracer.lives
+        # double-detach is harmless
+        tracer.detach()
+
 
 class TestArea64Bit:
     def test_naive_scaling_is_expensive(self):

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""CI bench smoke: two small workloads on both engines, traced.
+
+Writes ``BENCH_obs.json`` with per-(workload, machine) cycles, IPC,
+simulator wall-clock and tracer throughput, and exits non-zero when a
+run fails, fails to verify, or its stats document is missing any of the
+shared counter keys (:data:`repro.obs.SHARED_CORE_COUNTERS`) — so CI
+catches an engine silently dropping out of the parity contract.
+
+Usage: ``python tools/bench_obs.py [-o BENCH_obs.json]``
+(``src/`` is put on ``sys.path`` automatically).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    os.pardir, "src"))
+
+from repro.harness.runner import run_baseline, run_diag  # noqa: E402
+from repro.obs import SHARED_CORE_COUNTERS, EventTracer  # noqa: E402
+
+WORKLOADS = ("nn", "hotspot")
+SCALE = 0.25
+CONFIG = "F4C2"
+
+
+def bench_one(workload, machine):
+    tracer = EventTracer()
+    if machine == "diag":
+        record = run_diag(workload, config=CONFIG, scale=SCALE,
+                          tracer=tracer)
+    else:
+        record = run_baseline(workload, scale=SCALE, tracer=tracer)
+    missing = [key for key in SHARED_CORE_COUNTERS
+               if key not in record.stats]
+    return record, tracer, missing
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-o", "--output", default="BENCH_obs.json")
+    args = parser.parse_args(argv)
+
+    doc = {}
+    failures = []
+    for workload in WORKLOADS:
+        for machine in ("diag", "ooo"):
+            record, tracer, missing = bench_one(workload, machine)
+            cell = f"{workload}.{machine}"
+            doc[cell] = {
+                "config": record.config,
+                "cycles": record.cycles,
+                "instructions": record.instructions,
+                "ipc": round(record.ipc, 4),
+                "status": record.status,
+                "verified": record.verified,
+                "sim_wall_seconds":
+                    round(record.stat("sim.host.run_seconds"), 4),
+                "sim_cycles_per_sec":
+                    round(record.stat("sim.host.cycles_per_sec")),
+                "events_emitted": tracer.emitted,
+                "events_per_sec":
+                    round(record.stat("sim.host.events_per_sec")),
+            }
+            if record.failed or not record.verified:
+                failures.append(
+                    f"{cell}: status={record.status} "
+                    f"verified={record.verified}")
+            if missing:
+                failures.append(f"{cell}: stats missing {missing}")
+            print(f"{cell:16s} {record.cycles:8d} cycles  "
+                  f"IPC {record.ipc:5.2f}  "
+                  f"{tracer.emitted:7d} events")
+
+    with open(args.output, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    for line in failures:
+        print(f"FAIL: {line}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
