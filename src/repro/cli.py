@@ -10,8 +10,12 @@ Commands:
 * ``fpga``                      — run the I4C2 bring-up suite (§6.2)
 * ``sweep <knob> <workload>``   — design-space sensitivity sweep
 * ``faults [workload]``         — transient fault-injection campaign
+* ``cache stats|clear|verify``  — administer the on-disk run cache
 
-Everything the CLI does is also available as a library; see README.md.
+``sweep`` and ``faults`` accept ``--jobs N`` (or the ``REPRO_JOBS``
+environment variable) to shard runs across worker processes; output is
+identical for any N (see docs/PARALLEL.md). Everything the CLI does is
+also available as a library; see README.md.
 """
 
 import argparse
@@ -209,9 +213,33 @@ def _cmd_sweep(args):
     from repro.harness.sweeps import ALL_SWEEPS
 
     sweep = ALL_SWEEPS[args.knob]
-    result = sweep(args.workload, scale=args.scale)
+    result = sweep(args.workload, scale=args.scale, jobs=args.jobs)
     print(result.render())
     return 0 if result.all_verified() else 1
+
+
+def _cmd_cache(args):
+    from repro.harness import diskcache
+
+    cache = diskcache.configure(args.dir) if args.dir \
+        else diskcache.active()
+    if cache is None:
+        print("disk cache disabled (set REPRO_DISK_CACHE or pass "
+              "--dir; see docs/PARALLEL.md)", file=sys.stderr)
+        return 2
+    if args.action == "stats":
+        for name, value in cache.stats().items():
+            print(f"{name:12s} {value}")
+    elif args.action == "clear":
+        print(f"removed {cache.clear()} cached run(s) from "
+              f"{cache.root}")
+    else:  # verify
+        outcome = cache.verify()
+        print(f"checked {outcome['checked']} entries: "
+              f"{outcome['ok']} ok, {outcome['removed']} "
+              f"corrupt (removed)")
+        return 0 if outcome["removed"] == 0 else 1
+    return 0
 
 
 def _cmd_faults(args):
@@ -225,7 +253,8 @@ def _cmd_faults(args):
     try:
         report = run_campaign(args.workload, machine=args.machine,
                               config=args.config, scale=args.scale,
-                              trials=args.trials, seed=args.seed)
+                              trials=args.trials, seed=args.seed,
+                              jobs=args.jobs)
     except CampaignError as exc:
         print(f"campaign aborted: {exc}", file=sys.stderr)
         return 1
@@ -298,11 +327,18 @@ def build_parser():
     sub.add_parser("fpga", help="I4C2 bring-up co-simulation (section "
                                 "6.2 substitute)")
 
+    def add_jobs_opt(p):
+        p.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker processes (default: REPRO_JOBS "
+                            "env var, else serial); results are "
+                            "identical for any N")
+
     sweep_p = sub.add_parser("sweep", help="design-space sweep")
     sweep_p.add_argument("knob", choices=("clusters", "threads",
                                           "lsu_depth", "flush_penalty"))
     sweep_p.add_argument("workload")
     sweep_p.add_argument("--scale", type=float, default=0.5)
+    add_jobs_opt(sweep_p)
 
     faults_p = sub.add_parser(
         "faults", help="seed-driven transient fault-injection campaign")
@@ -314,6 +350,14 @@ def build_parser():
     faults_p.add_argument("--scale", type=float, default=0.25)
     faults_p.add_argument("--trials", type=int, default=20)
     faults_p.add_argument("--seed", type=int, default=0)
+    add_jobs_opt(faults_p)
+
+    cache_p = sub.add_parser(
+        "cache", help="administer the persistent on-disk run cache")
+    cache_p.add_argument("action", choices=("stats", "clear", "verify"))
+    cache_p.add_argument("--dir", default=None, metavar="PATH",
+                         help="cache directory (default: the active "
+                              "REPRO_DISK_CACHE location)")
     return parser
 
 
@@ -328,6 +372,7 @@ def main(argv=None):
         "fpga": _cmd_fpga,
         "sweep": _cmd_sweep,
         "faults": _cmd_faults,
+        "cache": _cmd_cache,
     }[args.command]
     try:
         return handler(args)

@@ -23,10 +23,18 @@ timed_out  the run kept retiring but exhausted the cycle budget
 
 Everything is derived from ``seed`` with no global RNG or wall-clock
 input, so two campaigns with the same arguments produce bit-identical
-outcome sequences.
+outcome sequences — *including* when the trials are sharded across a
+process pool (``jobs`` > 1): each worker rebuilds the workload from its
+name (bit-identical programs and inputs by construction), classifies a
+contiguous chunk of the planned specs, and the chunks are concatenated
+in plan order. Process isolation also means an injected fault can never
+leak state into a sibling trial. Pool failures degrade to the serial
+path (see :mod:`repro.harness.parallel`).
 """
 
+import warnings
 from collections import Counter
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -200,15 +208,76 @@ def _classify(machine, config, program, inst, spec, max_cycles,
     return TrialResult(spec, "masked", cycles=cycles, retired=retired)
 
 
+def _trial_chunk(workload, machine, run_cfg, scale, specs, budget,
+                 gold_x, gold_f):
+    """Classify a contiguous chunk of planned specs — the pool worker
+    entry point. Rebuilds the workload from its name (deterministic by
+    construction, so every worker sees bit-identical programs and
+    inputs) and returns the TrialResults in spec order."""
+    cls = get_workload(workload)
+    inst = cls().build(scale=scale, threads=1, simt=False)
+    return [_classify(machine, run_cfg, inst.program, inst, spec,
+                      budget, gold_x, gold_f) for spec in specs]
+
+
+def _chunked(specs, jobs):
+    """Split ``specs`` into at most ``jobs`` contiguous chunks whose
+    concatenation preserves the plan order."""
+    size, remainder = divmod(len(specs), jobs)
+    chunks = []
+    start = 0
+    for index in range(jobs):
+        end = start + size + (1 if index < remainder else 0)
+        if end > start:
+            chunks.append(specs[start:end])
+        start = end
+    return chunks
+
+
+def _classify_pooled(workload, machine, run_cfg, scale, specs, budget,
+                     gold_x, gold_f, jobs):
+    """Shard trial classification across a process pool; any pool
+    failure degrades to classifying the missing chunks serially."""
+    chunks = _chunked(specs, jobs)
+    results = [None] * len(chunks)
+    try:
+        from repro.harness.parallel import _pool
+        pool = _pool(min(jobs, len(chunks)))
+        futures = [pool.submit(_trial_chunk, workload, machine, run_cfg,
+                               scale, chunk, budget, gold_x, gold_f)
+                   for chunk in chunks]
+    except Exception as exc:
+        warnings.warn(f"campaign pool unavailable "
+                      f"({type(exc).__name__}: {exc}); running serially")
+        return _trial_chunk(workload, machine, run_cfg, scale, specs,
+                            budget, gold_x, gold_f)
+    for index, future in enumerate(futures):
+        try:
+            results[index] = future.result()
+        except Exception as exc:
+            warnings.warn(f"campaign worker failed "
+                          f"({type(exc).__name__}: {exc}); "
+                          "re-running chunk serially")
+    pool.shutdown(wait=True)
+    for index, chunk_result in enumerate(results):
+        if chunk_result is None:
+            results[index] = _trial_chunk(
+                workload, machine, run_cfg, scale, chunks[index],
+                budget, gold_x, gold_f)
+    return [trial for chunk_result in results for trial in chunk_result]
+
+
 def run_campaign(workload, machine="diag", config="F4C2", scale=0.25,
-                 trials=20, seed=0, watchdog_window=None):
+                 trials=20, seed=0, watchdog_window=None, jobs=None):
     """Run a full injection campaign; returns a :class:`CampaignReport`.
 
     ``config`` names a Table 2 preset for ``machine="diag"`` and is
     ignored for ``machine="ooo"``. The per-trial cycle budget is 4x the
     fault-free run (plus slack) so hangs and runaways terminate
     quickly; ``watchdog_window`` defaults to the clean cycle count plus
-    slack, which no fault-free quiet period can approach.
+    slack, which no fault-free quiet period can approach. ``jobs`` > 1
+    (or ``REPRO_JOBS``) shards the trials across worker processes; the
+    report is identical to the serial one, in the same trial order.
     """
     if machine not in ("diag", "ooo"):
         raise ValueError(f"unknown machine {machine!r}")
@@ -247,7 +316,15 @@ def run_campaign(workload, machine="diag", config="F4C2", scale=0.25,
                             clean_cycles=clean_cycles,
                             clean_retired=stats["core.instructions"],
                             site_population=population)
-    for spec in specs:
-        report.trials.append(_classify(machine, run_cfg, program, inst,
-                                       spec, budget, gold_x, gold_f))
+    from repro.harness.parallel import resolve_jobs
+    jobs = resolve_jobs(jobs)
+    if jobs > 1 and len(specs) > 1:
+        report.trials.extend(_classify_pooled(
+            workload, machine, run_cfg, scale, specs, budget,
+            gold_x, gold_f, jobs))
+    else:
+        for spec in specs:
+            report.trials.append(_classify(machine, run_cfg, program,
+                                           inst, spec, budget,
+                                           gold_x, gold_f))
     return report

@@ -15,6 +15,13 @@ from repro.harness.runner import (
     run_diag,
     clear_cache,
 )
+from repro.harness.parallel import (
+    RunSpec,
+    aggregate_stats,
+    execute_spec,
+    resolve_jobs,
+    run_specs,
+)
 from repro.harness.experiments import (
     run_fig9a,
     run_fig9b,
@@ -33,8 +40,13 @@ from repro.harness.report import format_table, render_experiment
 __all__ = [
     "RUN_STATUSES",
     "RunRecord",
+    "RunSpec",
+    "aggregate_stats",
     "clear_cache",
+    "execute_spec",
     "format_table",
+    "resolve_jobs",
+    "run_specs",
     "render_experiment",
     "run_baseline",
     "run_diag",

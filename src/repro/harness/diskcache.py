@@ -1,0 +1,332 @@
+"""Persistent on-disk run cache shared by every process of a sweep.
+
+The in-memory LRU in :mod:`repro.harness.runner` dies with the process;
+this cache makes clean :class:`~repro.harness.runner.RunRecord` objects
+survive across pytest invocations, CLI calls and pool workers. Entries
+are keyed by a content hash over the *full* run identity — machine,
+workload name **and program bytes**, config, scale, threads, simt,
+max_cycles, config overrides — plus the repo code version, so editing a
+workload or the simulator can never alias a stale record.
+
+Design constraints (enforced by ``tests/test_diskcache.py``):
+
+* **Atomic writes** — an entry is written to a temp file in the cache
+  directory and ``os.replace``d into place, so concurrent writers (pool
+  workers share one directory) and crashes can never leave a partially
+  visible entry.
+* **Corruption is a miss, never a crash** — a truncated, garbage or
+  schema-mismatched entry file is dropped and treated as a miss.
+* **LRU size bound** — reads touch the entry's mtime; writes evict the
+  oldest entries beyond ``max_entries``.
+
+The cache is *off by default*. Enable it with the ``REPRO_DISK_CACHE``
+environment variable (``1``/``on`` for the default user-cache location,
+any other value is taken as a directory path) or programmatically via
+:func:`configure`. ``repro cache stats|clear|verify`` administers it.
+"""
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import asdict
+from pathlib import Path
+
+#: bump when the entry format or RunRecord semantics change; old
+#: entries then simply stop matching and age out via LRU eviction
+CACHE_SCHEMA = 1
+
+#: default LRU bound on entry files
+MAX_ENTRIES = 4096
+
+_ENTRY_SUFFIX = ".json"
+
+_code_version_cache = None
+
+
+def code_version():
+    """A string identifying the code that produced a cached record.
+
+    Prefers the git commit hash (read straight from ``.git`` — no
+    subprocess), falling back to the package version for installs
+    without a work tree. Part of every cache key, so switching commits
+    invalidates rather than aliases.
+    """
+    global _code_version_cache
+    if _code_version_cache is None:
+        _code_version_cache = _read_git_head() or _package_version()
+    return _code_version_cache
+
+
+def _package_version():
+    try:
+        import repro
+        return f"pkg-{repro.__version__}"
+    except Exception:
+        return "pkg-unknown"
+
+
+def _read_git_head():
+    try:
+        git_dir = Path(__file__).resolve().parents[3] / ".git"
+        head = (git_dir / "HEAD").read_text().strip()
+        if head.startswith("ref: "):
+            ref = git_dir / head[5:]
+            if ref.exists():
+                return ref.read_text().strip()
+            packed = git_dir / "packed-refs"
+            if packed.exists():
+                for line in packed.read_text().splitlines():
+                    if line.endswith(head[5:]):
+                        return line.split()[0]
+            return None
+        return head or None
+    except OSError:
+        return None
+
+
+def _canonical(obj):
+    """Deterministic JSON for hashing (tuples become lists, numpy
+    scalars their Python values)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      default=_scalar)
+
+
+def _scalar(value):
+    for cast in (int, float, str):
+        try:
+            return cast(value)
+        except (TypeError, ValueError):
+            continue
+    raise TypeError(f"unhashable cache-key component: {value!r}")
+
+
+def key_for(parts):
+    """Hex digest naming one run: content hash of ``parts`` (any
+    JSON-serializable structure) + cache schema + code version."""
+    payload = _canonical([CACHE_SCHEMA, code_version(), parts])
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def program_digest(program):
+    """Content hash of an assembled :class:`repro.asm.Program` — the
+    'workload bytes' component of the cache key. Two programs with the
+    same segments and entry point hash identically regardless of how
+    they were built."""
+    h = hashlib.sha256()
+    h.update(str(program.entry).encode())
+    for seg in sorted(program.segments, key=lambda s: s.base):
+        h.update(seg.base.to_bytes(8, "little"))
+        h.update(bytes(seg.data))
+    return h.hexdigest()
+
+
+class DiskCache:
+    """One cache directory of ``<key>.json`` entry files."""
+
+    def __init__(self, root, max_entries=MAX_ENTRIES):
+        self.root = Path(root)
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.dropped = 0  # corrupt entries removed on read/verify
+
+    # ------------------------------------------------------------ paths
+
+    def _path(self, key):
+        return self.root / (key + _ENTRY_SUFFIX)
+
+    def _entries(self):
+        try:
+            return [p for p in self.root.iterdir()
+                    if p.suffix == _ENTRY_SUFFIX]
+        except OSError:
+            return []
+
+    # ------------------------------------------------------------- read
+
+    def get(self, key):
+        """The cached :class:`RunRecord` for ``key``, or None. Any
+        kind of damage — missing, truncated, garbage, wrong schema,
+        mismatched key — is a miss; damaged files are removed."""
+        path = self._path(key)
+        try:
+            raw = path.read_text()
+        except OSError:
+            self.misses += 1
+            return None
+        record = self._decode(raw, key)
+        if record is None:
+            self.dropped += 1
+            self.misses += 1
+            self._remove(path)
+            return None
+        self.hits += 1
+        try:  # LRU touch
+            os.utime(path)
+        except OSError:
+            pass
+        return record
+
+    def _decode(self, raw, key=None):
+        from repro.harness.runner import RunRecord
+        try:
+            entry = json.loads(raw)
+            if entry["schema"] != CACHE_SCHEMA:
+                return None
+            if key is not None and entry["key"] != key:
+                return None
+            doc = entry["record"]
+            if entry["sha"] != hashlib.sha256(
+                    _canonical(doc).encode()).hexdigest():
+                return None
+            return RunRecord(**doc)
+        except Exception:
+            return None
+
+    # ------------------------------------------------------------ write
+
+    def put(self, key, record):
+        """Atomically persist ``record`` under ``key``; never raises
+        (a cache that cannot write degrades to a smaller cache)."""
+        doc = json.loads(_canonical(asdict(record)))
+        entry = {"schema": CACHE_SCHEMA, "key": key,
+                 "sha": hashlib.sha256(
+                     _canonical(doc).encode()).hexdigest(),
+                 "record": doc}
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(entry, handle)
+                os.replace(tmp, self._path(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return False
+        self.writes += 1
+        self._evict()
+        return True
+
+    def _evict(self):
+        entries = self._entries()
+        if len(entries) <= self.max_entries:
+            return
+        def mtime(path):
+            try:
+                return path.stat().st_mtime
+            except OSError:
+                return 0.0
+        for path in sorted(entries, key=mtime)[
+                :len(entries) - self.max_entries]:
+            self._remove(path)
+
+    @staticmethod
+    def _remove(path):
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------ maintenance
+
+    def stats(self):
+        """Session hit/miss counters + on-disk totals."""
+        entries = self._entries()
+        size = 0
+        for path in entries:
+            try:
+                size += path.stat().st_size
+            except OSError:
+                pass
+        return {"root": str(self.root), "entries": len(entries),
+                "bytes": size, "max_entries": self.max_entries,
+                "hits": self.hits, "misses": self.misses,
+                "writes": self.writes, "dropped": self.dropped}
+
+    def clear(self):
+        """Remove every entry file; returns how many were removed."""
+        entries = self._entries()
+        for path in entries:
+            self._remove(path)
+        return len(entries)
+
+    def verify(self):
+        """Scan all entries; remove any that fail to decode or whose
+        content hash / filename key don't match. Returns counts."""
+        checked = ok = removed = 0
+        for path in self._entries():
+            checked += 1
+            try:
+                raw = path.read_text()
+            except OSError:
+                continue
+            if self._decode(raw, key=path.stem) is None:
+                self._remove(path)
+                self.dropped += 1
+                removed += 1
+            else:
+                ok += 1
+        return {"checked": checked, "ok": ok, "removed": removed}
+
+
+# =====================================================================
+# Process-wide active cache
+# =====================================================================
+
+_UNSET = object()
+_configured = _UNSET
+_instances = {}
+
+
+def default_root():
+    """``$XDG_CACHE_HOME/repro-diag/runs`` (or ``~/.cache/...``)."""
+    base = os.environ.get("XDG_CACHE_HOME") \
+        or os.path.join(os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "repro-diag", "runs")
+
+
+def configure(root):
+    """Programmatically select the active cache directory (None
+    disables). Overrides the ``REPRO_DISK_CACHE`` environment variable
+    until :func:`reset` is called."""
+    global _configured
+    _configured = None if root is None else str(root)
+    return active()
+
+
+def reset():
+    """Forget any :func:`configure` override and cached instances
+    (the environment variable is consulted again)."""
+    global _configured
+    _configured = _UNSET
+    _instances.clear()
+
+
+def _resolve_root():
+    if _configured is not _UNSET:
+        return _configured
+    value = os.environ.get("REPRO_DISK_CACHE", "").strip()
+    if not value or value.lower() in ("0", "off", "no", "false"):
+        return None
+    if value.lower() in ("1", "on", "yes", "true"):
+        return default_root()
+    return value
+
+
+def active():
+    """The process-wide :class:`DiskCache`, or None when disabled."""
+    root = _resolve_root()
+    if root is None:
+        return None
+    cache = _instances.get(root)
+    if cache is None:
+        cache = DiskCache(root)
+        _instances[root] = cache
+    return cache

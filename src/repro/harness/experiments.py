@@ -10,6 +10,7 @@ import math
 
 from repro.baseline import OoOConfig
 from repro.core import CONFIG_PRESETS, EnergyModel
+from repro.harness.parallel import RunSpec, prewarm
 from repro.harness.runner import run_baseline, run_diag
 from repro.workloads import RODINIA_WORKLOADS, SPEC_WORKLOADS
 
@@ -136,7 +137,15 @@ def _single_thread_suite(benchmarks, scale):
     Failed cells (engine error / hang / timeout) are skipped and
     reported under ``result["failures"]`` instead of aborting the
     sweep; averages are taken over the surviving cells.
+
+    With ``REPRO_JOBS`` > 1 and an active disk cache, every cell is
+    first warmed through the process pool (docs/PARALLEL.md); the
+    serial loop below then assembles the result from cache hits, so
+    the numbers are identical either way.
     """
+    prewarm([RunSpec.ooo(name, scale=scale) for name in benchmarks]
+            + [RunSpec.diag(name, config=config, scale=scale)
+               for name in benchmarks for config in SINGLE_CONFIGS])
     result = {"benchmarks": {}, "average": {}, "failures": []}
     for name in benchmarks:
         base = run_baseline(name, scale=scale, threads=1)
@@ -189,8 +198,19 @@ def _multi_thread_suite(benchmarks, scale):
     """Multi-thread spatial + SIMT results vs the 12-core baseline.
 
     Failed cells are skipped and reported under ``result["failures"]``
-    (see :func:`_single_thread_suite`).
+    (see :func:`_single_thread_suite`, including the pool prewarm).
     """
+    prewarm([RunSpec.ooo(name, scale=scale, threads=BASELINE_CORES)
+             for name in benchmarks]
+            + [RunSpec.diag(name, config="F4C32", scale=scale,
+                            threads=MT_THREADS,
+                            num_clusters=MT_CLUSTERS_PER_RING)
+               for name in benchmarks]
+            + [RunSpec.diag(name, config="F4C32", scale=scale,
+                            threads=threads, num_clusters=clusters,
+                            simt=True)
+               for name in benchmarks
+               for threads, clusters in SIMT_POINTS])
     result = {"benchmarks": {}, "average": {}, "failures": []}
     for name in benchmarks:
         base = run_baseline(name, scale=scale, threads=BASELINE_CORES)

@@ -1,0 +1,208 @@
+"""Process-pool execution of run batches (sweeps, campaigns, figures).
+
+Everything the harness runs reduces to a list of picklable
+:class:`RunSpec` points; :func:`run_specs` shards them across a
+``ProcessPoolExecutor`` and returns their :class:`RunRecord` results
+*in submission order* — the caller cannot observe scheduling. The
+determinism contract (docs/PARALLEL.md): both engines are seed-driven
+with no wall-clock input, so a record computed in a worker is
+bit-identical (modulo the ``host.*`` wall-clock gauges) to one computed
+serially, and ``tests/test_parallel_equivalence.py`` enforces it.
+
+Degradation is graceful and total: any pool-level failure — fork/spawn
+refused by the OS, a spec or record that fails to pickle, a worker
+blowing past the wall-clock watchdog, the pool dying mid-flight —
+falls back to executing the affected specs serially in-process, so a
+parallel sweep can never produce fewer results than a serial one.
+
+Workers share the persistent :mod:`repro.harness.diskcache` (atomic
+writes make concurrent writers safe), so a pooled sweep warms the same
+cache later serial runs hit.
+
+Worker count resolution: explicit ``jobs`` argument, else the
+``REPRO_JOBS`` environment variable, else 1 (serial). The per-spec
+wall-clock watchdog defaults to ``REPRO_WORKER_TIMEOUT`` seconds
+(900 if unset); a worker that exceeds it is abandoned and its spec
+re-run serially under the engine's own cycle/liveness watchdogs.
+"""
+
+import os
+import pickle
+import warnings
+from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+
+from repro.obs import deterministic_view, merge_flat
+
+#: default per-spec wall-clock watchdog (seconds)
+WORKER_TIMEOUT = 900.0
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One picklable run request: everything :func:`repro.harness.
+    runner.run_diag` / ``run_baseline`` need to reproduce a run in
+    another process."""
+
+    machine: str                 # 'diag' or 'ooo'
+    workload: str
+    config: str = None           # Table 2 preset name (diag only)
+    scale: float = 1.0
+    threads: int = 1
+    simt: bool = False
+    num_clusters: int = None
+    max_cycles: int = None
+    config_overrides: tuple = ()  # sorted ((knob, value), ...) pairs
+
+    def __post_init__(self):
+        if self.machine not in ("diag", "ooo"):
+            raise ValueError(f"unknown machine {self.machine!r}")
+        if isinstance(self.config_overrides, dict):
+            object.__setattr__(
+                self, "config_overrides",
+                tuple(sorted(self.config_overrides.items())))
+
+    @classmethod
+    def diag(cls, workload, config="F4C32", **kwargs):
+        return cls(machine="diag", workload=workload, config=config,
+                   **kwargs)
+
+    @classmethod
+    def ooo(cls, workload, **kwargs):
+        return cls(machine="ooo", workload=workload, **kwargs)
+
+
+def execute_spec(spec):
+    """Run one :class:`RunSpec` in this process (cache-aware); the
+    pool's worker entry point, but equally the serial path."""
+    from repro.harness.runner import run_baseline, run_diag
+
+    if spec.machine == "diag":
+        return run_diag(spec.workload, config=spec.config or "F4C32",
+                        scale=spec.scale, threads=spec.threads,
+                        simt=spec.simt, num_clusters=spec.num_clusters,
+                        max_cycles=spec.max_cycles,
+                        config_overrides=dict(spec.config_overrides))
+    return run_baseline(spec.workload, scale=spec.scale,
+                        threads=spec.threads, max_cycles=spec.max_cycles)
+
+
+def resolve_jobs(jobs=None):
+    """Effective worker count: ``jobs`` arg > ``REPRO_JOBS`` env > 1."""
+    if jobs is None:
+        try:
+            jobs = int(os.environ.get("REPRO_JOBS", "1"))
+        except ValueError:
+            jobs = 1
+    return max(1, int(jobs))
+
+
+def _worker_timeout(timeout):
+    if timeout is not None:
+        return timeout
+    try:
+        return float(os.environ.get("REPRO_WORKER_TIMEOUT",
+                                    WORKER_TIMEOUT))
+    except ValueError:
+        return WORKER_TIMEOUT
+
+
+def _pool(max_workers):
+    """Prefer fork where the platform offers it (no re-import cost per
+    worker; both engines are deterministic so inherited state is just
+    a warm cache), fall back to the platform default otherwise."""
+    import multiprocessing
+
+    try:
+        if "fork" in multiprocessing.get_all_start_methods():
+            return ProcessPoolExecutor(
+                max_workers=max_workers,
+                mp_context=multiprocessing.get_context("fork"))
+    except (ValueError, OSError):
+        pass
+    return ProcessPoolExecutor(max_workers=max_workers)
+
+
+def run_specs(specs, jobs=None, timeout=None):
+    """Execute ``specs`` and return their RunRecords in input order.
+
+    ``jobs`` > 1 shards across a process pool; 1 (the default without
+    ``REPRO_JOBS``) runs in-process. Every pool-level failure degrades
+    to serial re-execution of whatever is missing, with a warning.
+    """
+    specs = list(specs)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(specs) <= 1:
+        return [execute_spec(spec) for spec in specs]
+    try:
+        pool = _pool(min(jobs, len(specs)))
+        futures = [pool.submit(execute_spec, spec) for spec in specs]
+    except (pickle.PicklingError, TypeError, OSError) as exc:
+        warnings.warn(f"process pool unavailable ({exc}); "
+                      "running serially")
+        return [execute_spec(spec) for spec in specs]
+    deadline = _worker_timeout(timeout)
+    records = [None] * len(specs)
+    hung = False
+    for index, future in enumerate(futures):
+        try:
+            records[index] = future.result(timeout=deadline)
+        except FutureTimeout:
+            # do NOT join this worker — abandon the whole pool below
+            hung = True
+            warnings.warn(
+                f"worker exceeded the {deadline:.0f}s watchdog on "
+                f"{specs[index].workload}; re-running serially")
+        except Exception as exc:
+            # BrokenProcessPool, a worker OSError, an unpicklable
+            # result — anything: fill in serially
+            warnings.warn(
+                f"pool failure on {specs[index].workload} "
+                f"({type(exc).__name__}: {exc}); re-running serially")
+    if hung:
+        _abandon(pool)
+    else:
+        pool.shutdown(wait=True)
+    for index, record in enumerate(records):
+        if record is None:
+            records[index] = execute_spec(specs[index])
+    return records
+
+
+def _abandon(pool):
+    """Tear down a pool with a hung worker without joining it (a
+    ``shutdown(wait=True)`` — or interpreter exit — would block on the
+    stuck process otherwise)."""
+    procs = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in procs:
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+
+
+def aggregate_stats(records, deterministic=False):
+    """One merged flat stats document over many records (see
+    :func:`repro.obs.merge_flat`); ``deterministic=True`` strips the
+    wall-clock gauges so serial and parallel aggregates compare
+    byte-identical."""
+    merged = merge_flat([r.stats for r in records])
+    return deterministic_view(merged) if deterministic else merged
+
+
+def prewarm(specs, jobs=None):
+    """Warm the run caches for ``specs`` through the pool, dropping the
+    records. Only worth the fork cost when a persistent disk cache is
+    active (pool workers cannot seed the parent's in-memory cache) and
+    more than one worker is available — otherwise a no-op.
+    """
+    from repro.harness import diskcache
+
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or diskcache.active() is None:
+        return 0
+    pending = list(specs)
+    run_specs(pending, jobs=jobs)
+    return len(pending)

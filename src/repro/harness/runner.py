@@ -5,13 +5,23 @@ cycle-budget timeout becomes ``RunRecord.status`` / ``RunRecord.error``
 instead of propagating, so one pathological (workload, config) cell can
 no longer abort a whole experiment sweep. Only clean, halted runs are
 cached (a truncated run must never satisfy a later full-budget
-request), the cache key includes the cycle budget, and the cache is
+request), the cache key includes the cycle budget **and a content hash
+of the workload's assembled program bytes** (an edited workload of the
+same name/scale can never alias a stale record), and the cache is
 LRU-bounded so long sweeps don't grow memory without limit.
+
+Two cache tiers sit behind every run:
+
+* the process-local LRU below (``_CACHE``) — hits return the *same*
+  record object;
+* the optional persistent :mod:`repro.harness.diskcache` — shared
+  across processes and pytest invocations, consulted on a memory miss
+  and written through on every clean run. Traced runs bypass both.
 """
 
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from repro.baseline import (
     BaselinePowerModel,
@@ -21,6 +31,7 @@ from repro.baseline import (
 )
 from repro.core import CONFIG_PRESETS, DiAGProcessor, EnergyModel
 from repro.core.watchdog import SimulationHang
+from repro.harness import diskcache
 from repro.obs import (
     PhaseProfiler,
     attach_tracer_names,
@@ -82,30 +93,72 @@ _CACHE = OrderedDict()
 #: (workload, config) cells than this re-run the oldest ones.
 CACHE_MAX_ENTRIES = 512
 
+#: built WorkloadInstances are reusable (setup/verify are idempotent —
+#: fault campaigns already rely on this), so memoize (class, scale,
+#: threads, simt) -> (instance, program digest) and hashing the program
+#: for the cache key costs one build per distinct cell, not per call.
+#: Keyed by the *class object*: re-registering a workload under the
+#: same name yields a different class and therefore a fresh build.
+_BUILDS = OrderedDict()
+BUILD_CACHE_MAX_ENTRIES = 128
+
 
 def clear_cache():
-    """Drop all cached run records (used between benchmark sessions)."""
+    """Drop all cached run records and memoized workload builds (used
+    between benchmark sessions). The persistent disk cache is *not*
+    touched — use ``repro cache clear`` / ``DiskCache.clear``."""
     _CACHE.clear()
+    _BUILDS.clear()
+
+
+def _built(cls, scale, threads, simt):
+    """Memoized (WorkloadInstance, program digest) for one cell."""
+    key = (cls, scale, threads, simt)
+    hit = _BUILDS.get(key)
+    if hit is not None:
+        _BUILDS.move_to_end(key)
+        return hit
+    inst = cls().build(scale=scale, threads=threads, simt=simt)
+    built = (inst, diskcache.program_digest(inst.program))
+    _BUILDS[key] = built
+    while len(_BUILDS) > BUILD_CACHE_MAX_ENTRIES:
+        _BUILDS.popitem(last=False)
+    return built
+
+
+def _store(key, record):
+    _CACHE[key] = record
+    while len(_CACHE) > CACHE_MAX_ENTRIES:
+        _CACHE.popitem(last=False)
 
 
 def _cached(key, factory, bypass=False):
     """``bypass=True`` (traced runs) always executes the factory and
-    never populates the cache — a cached record would have emitted no
-    events into the caller's tracer."""
+    never populates either cache — a cached record would have emitted
+    no events into the caller's tracer."""
     if bypass:
         return factory()
     record = _CACHE.get(key)
     if record is not None:
         _CACHE.move_to_end(key)
         return record
+    disk = diskcache.active()
+    dkey = diskcache.key_for(key) if disk is not None else None
+    if disk is not None:
+        record = disk.get(dkey)
+        # a persisted record is only trusted if it says "ok" — the
+        # cache layer never serves failed or truncated runs
+        if record is not None and record.status == "ok":
+            _store(key, record)
+            return record
     record = factory()
     # Never cache failed or truncated records: a later call must get a
     # fresh attempt (and a truncated run must never impersonate a
     # full-budget one).
     if record.status == "ok":
-        _CACHE[key] = record
-        while len(_CACHE) > CACHE_MAX_ENTRIES:
-            _CACHE.popitem(last=False)
+        _store(key, record)
+        if disk is not None:
+            disk.put(dkey, record)
     return record
 
 
@@ -127,25 +180,31 @@ def run_diag(workload, config="F4C32", scale=1.0, threads=1, simt=False,
     overrides = dict(config_overrides or {})
     if num_clusters is not None:
         overrides["num_clusters"] = num_clusters
+    cfg = CONFIG_PRESETS[config]
+    if overrides:
+        cfg = cfg.with_overrides(**overrides)
+    cls = get_workload(workload)
+    use_simt = simt and cls.SIMT_CAPABLE
+    use_threads = threads if cls.MT_CAPABLE else 1
+    record = RunRecord(workload=workload, machine="diag",
+                       config=cfg.name, threads=use_threads,
+                       simt=use_simt)
+    profiler = PhaseProfiler()
+    start = time.time()
+    try:
+        with profiler.phase("build"):
+            inst, digest = _built(cls, scale, use_threads, use_simt)
+    except Exception as exc:
+        record.status = "error"
+        record.error = f"{type(exc).__name__}: {exc}"
+        record.wall_seconds = time.time() - start
+        return record
     key = ("diag", workload, config, scale, threads, simt, max_cycles,
-           tuple(sorted(overrides.items())))
+           tuple(sorted(overrides.items())), digest)
 
     def factory():
-        cfg = CONFIG_PRESETS[config]
-        if overrides:
-            cfg = cfg.with_overrides(**overrides)
-        cls = get_workload(workload)
-        use_simt = simt and cls.SIMT_CAPABLE
-        use_threads = threads if cls.MT_CAPABLE else 1
-        record = RunRecord(workload=workload, machine="diag",
-                           config=cfg.name, threads=use_threads,
-                           simt=use_simt)
-        profiler = PhaseProfiler()
-        start = time.time()
         try:
             with profiler.phase("build"):
-                inst = cls().build(scale=scale, threads=use_threads,
-                                   simt=use_simt)
                 proc = DiAGProcessor(cfg, inst.program,
                                      num_threads=use_threads,
                                      tracer=tracer)
@@ -202,22 +261,30 @@ def run_baseline(workload, scale=1.0, threads=1, max_cycles=None,
     ``threads`` > 1); returns a :class:`RunRecord`. ``tracer`` is an
     optional :class:`repro.obs.EventTracer`; traced runs bypass the
     run cache."""
+    cfg = config or OoOConfig()
+    cls = get_workload(workload)
+    use_threads = threads if cls.MT_CAPABLE else 1
+    record = RunRecord(workload=workload, machine="ooo",
+                       config=cfg.name, threads=use_threads,
+                       simt=False)
+    profiler = PhaseProfiler()
+    start = time.time()
+    try:
+        with profiler.phase("build"):
+            inst, digest = _built(cls, scale, use_threads, False)
+    except Exception as exc:
+        record.status = "error"
+        record.error = f"{type(exc).__name__}: {exc}"
+        record.wall_seconds = time.time() - start
+        return record
+    # the full config contents, not just its name: a customized
+    # OoOConfig must never alias the default's cache slot
     key = ("ooo", workload, scale, threads, max_cycles,
-           config.name if config else "ooo8")
+           tuple(sorted(asdict(cfg).items())), digest)
 
     def factory():
-        cfg = config or OoOConfig()
-        cls = get_workload(workload)
-        use_threads = threads if cls.MT_CAPABLE else 1
-        record = RunRecord(workload=workload, machine="ooo",
-                           config=cfg.name, threads=use_threads,
-                           simt=False)
-        profiler = PhaseProfiler()
-        start = time.time()
         try:
             with profiler.phase("build"):
-                inst = cls().build(scale=scale, threads=use_threads,
-                                   simt=False)
                 if use_threads == 1:
                     core = OoOCore(cfg, inst.program)
                     cores = [core]

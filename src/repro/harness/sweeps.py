@@ -8,12 +8,19 @@ form ``repro.harness.report.format_table`` can render.
     from repro.harness.sweeps import sweep_clusters
     result = sweep_clusters("hotspot", scale=0.5)
     print(result.render())
+
+Every sweep accepts ``jobs`` (default: the ``REPRO_JOBS`` environment
+variable, else serial) and shards its points across the
+:mod:`repro.harness.parallel` process pool. Results are independent of
+``jobs`` — same points, same records, same rendered table — which
+``tests/test_parallel_equivalence.py`` enforces.
 """
 
 from dataclasses import dataclass, field
 
-from repro.harness.runner import run_diag
+from repro.harness.parallel import RunSpec, run_specs
 from repro.harness.report import format_table
+from repro.obs import merge_flat
 
 
 @dataclass
@@ -53,50 +60,58 @@ class SweepResult:
         """{knob value: RunRecord} of cells that did not run cleanly."""
         return {v: r for v, r in self.points.items() if r.failed}
 
+    def merged_stats(self):
+        """One aggregate stats document over every point (deterministic
+        fold in knob order; see :func:`repro.obs.merge_flat`)."""
+        return merge_flat([r.stats for r in self.points.values()])
+
+
+def _sweep(workload, knob, values, specs, jobs=None):
+    """Execute ``specs`` (one per knob value, same order) through the
+    pool and zip them back into a :class:`SweepResult`."""
+    result = SweepResult(workload=workload, knob=knob)
+    records = run_specs(specs, jobs=jobs)
+    for value, record in zip(values, records):
+        result.points[value] = record
+    return result
+
 
 def sweep_clusters(workload, scale=0.5, cluster_counts=(2, 4, 8, 16, 32),
-                   simt=False):
+                   simt=False, jobs=None):
     """Cycles vs. ring size — the paper's 32/256/512-PE axis, densified."""
-    result = SweepResult(workload=workload, knob="clusters")
-    for count in cluster_counts:
-        record = run_diag(workload, config="F4C32", scale=scale,
+    specs = [RunSpec.diag(workload, config="F4C32", scale=scale,
                           num_clusters=count, simt=simt)
-        result.points[count] = record
-    return result
+             for count in cluster_counts]
+    return _sweep(workload, "clusters", cluster_counts, specs, jobs)
 
 
 def sweep_threads(workload, scale=0.5, thread_counts=(1, 2, 4, 8, 16),
-                  total_clusters=32, simt=False):
+                  total_clusters=32, simt=False, jobs=None):
     """Spatial-parallelism scaling at a fixed 32-cluster budget."""
-    result = SweepResult(workload=workload, knob="threads")
-    for threads in thread_counts:
-        per_ring = max(1, total_clusters // threads)
-        record = run_diag(workload, config="F4C32", scale=scale,
-                          threads=threads, num_clusters=per_ring,
+    specs = [RunSpec.diag(workload, config="F4C32", scale=scale,
+                          threads=threads,
+                          num_clusters=max(1, total_clusters // threads),
                           simt=simt)
-        result.points[threads] = record
-    return result
+             for threads in thread_counts]
+    return _sweep(workload, "threads", thread_counts, specs, jobs)
 
 
-def sweep_lsu_depth(workload, scale=0.5, depths=(1, 2, 4, 8, 16)):
+def sweep_lsu_depth(workload, scale=0.5, depths=(1, 2, 4, 8, 16),
+                    jobs=None):
     """Cluster LSU queue depth (paper Section 5.2's request queue)."""
-    result = SweepResult(workload=workload, knob="lsu_queue_depth")
-    for depth in depths:
-        record = run_diag(workload, config="F4C16", scale=scale,
+    specs = [RunSpec.diag(workload, config="F4C16", scale=scale,
                           config_overrides={"lsu_queue_depth": depth})
-        result.points[depth] = record
-    return result
+             for depth in depths]
+    return _sweep(workload, "lsu_queue_depth", depths, specs, jobs)
 
 
 def sweep_flush_penalty(workload, scale=0.5,
-                        penalties=(1, 3, 6, 12)):
+                        penalties=(1, 3, 6, 12), jobs=None):
     """Cost of a control-flow flush (paper Section 7.3.2's >=3 cycles)."""
-    result = SweepResult(workload=workload, knob="flush_penalty")
-    for penalty in penalties:
-        record = run_diag(workload, config="F4C16", scale=scale,
+    specs = [RunSpec.diag(workload, config="F4C16", scale=scale,
                           config_overrides={"flush_penalty": penalty})
-        result.points[penalty] = record
-    return result
+             for penalty in penalties]
+    return _sweep(workload, "flush_penalty", penalties, specs, jobs)
 
 
 ALL_SWEEPS = {

@@ -24,11 +24,14 @@ from repro.obs.bridge import (
 from repro.obs.events import EVENT_NAMES, EventTracer
 from repro.obs.profile import PhaseProfiler, export_throughput
 from repro.obs.registry import (
+    HOST_STAT_PREFIXES,
     Counter,
     Gauge,
     Histogram,
     StatsRegistry,
+    deterministic_view,
     format_flat,
+    merge_flat,
 )
 
 __all__ = [
@@ -36,10 +39,13 @@ __all__ = [
     "EVENT_NAMES",
     "EventTracer",
     "Gauge",
+    "HOST_STAT_PREFIXES",
     "Histogram",
     "PhaseProfiler",
     "SHARED_CORE_COUNTERS",
     "StatsRegistry",
+    "deterministic_view",
+    "merge_flat",
     "attach_tracer_names",
     "collect_diag",
     "collect_hierarchy",

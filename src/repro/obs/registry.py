@@ -15,9 +15,30 @@ to ``name.count`` / ``name.mean`` / ...), as JSON, or as gem5-style
 emit the *shared core namespace* — ``core.*`` and ``mem.*`` — with
 identical names; engine-specific detail lives under ``diag.*`` /
 ``ooo.*`` / ``iss.*`` / ``sim.*``. See docs/OBSERVABILITY.md.
+
+Registries and their flat dumps are *mergeable*: pool workers each
+return a full stats document, and :func:`merge_flat` folds any number
+of them into one aggregate deterministically (counters sum, min/max
+combine, derived ratios recompute from the merged totals), so a sweep
+reports bit-identical numbers whether its runs executed serially or
+across processes. :func:`deterministic_view` strips the wall-clock
+(``host.*`` / ``sim.host.*``) gauges that legitimately differ between
+hosts — it is the byte-comparable projection of a stats document; see
+docs/PARALLEL.md for the contract.
 """
 
 import json
+
+#: stats that legitimately differ run-to-run (wall-clock self-profiling)
+#: and are therefore excluded from byte-identity comparisons
+HOST_STAT_PREFIXES = ("host.", "sim.host.")
+
+#: flat stats merged by min()/max() rather than summed
+_MIN_STATS = frozenset(("sim.halted",))
+_MAX_STATS = frozenset(("sim.timed_out",))
+
+#: gauges merged as a core.cycles-weighted mean of the input documents
+_CYCLE_WEIGHTED = frozenset(("ooo.rob.occupancy_avg",))
 
 
 class Stat:
@@ -93,6 +114,18 @@ class Histogram(Stat):
                 ".min": self.min if self.min is not None else 0,
                 ".max": self.max if self.max is not None else 0,
                 ".mean": self.mean}
+
+    def combine(self, other):
+        """Fold another histogram's samples into this one."""
+        self.count += other.count
+        self.total += other.total
+        for bound, pick in (("min", min), ("max", max)):
+            theirs = getattr(other, bound)
+            if theirs is None:
+                continue
+            ours = getattr(self, bound)
+            setattr(self, bound,
+                    theirs if ours is None else pick(ours, theirs))
 
 
 class StatsRegistry:
@@ -171,6 +204,33 @@ class StatsRegistry:
                 if not prefix or n == prefix
                 or n.startswith(prefix + ".")]
 
+    # ------------------------------------------------------------- merge
+
+    def merge(self, other):
+        """Fold another registry into this one, kind-aware.
+
+        Counters sum, histograms combine their moments, gauges take the
+        incoming value (except the min/max-merged outcome flags) — the
+        same rules :func:`merge_flat` applies to flat documents. Merging
+        is associative over a fixed input order, which is all the
+        cross-process determinism contract needs (workers are always
+        folded in submission order).
+        """
+        for theirs in other:
+            if isinstance(theirs, Counter):
+                self.counter(theirs.name, theirs.desc).inc(theirs.value)
+            elif isinstance(theirs, Histogram):
+                self.histogram(theirs.name, theirs.desc).combine(theirs)
+            else:
+                mine = self.gauge(theirs.name, theirs.desc)
+                if theirs.name in _MIN_STATS:
+                    mine.set(min(mine.value, theirs.value))
+                elif theirs.name in _MAX_STATS:
+                    mine.set(max(mine.value, theirs.value))
+                else:
+                    mine.set(theirs.value)
+        return self
+
     # ------------------------------------------------------------- dumps
 
     def as_dict(self):
@@ -224,6 +284,81 @@ def format_flat(flat):
         lines.append(f"{name:{width}s}  {rendered}")
     lines.append("---------- End Simulation Statistics   ----------")
     return "\n".join(lines)
+
+
+def deterministic_view(flat):
+    """The byte-comparable projection of a flat stats document: every
+    stat except the wall-clock self-profiling gauges (``host.*`` /
+    ``sim.host.*``), which legitimately vary run-to-run. Two runs of
+    the same (workload, config, seed) must produce identical views
+    regardless of host, process count or cache state — the determinism
+    contract serial-vs-parallel equivalence tests enforce."""
+    return {name: value for name, value in flat.items()
+            if not name.startswith(HOST_STAT_PREFIXES)}
+
+
+def merge_flat(docs):
+    """Deterministically merge flat per-run stats documents.
+
+    A pure fold in document order: counters and wall-clock seconds sum,
+    ``sim.halted`` takes the min (all runs halted) and ``sim.timed_out``
+    the max, histogram ``.min``/``.max`` legs combine, and derived
+    ratios (IPC, miss rates, histogram means, host throughput) are
+    recomputed from the merged totals rather than averaged — so the
+    aggregate of N single-run documents equals the document one
+    N-times-longer run would have produced, and equals itself however
+    the runs were scheduled across processes.
+    """
+    docs = [doc for doc in docs if doc]
+    out = {}
+    weighted = {}
+    for doc in docs:
+        cycles = doc.get("core.cycles", 0)
+        for name, value in doc.items():
+            if name in _CYCLE_WEIGHTED:
+                acc, weight = weighted.get(name, (0.0, 0))
+                weighted[name] = (acc + value * cycles, weight + cycles)
+            elif name not in out:
+                out[name] = value
+            elif name in _MIN_STATS or name.endswith(".min"):
+                out[name] = min(out[name], value)
+            elif name in _MAX_STATS or name.endswith(".max"):
+                out[name] = max(out[name], value)
+            elif name.endswith(".mean"):
+                pass  # recomputed from .sum/.count below
+            else:
+                out[name] = out[name] + value
+    for name, (acc, weight) in weighted.items():
+        out[name] = acc / weight if weight else 0.0
+    _recompute_derived(out)
+    return out
+
+
+def _recompute_derived(out):
+    def ratio(num, den):
+        return num / den if den else 0.0
+
+    for name in list(out):
+        if name.endswith(".mean"):
+            base = name[:-len(".mean")]
+            if base + ".sum" in out and base + ".count" in out:
+                out[name] = ratio(out[base + ".sum"],
+                                  out[base + ".count"])
+    cycles = out.get("core.cycles", 0)
+    if "core.ipc" in out:
+        out["core.ipc"] = ratio(out.get("core.instructions", 0), cycles)
+    for level in ("l1i", "l1d", "l2"):
+        rate = f"mem.{level}.miss_rate"
+        if rate in out:
+            misses = out.get(f"mem.{level}.misses", 0)
+            out[rate] = ratio(
+                misses, out.get(f"mem.{level}.hits", 0) + misses)
+    seconds = out.get("sim.host.run_seconds", 0.0)
+    for name, total in (("sim.host.cycles_per_sec", cycles),
+                        ("sim.host.instructions_per_sec",
+                         out.get("core.instructions", 0))):
+        if name in out:
+            out[name] = ratio(total, seconds)
 
 
 class _Group:

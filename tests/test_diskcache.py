@@ -1,0 +1,361 @@
+"""Persistent run-cache properties: key sensitivity, damage tolerance,
+concurrency, and the program-bytes aliasing regression.
+
+The contract (docs/PARALLEL.md): a disk hit returns a record equal to
+the one that was stored; *any* difference in the run identity —
+including the workload's program bytes — produces a different key; and
+nothing a hostile filesystem can contain (truncation, garbage,
+concurrent writers, entries from another schema) ever raises — it all
+degrades to a miss.
+"""
+
+import json
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asm import assemble
+from repro.harness import clear_cache, run_diag
+from repro.harness import diskcache
+from repro.harness.diskcache import (
+    CACHE_SCHEMA,
+    DiskCache,
+    code_version,
+    key_for,
+    program_digest,
+)
+from repro.harness.runner import RunRecord
+from repro.obs import deterministic_view
+from repro.workloads.base import Workload, WorkloadInstance
+from repro.workloads.registry import RODINIA_WORKLOADS
+
+
+@pytest.fixture(autouse=True)
+def isolated(tmp_path):
+    """Every test gets a fresh cache dir and cold in-memory caches."""
+    diskcache.configure(None)
+    clear_cache()
+    yield
+    diskcache.reset()
+    clear_cache()
+
+
+def make_record(**overrides):
+    base = dict(workload="nn", machine="diag", config="F4C2",
+                threads=1, simt=False, cycles=123, instructions=456,
+                verified=True, status="ok", energy_j=1.5e-6,
+                energy_breakdown={"alu": 1e-6}, stall_fractions={},
+                extra={}, wall_seconds=0.25,
+                stats={"core.cycles": 123, "core.instructions": 456})
+    base.update(overrides)
+    return RunRecord(**base)
+
+
+# Key components mirror the runner's: strings, numbers, bools, None,
+# and nested tuples of sorted override pairs.
+scalars = st.one_of(st.text(max_size=8), st.integers(), st.booleans(),
+                    st.none(), st.floats(allow_nan=False))
+key_parts = st.lists(
+    st.one_of(scalars, st.tuples(st.text(max_size=4), st.integers())),
+    min_size=1, max_size=6)
+
+
+class TestKeys:
+    @settings(max_examples=50, deadline=None)
+    @given(parts=key_parts)
+    def test_key_is_stable(self, parts):
+        assert key_for(parts) == key_for(parts)
+        assert len(key_for(parts)) == 64
+        int(key_for(parts), 16)  # hex
+
+    @settings(max_examples=50, deadline=None)
+    @given(parts=key_parts, index=st.integers(min_value=0),
+           extra=st.integers())
+    def test_any_changed_part_changes_key(self, parts, index, extra):
+        mutated = list(parts)
+        slot = index % len(mutated)
+        mutated[slot] = ("__mutated__", extra)
+        if mutated == parts:
+            return
+        assert key_for(mutated) != key_for(parts)
+
+    @settings(max_examples=25, deadline=None)
+    @given(parts=key_parts)
+    def test_shorter_parts_change_key(self, parts):
+        assert key_for(parts) != key_for(parts[:-1])
+
+    def test_tuples_and_lists_hash_alike(self):
+        # the runner builds keys with tuples; JSON canonicalization
+        # makes the persisted form list-shaped — both must agree
+        assert key_for(("diag", "nn", 0.2)) == key_for(["diag", "nn", 0.2])
+
+    def test_key_covers_code_version(self, monkeypatch):
+        before = key_for(["x"])
+        monkeypatch.setattr(diskcache, "_code_version_cache",
+                            "deadbeef")
+        assert code_version() == "deadbeef"
+        assert key_for(["x"]) != before
+
+    def test_program_digest_tracks_bytes(self):
+        a = assemble("li t0, 1\n    ebreak\n")
+        b = assemble("li t0, 2\n    ebreak\n")
+        assert program_digest(a) == program_digest(
+            assemble("li t0, 1\n    ebreak\n"))
+        assert program_digest(a) != program_digest(b)
+
+
+class TestRoundtrip:
+    def test_hit_returns_equal_record(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        record = make_record()
+        assert cache.put("k" * 64, record)
+        got = cache.get("k" * 64)
+        assert got is not record
+        assert got == record
+        assert got.stats == record.stats
+        assert got.ipc == record.ipc
+        assert cache.stats()["hits"] == 1
+
+    def test_missing_key_is_a_miss(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        assert cache.get("0" * 64) is None
+        assert cache.stats()["misses"] == 1
+
+    def test_wrong_key_slot_is_a_miss(self, tmp_path):
+        # an entry renamed (or hash-colliding) to another key must not
+        # be served under that key
+        cache = DiskCache(tmp_path)
+        cache.put("a" * 64, make_record())
+        (tmp_path / ("a" * 64 + ".json")).rename(
+            tmp_path / ("b" * 64 + ".json"))
+        assert cache.get("b" * 64) is None
+
+    def test_unwritable_root_degrades(self):
+        cache = DiskCache("/proc/definitely/not/writable")
+        assert cache.put("k" * 64, make_record()) is False
+        assert cache.get("k" * 64) is None  # no raise either way
+
+
+DAMAGES = {
+    "empty": lambda raw: "",
+    "truncated": lambda raw: raw[: len(raw) // 2],
+    "garbage": lambda raw: "not json at all {{{",
+    "binary": lambda raw: "\x00\xff\x00\xff",
+    "wrong_schema": lambda raw: json.dumps(
+        {**json.loads(raw), "schema": CACHE_SCHEMA + 1}),
+    "flipped_sha": lambda raw: json.dumps(
+        {**json.loads(raw), "sha": "0" * 64}),
+    "tampered_record": lambda raw: json.dumps(
+        {**json.loads(raw),
+         "record": {**json.loads(raw)["record"], "cycles": 1}}),
+    "record_not_a_dict": lambda raw: json.dumps(
+        {**json.loads(raw), "record": [1, 2, 3]}),
+}
+
+
+class TestDamage:
+    @pytest.mark.parametrize("kind", sorted(DAMAGES))
+    def test_damage_is_a_silent_miss(self, tmp_path, kind):
+        cache = DiskCache(tmp_path)
+        key = "c" * 64
+        cache.put(key, make_record())
+        path = tmp_path / (key + ".json")
+        path.write_text(DAMAGES[kind](path.read_text()))
+        assert cache.get(key) is None
+        assert cache.stats()["dropped"] == 1
+        assert not path.exists()  # damaged entries are removed
+
+    def test_verify_removes_only_damaged(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put("a" * 64, make_record())
+        cache.put("b" * 64, make_record(cycles=999))
+        (tmp_path / ("b" * 64 + ".json")).write_text("junk")
+        report = cache.verify()
+        assert report == {"checked": 2, "ok": 1, "removed": 1}
+        assert cache.get("a" * 64) is not None
+
+    def test_stray_tmp_files_ignored(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        (tmp_path / "leftover.tmp").write_text("partial write")
+        cache.put("a" * 64, make_record())
+        assert cache.stats()["entries"] == 1
+        assert cache.verify()["checked"] == 1
+
+
+class TestConcurrency:
+    def test_concurrent_writers_same_key(self, tmp_path):
+        """Pool workers finishing the same spec race on one entry;
+        atomic replace means readers only ever see a whole entry."""
+        cache = DiskCache(tmp_path)
+        key = "d" * 64
+        errors = []
+
+        def hammer(cycles):
+            try:
+                local = DiskCache(tmp_path)  # separate instance, as
+                for __ in range(20):         # in another process
+                    local.put(key, make_record(cycles=cycles))
+                    got = local.get(key)
+                    assert got is None or got.cycles in (111, 222)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(c,))
+                   for c in (111, 222)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        final = cache.get(key)
+        assert final is not None and final.cycles in (111, 222)
+
+    def test_lru_eviction_keeps_recent(self, tmp_path):
+        import os
+        cache = DiskCache(tmp_path, max_entries=3)
+        keys = [c * 64 for c in "abcde"]
+        for i, key in enumerate(keys):
+            cache.put(key, make_record(cycles=i))
+            # distinct mtimes without sleeping wall-clock time
+            os.utime(tmp_path / (key + ".json"), (i, i))
+        cache._evict()
+        assert cache.stats()["entries"] == 3
+        assert cache.get(keys[0]) is None
+        assert cache.get(keys[-1]) is not None
+
+
+class TestActiveConfiguration:
+    def test_env_off_values(self, monkeypatch):
+        diskcache.reset()
+        for off in ("", "0", "off", "no", "false", "OFF"):
+            monkeypatch.setenv("REPRO_DISK_CACHE", off)
+            assert diskcache.active() is None
+
+    def test_env_on_uses_default_root(self, monkeypatch, tmp_path):
+        diskcache.reset()
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        monkeypatch.setenv("REPRO_DISK_CACHE", "1")
+        cache = diskcache.active()
+        assert cache is not None
+        assert str(tmp_path) in str(cache.root)
+
+    def test_env_path_is_a_directory(self, monkeypatch, tmp_path):
+        diskcache.reset()
+        monkeypatch.setenv("REPRO_DISK_CACHE", str(tmp_path / "runs"))
+        cache = diskcache.active()
+        assert cache.root == tmp_path / "runs"
+
+    def test_configure_overrides_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_DISK_CACHE", "0")
+        cache = diskcache.configure(tmp_path)
+        assert cache is not None
+        assert diskcache.active() is cache  # one instance per root
+
+
+class TestRunnerIntegration:
+    def test_disk_hit_after_memory_clear(self, tmp_path):
+        cache = diskcache.configure(tmp_path)
+        fresh = run_diag("nn", config="F4C2", scale=0.2)
+        assert fresh.status == "ok"
+        assert cache.stats()["writes"] == 1
+        clear_cache()  # kill the in-memory layer; disk must answer
+        cached = run_diag("nn", config="F4C2", scale=0.2)
+        assert cached is not fresh
+        assert cached.cycles == fresh.cycles
+        assert deterministic_view(cached.stats) \
+            == deterministic_view(fresh.stats)
+        assert cache.stats()["hits"] == 1
+
+    def test_failed_runs_never_persisted(self, tmp_path):
+        cache = diskcache.configure(tmp_path)
+        record = run_diag("nn", config="F4C2", scale=0.2,
+                          max_cycles=10)
+        assert record.status == "timed_out"
+        assert cache.stats()["entries"] == 0
+
+    def test_corrupt_disk_entry_falls_back_to_rerun(self, tmp_path):
+        cache = diskcache.configure(tmp_path)
+        fresh = run_diag("nn", config="F4C2", scale=0.2)
+        [entry] = list(cache.root.iterdir())
+        entry.write_text("oops")
+        clear_cache()
+        rerun = run_diag("nn", config="F4C2", scale=0.2)
+        assert rerun.status == "ok"
+        assert rerun.cycles == fresh.cycles
+
+
+# =====================================================================
+# Program-bytes keying: the stale-alias regression (ISSUE satellite)
+# =====================================================================
+
+SRC_V1 = """
+    li t0, 1
+    li t1, 2
+    add t2, t0, t1
+    ebreak
+"""
+
+SRC_V2 = """
+    li t0, 1
+    li t1, 2
+    add t2, t0, t1
+    add t2, t2, t2
+    add t2, t2, t2
+    ebreak
+"""
+
+
+def _register(src):
+    class _Editable(Workload):
+        NAME = "_editable"
+        SUITE = "rodinia"
+        MT_CAPABLE = False
+        SRC = src
+
+        def build(self, scale=1.0, threads=1, simt=False, seed=1234):
+            return WorkloadInstance(name=self.NAME,
+                                    program=assemble(self.SRC),
+                                    setup=lambda memory: None,
+                                    verify=lambda memory: True)
+
+    RODINIA_WORKLOADS[_Editable.NAME] = _Editable
+    return _Editable
+
+
+@pytest.fixture
+def editable_workload():
+    yield
+    RODINIA_WORKLOADS.pop("_editable", None)
+    clear_cache()
+
+
+class TestProgramBytesKey:
+    def test_edited_workload_never_aliases(self, tmp_path,
+                                           editable_workload):
+        """Same name + same scale but different program bytes: the
+        cache (both tiers) must treat them as different runs. Before
+        program-bytes keying this returned v1's stale record for v2."""
+        diskcache.configure(tmp_path)
+        _register(SRC_V1)
+        v1 = run_diag("_editable", config="F4C2", scale=1.0)
+        assert v1.status == "ok"
+        # "edit" the workload in place, as a developer iterating would
+        _register(SRC_V2)
+        v2 = run_diag("_editable", config="F4C2", scale=1.0)
+        assert v2.status == "ok"
+        assert v2 is not v1
+        assert v2.instructions > v1.instructions
+        # and both identities stay cached independently on disk
+        clear_cache()
+        again = run_diag("_editable", config="F4C2", scale=1.0)
+        assert again.instructions == v2.instructions
+
+    def test_memory_cache_also_keyed_by_bytes(self, editable_workload):
+        # no disk cache: the in-memory tier alone must not alias
+        _register(SRC_V1)
+        v1 = run_diag("_editable", config="F4C2", scale=1.0)
+        _register(SRC_V2)
+        v2 = run_diag("_editable", config="F4C2", scale=1.0)
+        assert v1.instructions != v2.instructions

@@ -330,3 +330,68 @@ class TestFaultsCLI:
         assert "fault campaign" in first
         assert main(argv) == 0
         assert capsys.readouterr().out == first
+
+
+# ===================================================================
+# Pooled campaigns (docs/PARALLEL.md)
+# ===================================================================
+
+class TestPooledCampaign:
+    ARGS = dict(workload="nn", machine="diag", config="F4C2",
+                scale=0.2, trials=6, seed=42)
+
+    def test_pooled_matches_serial(self):
+        serial = run_campaign(jobs=1, **self.ARGS)
+        pooled = run_campaign(jobs=2, **self.ARGS)
+        assert pooled.outcome_sequence() == serial.outcome_sequence()
+        assert pooled.counts == serial.counts
+        assert [t.spec for t in pooled.trials] \
+            == [t.spec for t in serial.trials]
+        assert pooled.clean_cycles == serial.clean_cycles
+        assert pooled.site_population == serial.site_population
+
+    def test_pooled_ooo_matches_serial(self):
+        args = dict(self.ARGS, machine="ooo", trials=4)
+        serial = run_campaign(jobs=1, **args)
+        pooled = run_campaign(jobs=2, **args)
+        assert pooled.outcome_sequence() == serial.outcome_sequence()
+        assert pooled.counts == serial.counts
+
+    def test_faults_stay_isolated_in_workers(self):
+        """An injected fault lives and dies inside its worker process:
+        a fresh run after a pooled campaign is bit-identical to one
+        taken before it."""
+        from repro.harness import clear_cache, run_diag
+        clear_cache()
+        before = run_diag("nn", config="F4C2", scale=0.2)
+        run_campaign(jobs=2, **self.ARGS)
+        clear_cache()
+        after = run_diag("nn", config="F4C2", scale=0.2)
+        assert after.verified and after.status == "ok"
+        assert after.cycles == before.cycles
+        assert after.instructions == before.instructions
+
+    def test_chunking_preserves_order(self):
+        from repro.faults.campaign import _chunked
+        for jobs in (1, 2, 3, 4, 7):
+            for n in (1, 2, 5, 6, 7):
+                items = list(range(n))
+                chunks = _chunked(items, jobs)
+                assert [x for c in chunks for x in c] == items
+                assert len(chunks) <= jobs
+                assert all(c for c in chunks)
+
+    def test_pool_failure_degrades_to_serial(self, monkeypatch):
+        import warnings as warnings_mod
+        from repro.harness import parallel
+
+        def broken_pool(max_workers):
+            raise OSError("no fork for you")
+
+        monkeypatch.setattr(parallel, "_pool", broken_pool)
+        serial = run_campaign(jobs=1, **self.ARGS)
+        with warnings_mod.catch_warnings(record=True) as caught:
+            warnings_mod.simplefilter("always")
+            degraded = run_campaign(jobs=2, **self.ARGS)
+        assert any("running serially" in str(w.message) for w in caught)
+        assert degraded.outcome_sequence() == serial.outcome_sequence()

@@ -2,10 +2,14 @@
 """CI bench smoke: two small workloads on both engines, traced.
 
 Writes ``BENCH_obs.json`` with per-(workload, machine) cycles, IPC,
-simulator wall-clock and tracer throughput, and exits non-zero when a
-run fails, fails to verify, or its stats document is missing any of the
-shared counter keys (:data:`repro.obs.SHARED_CORE_COUNTERS`) — so CI
-catches an engine silently dropping out of the parity contract.
+simulator wall-clock and tracer throughput, plus one ``merged``
+aggregate over all cells (:func:`repro.obs.merge_flat` restricted to
+its deterministic view — the cross-process stats-merge contract from
+docs/PARALLEL.md, exercised here on the same documents pool workers
+return). Exits non-zero when a run fails, fails to verify, or its
+stats document is missing any of the shared counter keys
+(:data:`repro.obs.SHARED_CORE_COUNTERS`) — so CI catches an engine
+silently dropping out of the parity contract.
 
 Usage: ``python tools/bench_obs.py [-o BENCH_obs.json]``
 (``src/`` is put on ``sys.path`` automatically).
@@ -21,7 +25,12 @@ sys.path.insert(
                     os.pardir, "src"))
 
 from repro.harness.runner import run_baseline, run_diag  # noqa: E402
-from repro.obs import SHARED_CORE_COUNTERS, EventTracer  # noqa: E402
+from repro.obs import (  # noqa: E402
+    SHARED_CORE_COUNTERS,
+    EventTracer,
+    deterministic_view,
+    merge_flat,
+)
 
 WORKLOADS = ("nn", "hotspot")
 SCALE = 0.25
@@ -47,9 +56,11 @@ def main(argv=None):
 
     doc = {}
     failures = []
+    stats_docs = []
     for workload in WORKLOADS:
         for machine in ("diag", "ooo"):
             record, tracer, missing = bench_one(workload, machine)
+            stats_docs.append(record.stats)
             cell = f"{workload}.{machine}"
             doc[cell] = {
                 "config": record.config,
@@ -76,6 +87,7 @@ def main(argv=None):
                   f"IPC {record.ipc:5.2f}  "
                   f"{tracer.emitted:7d} events")
 
+    doc["merged"] = deterministic_view(merge_flat(stats_docs))
     with open(args.output, "w") as handle:
         json.dump(doc, handle, indent=2, sort_keys=True)
         handle.write("\n")
