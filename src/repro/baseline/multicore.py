@@ -81,6 +81,13 @@ class MulticoreCPU:
         budget = max_cycles if max_cycles is not None \
             else self.config.max_cycles
         live = list(self.cores)
+        # Group fast-forward: lockstep cores may only skip together, to
+        # the earliest event of any live core (cores interact solely
+        # through the shared hierarchy, which no quiescent core touches
+        # before its next event). ff_setup() runs on every core.
+        ff = True
+        for core in self.cores:
+            ff = core.ff_setup() and ff
         cycle = 0
         while live and cycle < budget:
             for core in live:
@@ -88,6 +95,18 @@ class MulticoreCPU:
                 core.check_watchdog()
             live = [c for c in live if not c.halted]
             cycle += 1
+            if ff and live:
+                target = budget
+                for core in live:
+                    core_target = core.ff_target(budget)
+                    if core_target is None:
+                        target = None
+                        break
+                    target = min(target, core_target)
+                if target is not None:
+                    for core in live:
+                        core.ff_skip_to(target)
+                    cycle = target
         return self._collect()
 
     def _collect(self):

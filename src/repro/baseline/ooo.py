@@ -53,6 +53,9 @@ class OoOConfig:
     # Liveness watchdog: raise SimulationHang after this many cycles
     # without a retirement (0 disables). See repro.core.watchdog.
     watchdog_window: int = 200_000
+    # Event-driven cycle skipping (same contract as DiAGConfig: cycle-
+    # exact, forced off by tracing / fault injection / watchdog 0).
+    fast_forward: bool = True
 
     def hierarchy_config(self):
         from repro.memory.hierarchy import HierarchyConfig
@@ -225,6 +228,12 @@ class OoOCore:
         self._retired_this_cycle = 0
         self.watchdog = ProgressWatchdog(
             getattr(config, "watchdog_window", 0))
+        #: fast-forward bookkeeping (diagnostics, not exported to stats:
+        #: the stats document must be identical with skipping off)
+        self.ff_skips = 0
+        self.ff_skipped_cycles = 0
+        self._ff_active = False
+        self._ff_retry_starved = False
 
     # ---------------------------------------------------------------- run
 
@@ -235,9 +244,16 @@ class OoOCore:
         instruction retires for ``config.watchdog_window`` cycles."""
         budget = max_cycles if max_cycles is not None \
             else self.config.max_cycles
+        ff = self.ff_setup()
+        step = self.step
+        check = self.check_watchdog
         while not self.halted and self.cycle < budget:
-            self.step()
-            self.check_watchdog()
+            step()
+            check()
+            if ff:
+                target = self.ff_target(budget)
+                if target is not None:
+                    self.ff_skip_to(target)
         return OoOResult(cycles=self.cycle, stats=self.stats,
                          halted=self.halted, timed_out=not self.halted,
                          halt_reason=self.halt_reason)
@@ -308,6 +324,113 @@ class OoOCore:
         self.stats.rob_occupancy_sum += len(self.rob)
         self.cycle += 1
         self.stats.cycles = self.cycle
+
+    # ------------------------------------------------------- fast-forward
+    #
+    # Event-driven cycle skipping, same contract as the ring engine
+    # (docs/PERFORMANCE.md): when a step could only repeat the per-cycle
+    # accounting, jump the clock to the earliest scheduled event and
+    # credit the span in one batch, byte-identical to ticking.
+
+    def ff_setup(self):
+        """Decide once per run whether fast-forward may engage (per-
+        cycle observers — tracer, fault injector, PipeTracer — and a
+        disabled watchdog force skip-off)."""
+        self._ff_active = bool(
+            getattr(self.config, "fast_forward", True)
+            and self.tracer is None
+            and self.fault_hook is None
+            and getattr(self, "_pipetracer", None) is None
+            and self.watchdog.window > 0)
+        return self._ff_active
+
+    #: Smallest span worth skipping — see RingEngine.FF_MIN_SPAN.
+    FF_MIN_SPAN = 4
+
+    def quiescent(self):
+        """True when no state transition can happen before the next
+        known event — i.e. every intervening step would be a no-op.
+        Called by :meth:`ff_target` after the cheap event-bound
+        pre-filter and heap purge."""
+        if self.halted or self._pending_interrupt is not None \
+                or self._ff_retry_starved or self._blocked_loads:
+            # Blocked loads retry every cycle and wake on store-buffer
+            # state that settles at the END of the step that drains the
+            # store — one step before any heap/ROB event reflects it.
+            return False
+        # The front end must be provably idle: blocked on an indirect
+        # jump, stalled on a redirect/refill, out of PC, or ROB-full
+        # (ROB depth cannot change without a completion/retire event).
+        if not (self._fetch_blocked is not None
+                or self.fetch_pc is None
+                or self.cycle < self._fetch_stalled_until
+                or len(self.rob) >= self.config.rob_size):
+            return False
+        if self._ready_heap and self._ready_heap[0][0] <= self.cycle:
+            return False  # an entry issues next step
+        if self.rob:
+            head = self.rob[0]
+            if head.state == _RobEntry.DONE \
+                    or head.state == _RobEntry.SQUASHED:
+                return False  # retires / pops next step
+        return True
+
+    def ff_target(self, budget):
+        """The cycle to jump to, or None when skipping is not possible.
+
+        Capped at the budget, at ``watchdog.deadline() - 1`` (so a hang
+        fires at the identical simulated cycle), and at the front-end
+        restart time (the rob-empty stall classification branches on
+        ``cycle < _fetch_stalled_until``). The event bound is computed
+        *before* the quiescence analysis so most attempts die on the
+        cheap FF_MIN_SPAN pre-filter."""
+        now = self.cycle
+        self._ff_purge_heaps()
+        events = []
+        if self._executing:
+            events.append(self._executing[0][0])
+        if self._ready_heap:
+            events.append(self._ready_heap[0][0])
+        stalled = self._fetch_stalled_until
+        if stalled != float("inf") and stalled > now:
+            events.append(stalled)
+        target = min(events) if events else budget
+        if target > budget:
+            target = budget
+        deadline = self.watchdog.deadline()
+        if deadline is not None and target > deadline - 1:
+            target = deadline - 1
+        if target - now < self.FF_MIN_SPAN:
+            return None
+        if not self.quiescent():
+            return None
+        return target
+
+    def ff_skip_to(self, target):
+        """Jump the clock to ``target``, batch-accounting the span."""
+        span = target - self.cycle
+        if span <= 0:
+            return
+        reason = self._classify_stall()
+        if reason is not None:
+            self.stats.stall(reason, span)
+        self.stats.rob_occupancy_sum += len(self.rob) * span
+        self.ff_skips += 1
+        self.ff_skipped_cycles += span
+        self.cycle = target
+        self.stats.cycles = target
+
+    def _ff_purge_heaps(self):
+        """Drop stale heap heads (squashed / already-handled entries)
+        so head times reflect real events; _complete and _issue skip
+        the same entries when their time comes."""
+        executing = self._executing
+        while executing and executing[0][2].state != _RobEntry.EXECUTING:
+            heapq.heappop(executing)
+        ready = self._ready_heap
+        while ready and ready[0][2].state not in (_RobEntry.WAITING,
+                                                  _RobEntry.READY):
+            heapq.heappop(ready)
 
     # -------------------------------------------------------------- fetch
 
@@ -497,6 +620,7 @@ class OoOCore:
     def _retry_loads(self):
         blocked, self._blocked_loads = self._blocked_loads, []
         pool = self._fu_pool()
+        self._ff_retry_starved = False
         for entry in blocked:
             if entry.state not in (_RobEntry.WAITING, _RobEntry.READY):
                 continue
@@ -504,6 +628,9 @@ class OoOCore:
                 if self._start(entry):
                     pool["load"] -= 1
             else:
+                # Port-starved (not store-blocked): will start next
+                # cycle, so the cycle is not quiescent.
+                self._ff_retry_starved = True
                 self._blocked_loads.append(entry)
 
     def _source_values(self, entry):
@@ -768,26 +895,36 @@ class OoOCore:
                 return StallReason.CONTROL
             return StallReason.STRUCTURAL
         head = self.rob[0]
-        return self._stall_origin(head, depth=0)
+        return self._stall_origin(head)
 
-    def _stall_origin(self, entry, depth):
-        """Walk producer links to the stall source (like the ring's)."""
-        if depth > 64:
-            return StallReason.STRUCTURAL
-        if entry.state == _RobEntry.EXECUTING:
-            return StallReason.MEMORY if entry.instr.is_mem else None
-        if entry.state == _RobEntry.DONE:
-            return None  # retires next cycle; not a stall source
-        if entry in self._blocked_loads:
-            return StallReason.MEMORY
-        for __, __, producer in entry.sources:
-            if producer is not None and not producer.executed:
-                return self._stall_origin(producer, depth + 1)
-        if entry.ready_time > self.cycle:
-            # Still traversing the front end (fetch->issue latency).
-            return StallReason.CONTROL
-        # Operands ready but not issued: FU ports / issue width.
-        return StallReason.STRUCTURAL
+    def _stall_origin(self, entry):
+        """Walk producer links to the stall source (like the ring's).
+
+        Iterative with a visited set: producer graphs with converging
+        edges can revisit nodes, and the previous depth-capped recursion
+        mislabeled deep dependence chains as STRUCTURAL."""
+        visited = set()
+        while True:
+            if id(entry) in visited:
+                return StallReason.STRUCTURAL
+            visited.add(id(entry))
+            if entry.state == _RobEntry.EXECUTING:
+                return StallReason.MEMORY if entry.instr.is_mem else None
+            if entry.state == _RobEntry.DONE:
+                return None  # retires next cycle; not a stall source
+            if entry in self._blocked_loads:
+                return StallReason.MEMORY
+            for __, __, producer in entry.sources:
+                if producer is not None and not producer.executed:
+                    entry = producer
+                    break
+            else:
+                if entry.ready_time > self.cycle:
+                    # Still traversing the front end (fetch->issue
+                    # latency).
+                    return StallReason.CONTROL
+                # Operands ready but not issued: FU ports / issue width.
+                return StallReason.STRUCTURAL
 
     def _commit(self, entry):
         instr = entry.instr

@@ -59,6 +59,13 @@ def _describe(record):
     return line
 
 
+def _host_line(record):
+    """Host-side simulator throughput (``sim.host.*`` gauges)."""
+    kips = record.stat("sim.host.kips")
+    return (f"host: {kips:8.1f} KIPS  "
+            f"({record.stat('sim.host.run_seconds'):.2f}s in engine)")
+
+
 def _stall_line(record):
     """Stall-reason breakdown from the shared ``core.stall.*`` counters."""
     cycles = record.stat("core.cycles") or record.cycles
@@ -117,16 +124,20 @@ def _run_machines(args, tracer=None):
     returns ``{machine_name: RunRecord}`` in run order."""
     from repro.harness import run_baseline, run_diag
 
+    no_ff = getattr(args, "no_fast_forward", False)
     records = {}
     if args.machine in ("both", "ooo"):
+        from repro.baseline.ooo import OoOConfig
         records["ooo"] = run_baseline(
             args.workload, scale=args.scale, threads=args.threads,
-            max_cycles=args.max_cycles, tracer=tracer)
+            max_cycles=args.max_cycles, tracer=tracer,
+            config=OoOConfig(fast_forward=False) if no_ff else None)
     if args.machine in ("both", "diag"):
         records["diag"] = run_diag(
             args.workload, config=args.config, scale=args.scale,
             threads=args.threads, simt=getattr(args, "simt", False),
-            max_cycles=args.max_cycles, tracer=tracer)
+            max_cycles=args.max_cycles, tracer=tracer,
+            config_overrides={"fast_forward": False} if no_ff else None)
     return records
 
 
@@ -145,10 +156,12 @@ def _cmd_run(args):
         print(f"  baseline : {_describe(base)}")
         print(f"             {_stall_line(base)}")
         print(f"             {_cache_line(base)}")
+        print(f"             {_host_line(base)}")
     if diag is not None:
         print(f"  DiAG {args.config:5s}: {_describe(diag)}")
         print(f"             {_stall_line(diag)}")
         print(f"             {_cache_line(diag)}")
+        print(f"             {_host_line(diag)}")
     if base is not None and diag is not None and diag.cycles \
             and not (base.failed or diag.failed):
         print(f"  speedup {base.cycles / diag.cycles:.2f}x   "
@@ -293,6 +306,10 @@ def build_parser():
         p.add_argument("--max-cycles", type=int, default=None,
                        help="cycle budget (exhaustion reports "
                             "status=timed_out)")
+        p.add_argument("--no-fast-forward", action="store_true",
+                       help="disable event-driven cycle skipping "
+                            "(results are identical either way; see "
+                            "docs/PERFORMANCE.md)")
 
     run_p = sub.add_parser("run", help="run one workload")
     add_machine_opts(run_p)

@@ -23,7 +23,7 @@ class Activation:
     """
 
     __slots__ = ("seq", "cluster", "arm_cycle", "ready_cycle", "entries",
-                 "entry_pc")
+                 "entry_pc", "_drained")
 
     def __init__(self, seq, cluster, arm_cycle, ready_cycle, entry_pc):
         self.seq = seq
@@ -32,10 +32,22 @@ class Activation:
         self.ready_cycle = ready_cycle  # decoded; PEs may begin
         self.entry_pc = entry_pc
         self.entries = []
+        self._drained = False
 
     @property
     def drained(self):
-        return all(e.is_finished for e in self.entries)
+        # PEEntry finished-states are absorbing, so a full activation
+        # that has drained once stays drained — memoize that verdict
+        # (busy checks in dispatch/arm scans hit this every cycle). An
+        # empty activation (mid-arm) reports drained without latching:
+        # its entries are still to come.
+        if self._drained:
+            return True
+        entries = self.entries
+        if entries and all(e.is_finished for e in entries):
+            self._drained = True
+            return True
+        return not entries
 
 
 class Cluster:

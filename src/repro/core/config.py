@@ -80,6 +80,12 @@ class DiAGConfig:
     # Liveness watchdog: raise SimulationHang after this many cycles
     # without a retirement (0 disables). See repro.core.watchdog.
     watchdog_window: int = 200_000
+    # Event-driven cycle skipping: when the ring is quiescent (no state
+    # change possible before a known future cycle), jump the clock there
+    # and batch-account the span. Cycle-exact — stats are byte-identical
+    # to ticked execution (docs/PERFORMANCE.md). Forced off per-run by
+    # tracing, fault injection, PipeTracer, or watchdog_window == 0.
+    fast_forward: bool = True
 
     @property
     def total_pes(self):

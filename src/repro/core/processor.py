@@ -87,6 +87,13 @@ class DiAGProcessor:
         budget = max_cycles if max_cycles is not None \
             else self.config.max_cycles
         live = list(self.rings)
+        # Group fast-forward: lockstep rings may only skip together, to
+        # the earliest event of any live ring (rings interact solely
+        # through memory, which no quiescent ring touches before its
+        # next event). ff_setup() runs on every ring, no short-circuit.
+        ff = True
+        for ring in self.rings:
+            ff = ring.ff_setup() and ff
         cycle = 0
         while live and cycle < budget:
             for ring in live:
@@ -94,6 +101,18 @@ class DiAGProcessor:
                 ring.check_watchdog()
             live = [r for r in live if not r.halted]
             cycle += 1
+            if ff and live:
+                target = budget
+                for ring in live:
+                    ring_target = ring.ff_target(budget)
+                    if ring_target is None:
+                        target = None
+                        break
+                    target = min(target, ring_target)
+                if target is not None:
+                    for ring in live:
+                        ring.ff_skip_to(target)
+                    cycle = target
         return self._collect()
 
     def _collect(self):

@@ -111,6 +111,12 @@ class RingEngine:
         self.tracer = None
         self.watchdog = ProgressWatchdog(
             getattr(config, "watchdog_window", 0))
+        #: fast-forward bookkeeping (diagnostics, not exported to stats:
+        #: the stats document must be identical with skipping off)
+        self.ff_skips = 0
+        self.ff_skipped_cycles = 0
+        self._ff_active = False
+        self._ff_arm_spin_kind = None
 
     # ================================================================ API
 
@@ -121,9 +127,16 @@ class RingEngine:
         instruction retires for ``config.watchdog_window`` cycles."""
         budget = max_cycles if max_cycles is not None \
             else self.config.max_cycles
+        ff = self.ff_setup()
+        step = self.step
+        check = self.check_watchdog
         while not self.halted and self.cycle < budget:
-            self.step()
-            self.check_watchdog()
+            step()
+            check()
+            if ff:
+                target = self.ff_target(budget)
+                if target is not None:
+                    self.ff_skip_to(target)
         return self.stats
 
     def check_watchdog(self):
@@ -174,6 +187,199 @@ class RingEngine:
         self._account_energy()
         self.cycle += 1
         self.stats.cycles = self.cycle
+
+    # ======================================================= fast-forward
+    #
+    # Event-driven cycle skipping (docs/PERFORMANCE.md). A cycle is
+    # *quiescent* when a step would change nothing but the per-cycle
+    # accounting: every in-flight operation finishes at a known future
+    # cycle, dispatch is parked, and the window head can only be woken
+    # by one of those events. Skipping then jumps the clock straight to
+    # the earliest event and credits the span in one batch — stall
+    # classification (constant across the span) x N, energy census x N
+    # — so the final stats document is byte-identical to ticking.
+
+    def ff_setup(self):
+        """Decide once per run whether fast-forward may engage.
+
+        Per-cycle observers force skip-off: an event tracer or a
+        PipeTracer samples stepped state, a fault injector counts
+        value-production sites against its trigger, and a disabled
+        watchdog (window 0) leaves no deadline to cap skips against."""
+        self._ff_active = bool(
+            getattr(self.config, "fast_forward", True)
+            and self.tracer is None
+            and self.fault_hook is None
+            and getattr(self, "_pipetracer", None) is None
+            and self.watchdog.window > 0)
+        return self._ff_active
+
+    #: Smallest span worth skipping: the quiescence analysis (cluster
+    #: scans, stall classification, batched census) costs about as much
+    #: as stepping a few no-op cycles, so short skips are a net loss.
+    #: Any value is cycle-exact — skips only cover provably no-op steps.
+    FF_MIN_SPAN = 4
+
+    def quiescent(self):
+        """True when no state transition can happen before the next
+        known event — i.e. every intervening step would be a no-op.
+        Called by :meth:`ff_target` after the cheap guards and heap
+        purge; ordered cheapest-check-first."""
+        if (self.halted or self._pending_interrupt is not None
+                or self._retry or self._blocked_loads):
+            # Blocked loads retry every cycle and wake on store-buffer
+            # state (address resolution / drain) that settles at the
+            # END of the draining step — one step before any heap event
+            # reflects it. Never skip while one is pending.
+            return False
+        if self.window:
+            head = self.window[0]
+            if head.state is not PEState.WAITING \
+                    and head.state is not PEState.EXECUTING:
+                return False  # DONE retires / SQUASHED+DISABLED pop
+        self._ff_arm_spin_kind = None
+        if (self._arm_pending is None and self._waiting_redirect is None
+                and self.next_fetch_pc is not None):
+            # _begin_arm runs every step: only skippable when it
+            # provably spins (cluster busy-states change solely at
+            # completion/retire events, which bound the skip).
+            kind = self._ff_arm_spin()
+            if kind is None:
+                return False
+            self._ff_arm_spin_kind = kind
+        return True
+
+    def next_event_cycle(self):
+        """Earliest future cycle at which stepped state can change, or
+        None when nothing is scheduled (quiescent forever: the watchdog
+        deadline or the cycle budget is the only bound)."""
+        events = []
+        if self._simt_until is not None:
+            return self._simt_until
+        if self._executing:
+            events.append(self._executing[0][0])
+        if self._ready_heap:
+            events.append(self._ready_heap[0][0])
+        if self._arm_pending is not None:
+            events.append(self._arm_pending[1])
+        if self._redirect_at is not None:
+            events.append(self._redirect_at)
+        return min(events) if events else None
+
+    def ff_target(self, budget):
+        """The cycle to jump to, or None when skipping is not possible.
+
+        Caps at the budget and at ``watchdog.deadline() - 1`` so budget
+        exhaustion and SimulationHang occur at the identical simulated
+        cycle as ticked execution (the step at deadline-1 runs normally
+        and its check raises with cycle == deadline). The event bound
+        is computed *before* the quiescence analysis: most attempts die
+        on the cheap FF_MIN_SPAN pre-filter without paying for the deep
+        checks (purging first only pushes heap heads later, so the
+        bound never rejects a span the purged state would allow)."""
+        now = self.cycle
+        if self._simt_until is not None:
+            if (self._pending_interrupt is not None or self._retry
+                    or self._blocked_loads):
+                return None
+            # Pre-scheduled pipelined region: finish cycle is known and
+            # the sequential machinery is idle until then. No deadline
+            # cap — regions feed the watchdog (see ff_skip_to).
+            target = min(self._simt_until, budget)
+            return target if target > now else None
+        self._ff_purge_heaps()
+        events = []
+        if self._executing:
+            events.append(self._executing[0][0])
+        if self._ready_heap:
+            events.append(self._ready_heap[0][0])
+        if self._arm_pending is not None:
+            events.append(self._arm_pending[1])
+        if self._redirect_at is not None:
+            events.append(self._redirect_at)
+        target = min(events) if events else budget
+        if target > budget:
+            target = budget
+        deadline = self.watchdog.deadline()
+        if deadline is not None and target > deadline - 1:
+            target = deadline - 1
+        if target - now < self.FF_MIN_SPAN:
+            return None
+        if not self.quiescent():
+            return None
+        return target
+
+    def ff_skip_to(self, target):
+        """Jump the clock to ``target``, batch-accounting the span."""
+        span = target - self.cycle
+        if span <= 0:
+            return
+        if self._simt_until is not None:
+            # Ticked execution marks every region cycle as progressing;
+            # replay that on the watchdog in one call. No stall
+            # accounting inside a region (step() skips it).
+            self.watchdog.feed(target, self.stats.retired)
+        else:
+            reason = self._classify_stall()
+            if reason is not None:
+                self.stats.stall(reason, span)
+            if self._ff_arm_spin_kind == "miss":
+                # Every ticked _begin_arm attempt against busy resident
+                # copies counts one reuse miss; replay the spin's count.
+                self.stats.reuse_misses += span
+        executing = fp = 0
+        for __, __, entry in self._executing:
+            if entry.state is PEState.EXECUTING:
+                executing += 1
+                if entry.instr.is_fp:
+                    fp += 1
+        self.stats.pe_active_cycles += executing * span
+        self.stats.fpu_active_cycles += fp * span
+        self.stats.resident_cluster_cycles += self._resident_count * span
+        self.ff_skips += 1
+        self.ff_skipped_cycles += span
+        self.cycle = target
+        self.stats.cycles = target
+
+    def _ff_arm_spin(self):
+        """Classify the _begin_arm attempt the next step would make.
+
+        Returns None when it would do real work (arm, fetch, or evict),
+        ``"plain"`` when it is a pure no-op (every cluster slot is full
+        of busy clusters), or ``"miss"`` when it additionally counts one
+        ``reuse_misses`` per attempt (busy resident copies of the target
+        line). Mirrors _begin_arm's decision tree side-effect free; the
+        verdict is span-constant because cluster busy-states only change
+        at completion/retire events."""
+        cfg = self.config
+        line = self._line_base(self.next_fetch_pc)
+        residents = self.clusters.get(line, [])
+        if any(not c.busy for c in residents):
+            return None  # would arm a reuse (or drop + reload)
+        counts = False
+        if residents:
+            counts = True
+            if (cfg.enable_reuse and len(residents) >= 2
+                    and self._resident_count >= cfg.num_clusters):
+                return "miss"  # self-thrash wait: drains, no alloc
+        if self._resident_count < cfg.num_clusters:
+            return None  # a free slot exists: would fetch + arm
+        if any(not c.busy for group in self.clusters.values()
+               for c in group):
+            return None  # an evictable victim exists: would reload
+        return "miss" if counts else "plain"
+
+    def _ff_purge_heaps(self):
+        """Drop stale heap heads (entries squashed or already handled)
+        so head times reflect real events. Ticked execution pops the
+        same entries when their time comes; dropping early is
+        unobservable."""
+        executing = self._executing
+        while executing and executing[0][2].state is not PEState.EXECUTING:
+            heapq.heappop(executing)
+        ready = self._ready_heap
+        while ready and ready[0][2].state is not PEState.WAITING:
+            heapq.heappop(ready)
 
     # =========================================================== dispatch
 
@@ -940,16 +1146,22 @@ class RingEngine:
         self._simt_until = outcome.finish_cycle
         self._simt_active_pes = outcome.avg_active_pes
         self._simt_active_fpus = outcome.avg_active_fpus
+        # Region utilization is credited in closed form here rather
+        # than per region cycle: ``avg * span`` and ``span`` repeated
+        # float additions differ in the low bits, so the closed form is
+        # the only way ticked and fast-forwarded runs can agree exactly.
+        span = outcome.finish_cycle - self.cycle - 1
+        if span > 0:
+            self.stats.pe_active_cycles += outcome.avg_active_pes * span
+            self.stats.fpu_active_cycles += outcome.avg_active_fpus * span
         self.arch.write("x", entry.instr.rd, outcome.final_rc)
         self.next_fetch_pc = region.end_addr + 4
 
     def _step_simt(self):
+        # Utilization was credited in closed form by _enter_simt; the
+        # per-cycle step only ends the region.
         if self.cycle >= self._simt_until:
             self._simt_until = None
-            return
-        # Utilization is accounted as the pipeline's average activity.
-        self.stats.pe_active_cycles += self._simt_active_pes
-        self.stats.fpu_active_cycles += self._simt_active_fpus
 
     # ======================================================== accounting
 
@@ -980,34 +1192,49 @@ class RingEngine:
                 return StallReason.MEMORY
             return None  # useful computation, not a stall
         if head.state is PEState.WAITING:
-            origin = self._stall_origin(head, depth=0)
+            origin = self._stall_origin(head)
             return origin
         return None
 
-    def _stall_origin(self, entry, depth):
-        """Walk producer links to the stall source (Section 7.3.2)."""
-        if depth > 64:
-            return StallReason.STRUCTURAL
-        if entry.waiting_on_memory or entry.blocked_on is not None:
-            return StallReason.MEMORY
-        if entry.state is PEState.EXECUTING:
-            if entry.instr.is_mem:
+    def _stall_origin(self, entry):
+        """Walk producer links to the stall source (Section 7.3.2).
+
+        Iterative with a visited set: producer graphs with converging
+        edges can revisit nodes, and the previous depth-capped recursion
+        mislabeled deep dependence chains as STRUCTURAL."""
+        visited = set()
+        while True:
+            if id(entry) in visited:
+                # Lane-wiring cycle (only possible through a stale
+                # squashed producer): no memory source found.
+                return StallReason.STRUCTURAL
+            visited.add(id(entry))
+            if entry.waiting_on_memory or entry.blocked_on is not None:
                 return StallReason.MEMORY
-            return None
-        for __, __, producer in entry.sources:
-            if producer is not None and not producer.executed:
-                return self._stall_origin(producer, depth + 1)
-        if entry.state is PEState.WAITING and entry.pending_producers == 0:
-            # All producers done: the value is in flight on the lanes
-            # (propagation latency), not a stall source.
-            return None
-        # Operands ready but not started: FU/structural.
-        return StallReason.STRUCTURAL
+            if entry.state is PEState.EXECUTING:
+                if entry.instr.is_mem:
+                    return StallReason.MEMORY
+                return None
+            for __, __, producer in entry.sources:
+                if producer is not None and not producer.executed:
+                    entry = producer
+                    break
+            else:
+                if entry.state is PEState.WAITING \
+                        and entry.pending_producers == 0:
+                    # All producers done: the value is in flight on the
+                    # lanes (propagation latency), not a stall source.
+                    return None
+                # Operands ready but not started: FU/structural.
+                return StallReason.STRUCTURAL
 
     def _account_energy(self):
-        executing = [e for __, __, e in self._executing
-                     if e.state is PEState.EXECUTING]
-        self.stats.pe_active_cycles += len(executing)
-        self.stats.fpu_active_cycles += sum(1 for e in executing
-                                            if e.instr.is_fp)
+        executing = fp = 0
+        for __, __, entry in self._executing:
+            if entry.state is PEState.EXECUTING:
+                executing += 1
+                if entry.instr.is_fp:
+                    fp += 1
+        self.stats.pe_active_cycles += executing
+        self.stats.fpu_active_cycles += fp
         self.stats.resident_cluster_cycles += self._resident_count

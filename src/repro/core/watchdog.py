@@ -57,6 +57,25 @@ class ProgressWatchdog:
         self._last_marker = None
         self._last_progress_cycle = 0
 
+    def deadline(self):
+        """The cycle at which :meth:`check` would raise if no further
+        progress is recorded, or None when the watchdog is disabled.
+        The fast-forward scheduler caps every skip at ``deadline() - 1``
+        so a hang fires at the identical simulated cycle either way."""
+        if self.window <= 0:
+            return None
+        return self._last_progress_cycle + self.window
+
+    def feed(self, cycle, marker):
+        """Record externally-known progress at ``cycle``.
+
+        Used when the fast-forward scheduler jumps over a span whose
+        per-cycle checks would all have passed ``progressing=True`` (a
+        pre-scheduled SIMT region): the skipped checks would have moved
+        the progress marker to ``cycle``, so this does it in one call."""
+        self._last_marker = marker
+        self._last_progress_cycle = cycle
+
     def check(self, machine, cycle, marker, dump, progressing=False):
         """Record progress; raise :class:`SimulationHang` on a full
         quiet window. ``dump`` is a zero-argument callable returning the

@@ -240,7 +240,12 @@ def run_diag(workload, config="F4C32", scale=1.0, threads=1, simt=False,
                               result.instructions,
                               profiler.seconds("run"),
                               tracer.emitted if tracer is not None
-                              else 0)
+                              else 0,
+                              ff_skips=sum(r.ff_skips
+                                           for r in proc.rings),
+                              ff_skipped_cycles=sum(
+                                  r.ff_skipped_cycles
+                                  for r in proc.rings))
             record.stats = registry.as_dict()
         except SimulationHang as exc:
             record.status = "hang"
@@ -326,7 +331,10 @@ def run_baseline(workload, scale=1.0, threads=1, max_cycles=None,
                               result.instructions,
                               profiler.seconds("run"),
                               tracer.emitted if tracer is not None
-                              else 0)
+                              else 0,
+                              ff_skips=sum(c.ff_skips for c in cores),
+                              ff_skipped_cycles=sum(
+                                  c.ff_skipped_cycles for c in cores))
             record.stats = registry.as_dict()
         except SimulationHang as exc:
             record.status = "hang"

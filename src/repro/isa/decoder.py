@@ -65,12 +65,44 @@ def _matches(info, word):
     return True
 
 
+#: word -> Instruction __dict__ snapshot (or a DecodeError message
+#: string for negative entries). A program has far fewer distinct words
+#: than dynamic decode calls, so this short-circuits the candidate scan
+#: and field extraction; clones are built fresh per call because the
+#: engines mutate Instruction objects (see tests/test_isa_roundtrip.py).
+_CACHE = {}
+_CACHE_MAX = 1 << 16
+
+
 def decode(word, addr=None):
     """Decode a 32-bit instruction ``word``; ``addr`` is attached if given.
 
-    Raises :class:`DecodeError` for unknown encodings.
+    Raises :class:`DecodeError` for unknown encodings. Memoized by
+    ``word``: repeated calls are cache hits but always return *fresh*,
+    independent :class:`Instruction` objects.
     """
     word &= 0xFFFFFFFF
+    hit = _CACHE.get(word)
+    if hit is None:
+        try:
+            template = _decode_uncached(word)
+            from repro.iss.semantics import handler_for
+            template._handler = handler_for(template.mnemonic)
+            hit = dict(template.__dict__)
+        except DecodeError as exc:
+            hit = str(exc)
+        if len(_CACHE) >= _CACHE_MAX:
+            _CACHE.clear()
+        _CACHE[word] = hit
+    if type(hit) is str:
+        raise DecodeError(hit)
+    instr = Instruction.__new__(Instruction)
+    instr.__dict__.update(hit)
+    instr.addr = addr
+    return instr
+
+
+def _decode_uncached(word):
     opcode = bits(word, 6, 0)
     candidates = _BY_OPCODE.get(opcode)
     if not candidates:
@@ -84,7 +116,7 @@ def decode(word, addr=None):
     rs2 = bits(word, 24, 20)
     rs3 = bits(word, 31, 27)
     fmt = info.fmt
-    instr = Instruction(info.mnemonic, addr=addr, raw=word)
+    instr = Instruction(info.mnemonic, raw=word)
 
     if fmt is InstrFormat.R:
         instr.rd, instr.rs1, instr.rs2 = rd, rs1, rs2

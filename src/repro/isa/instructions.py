@@ -342,6 +342,16 @@ class Instruction:
     def is_system(self):
         return self.fu_class is FUClass.SYSTEM
 
+    def __getstate__(self):
+        # The decoder / compute() bind an execute thunk as ``_handler``;
+        # closures don't pickle, so strip private keys and rebind lazily
+        # on first compute() after unpickling.
+        return {k: v for k, v in self.__dict__.items()
+                if not k.startswith("_")}
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
     def __str__(self):
         from repro.asm.disassembler import format_instruction
 

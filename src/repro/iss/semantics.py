@@ -147,59 +147,143 @@ _FP_UNARY = {
 }
 
 
+# ---------------------------------------------------------------------
+# Per-mnemonic execute thunks. compute() used to probe ~10 dicts in
+# sequence per call; the table below is built once so dispatch is a
+# single lookup, and the decoder binds the thunk onto each Instruction
+# (``_handler``) so hot paths skip even that lookup.
+
+def _h_alu(op):
+    def handler(instr, pc, rs1, rs2, rs3):
+        return ExecResult(value=op(rs1, rs2))
+    return handler
+
+
+def _h_alu_imm(op):
+    # Each ALU lambda masks its operands, so the sign-extended
+    # immediate can be passed directly (sltiu then compares the
+    # masked pattern unsigned, per spec).
+    def handler(instr, pc, rs1, rs2, rs3):
+        return ExecResult(value=op(rs1, instr.imm))
+    return handler
+
+
+def _h_branch(op):
+    def handler(instr, pc, rs1, rs2, rs3):
+        return ExecResult(taken=op(rs1 & MASK32, rs2 & MASK32),
+                          target=(pc + instr.imm) & MASK32)
+    return handler
+
+
+def _h_load(size, signed):
+    def handler(instr, pc, rs1, rs2, rs3):
+        return ExecResult(mem_addr=(rs1 + instr.imm) & MASK32,
+                          mem_size=size, mem_signed=signed)
+    return handler
+
+
+def _h_store(size):
+    def handler(instr, pc, rs1, rs2, rs3):
+        return ExecResult(mem_addr=(rs1 + instr.imm) & MASK32,
+                          mem_size=size, store_value=rs2 & MASK32)
+    return handler
+
+
+def _h_fp_binary(fp):
+    def handler(instr, pc, rs1, rs2, rs3):
+        return ExecResult(value=fp(rs1, rs2))
+    return handler
+
+
+def _h_fp_fma(fp):
+    def handler(instr, pc, rs1, rs2, rs3):
+        return ExecResult(value=fp(rs1, rs2, rs3))
+    return handler
+
+
+def _h_fp_unary(fp):
+    def handler(instr, pc, rs1, rs2, rs3):
+        return ExecResult(value=fp(rs1))
+    return handler
+
+
+def _h_lui(instr, pc, rs1, rs2, rs3):
+    return ExecResult(value=instr.imm & MASK32)
+
+
+def _h_auipc(instr, pc, rs1, rs2, rs3):
+    return ExecResult(value=(pc + instr.imm) & MASK32)
+
+
+def _h_jal(instr, pc, rs1, rs2, rs3):
+    return ExecResult(value=(pc + 4) & MASK32, taken=True,
+                      target=(pc + instr.imm) & MASK32)
+
+
+def _h_jalr(instr, pc, rs1, rs2, rs3):
+    return ExecResult(value=(pc + 4) & MASK32, taken=True,
+                      target=(rs1 + instr.imm) & MASK32 & ~1)
+
+
+def _h_csr(instr, pc, rs1, rs2, rs3):
+    return ExecResult(csr=instr.csr)
+
+
+def _h_nop(instr, pc, rs1, rs2, rs3):
+    return ExecResult()
+
+
+_HANDLERS = {}
+for _mnem, _op in _ALU_OPS.items():
+    _HANDLERS[_mnem] = _h_alu(_op)
+for _mnem, _base in _ALU_IMM.items():
+    _HANDLERS[_mnem] = _h_alu_imm(_ALU_OPS[_base])
+for _mnem, _op in _BRANCH_OPS.items():
+    _HANDLERS[_mnem] = _h_branch(_op)
+for _mnem, _size in _LOAD_SIZES.items():
+    _HANDLERS[_mnem] = _h_load(_size, _mnem in _LOAD_SIGNED)
+for _mnem, _size in _STORE_SIZES.items():
+    _HANDLERS[_mnem] = _h_store(_size)
+for _mnem, _fp in _FP_BINARY.items():
+    _HANDLERS[_mnem] = _h_fp_binary(_fp)
+for _mnem, _fp in _FP_FMA.items():
+    _HANDLERS[_mnem] = _h_fp_fma(_fp)
+for _mnem, _fp in _FP_UNARY.items():
+    _HANDLERS[_mnem] = _h_fp_unary(_fp)
+_HANDLERS["lui"] = _h_lui
+_HANDLERS["auipc"] = _h_auipc
+_HANDLERS["jal"] = _h_jal
+_HANDLERS["jalr"] = _h_jalr
+for _mnem in ("csrrw", "csrrs", "csrrc", "csrrwi", "csrrsi", "csrrci"):
+    _HANDLERS[_mnem] = _h_csr
+for _mnem in ("fence", "ecall", "ebreak", "simt_s", "simt_e"):
+    _HANDLERS[_mnem] = _h_nop
+del _mnem, _op, _base, _size, _fp
+
+
+def handler_for(mnemonic):
+    """The execute thunk for ``mnemonic`` (used by the decoder to bind
+    handlers at decode time), or None for unknown mnemonics."""
+    return _HANDLERS.get(mnemonic)
+
+
 def compute(instr, pc, rs1=0, rs2=0, rs3=0):
     """Evaluate ``instr`` with operand values ``rs1``/``rs2``/``rs3``.
 
     Operand values are 32-bit unsigned patterns (FP registers carry
     their raw bit pattern). Returns an :class:`ExecResult`.
     """
-    mnem = instr.mnemonic
-    imm = instr.imm
-
-    op = _ALU_OPS.get(mnem)
-    if op is not None:
-        return ExecResult(value=op(rs1, rs2))
-    base = _ALU_IMM.get(mnem)
-    if base is not None:
-        # Each ALU lambda masks its operands, so the sign-extended
-        # immediate can be passed directly (sltiu then compares the
-        # masked pattern unsigned, per spec).
-        return ExecResult(value=_ALU_OPS[base](rs1, imm))
-    if mnem in _BRANCH_OPS:
-        taken = _BRANCH_OPS[mnem](rs1 & MASK32, rs2 & MASK32)
-        return ExecResult(taken=taken, target=(pc + imm) & MASK32)
-    if mnem == "lui":
-        return ExecResult(value=imm & MASK32)
-    if mnem == "auipc":
-        return ExecResult(value=(pc + imm) & MASK32)
-    if mnem == "jal":
-        return ExecResult(value=(pc + 4) & MASK32, taken=True,
-                          target=(pc + imm) & MASK32)
-    if mnem == "jalr":
-        return ExecResult(value=(pc + 4) & MASK32, taken=True,
-                          target=(rs1 + imm) & MASK32 & ~1)
-    size = _LOAD_SIZES.get(mnem)
-    if size is not None:
-        return ExecResult(mem_addr=(rs1 + imm) & MASK32, mem_size=size,
-                          mem_signed=mnem in _LOAD_SIGNED)
-    size = _STORE_SIZES.get(mnem)
-    if size is not None:
-        return ExecResult(mem_addr=(rs1 + imm) & MASK32, mem_size=size,
-                          store_value=rs2 & MASK32)
-    fp = _FP_BINARY.get(mnem)
-    if fp is not None:
-        return ExecResult(value=fp(rs1, rs2))
-    fp = _FP_FMA.get(mnem)
-    if fp is not None:
-        return ExecResult(value=fp(rs1, rs2, rs3))
-    fp = _FP_UNARY.get(mnem)
-    if fp is not None:
-        return ExecResult(value=fp(rs1))
-    if mnem.startswith("csr"):
-        return ExecResult(csr=instr.csr)
-    if mnem in ("fence", "ecall", "ebreak", "simt_s", "simt_e"):
-        return ExecResult()
-    raise NotImplementedError(f"no semantics for '{mnem}'")
+    try:
+        handler = instr._handler
+    except AttributeError:
+        handler = _HANDLERS.get(instr.mnemonic)
+        if handler is None:
+            raise NotImplementedError(
+                f"no semantics for '{instr.mnemonic}'") from None
+        # Bind for next time: assembled Instructions (no decode step)
+        # pay the dict lookup once, decoded ones come pre-bound.
+        instr._handler = handler
+    return handler(instr, pc, rs1, rs2, rs3)
 
 
 def finish_load(instr, raw):

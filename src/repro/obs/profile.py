@@ -44,8 +44,13 @@ class PhaseProfiler:
 
 
 def export_throughput(registry, cycles, instructions, run_seconds,
-                      events_emitted=0):
-    """Register the simulator-throughput gauges under ``sim.host``."""
+                      events_emitted=0, ff_skips=0, ff_skipped_cycles=0):
+    """Register the simulator-throughput gauges under ``sim.host``.
+
+    The fast-forward counts live here (not under ``core.*``) because
+    they describe how the *host* executed the run, and a ticked run
+    must stay byte-identical to a skipping one in the deterministic
+    view — ``sim.host.*`` is exactly the stripped namespace."""
     registry.set("sim.host.run_seconds", run_seconds,
                  desc="wall-clock seconds inside the engine run loop")
     rate = 1.0 / run_seconds if run_seconds > 0 else 0.0
@@ -53,5 +58,11 @@ def export_throughput(registry, cycles, instructions, run_seconds,
                  desc="simulated cycles per host second")
     registry.set("sim.host.instructions_per_sec", instructions * rate,
                  desc="retired instructions per host second")
+    registry.set("sim.host.kips", instructions * rate / 1000.0,
+                 desc="retired kilo-instructions per host second")
     registry.set("sim.host.events_per_sec", events_emitted * rate,
                  desc="trace events emitted per host second")
+    registry.set("sim.host.ff_skips", ff_skips,
+                 desc="fast-forward jumps taken")
+    registry.set("sim.host.ff_skipped_cycles", ff_skipped_cycles,
+                 desc="simulated cycles covered by fast-forward jumps")

@@ -133,6 +133,62 @@ class TestWatchdog:
 
 
 # ===================================================================
+# Fast-forward gating
+# ===================================================================
+
+class TestFastForwardGating:
+    """Per-cycle observers (fault hooks, event tracers) and a disabled
+    watchdog must force event-driven cycle skipping off, so campaigns
+    and traces see every stepped cycle (docs/PERFORMANCE.md)."""
+
+    SRC = """
+        li t0, 0
+        li t1, 50
+    loop:
+        addi t0, t0, 1
+        blt t0, t1, loop
+        ebreak
+    """
+
+    def test_observers_force_skip_off(self):
+        program = assemble(self.SRC)
+        assert DiAGProcessor(F4C2, program).rings[0].ff_setup()
+
+        hooked = DiAGProcessor(F4C2, program).rings[0]
+        FaultInjector(spec=None).attach(hooked, hooked.hierarchy)
+        assert not hooked.ff_setup()
+
+        from repro.obs import EventTracer
+        traced = DiAGProcessor(F4C2, program, tracer=EventTracer())
+        assert not traced.rings[0].ff_setup()
+
+        no_dog = F4C2.with_overrides(watchdog_window=0)
+        assert not DiAGProcessor(no_dog, program).rings[0].ff_setup()
+
+        off = F4C2.with_overrides(fast_forward=False)
+        assert not DiAGProcessor(off, program).rings[0].ff_setup()
+
+        core = OoOCore(OoOConfig(), program)
+        assert core.ff_setup()
+        FaultInjector(spec=None).attach(core, core.hierarchy)
+        assert not core.ff_setup()
+
+    def test_gated_run_takes_no_skips_and_matches(self):
+        from repro.obs import EventTracer
+
+        program = assemble(self.SRC)
+        plain_proc = DiAGProcessor(F4C2, program)
+        plain = plain_proc.run()
+        traced_proc = DiAGProcessor(F4C2, program, tracer=EventTracer())
+        traced = traced_proc.run()
+        assert plain.halted and traced.halted
+        assert sum(r.ff_skips for r in plain_proc.rings) > 0
+        assert sum(r.ff_skips for r in traced_proc.rings) == 0
+        assert traced.cycles == plain.cycles
+        assert traced.instructions == plain.instructions
+
+
+# ===================================================================
 # Injector
 # ===================================================================
 

@@ -170,6 +170,45 @@ def test_property_branch_roundtrip(imm):
     assert back.imm == imm
 
 
+class TestDecodeMemoization:
+    """decode() is memoized by word but must hand out *independent*
+    Instruction objects — the engines mutate them in place."""
+
+    WORD = 0x002081B3  # add x3, x1, x2
+
+    def test_repeat_decodes_are_independent_objects(self):
+        first = decode(self.WORD)
+        second = decode(self.WORD)
+        assert first is not second
+        first.rd = 31
+        first.mnemonic = "mutated"
+        assert second.rd == 3
+        assert second.mnemonic == "add"
+        assert decode(self.WORD).rd == 3
+
+    def test_addr_is_per_call(self):
+        assert decode(self.WORD, addr=0x100).addr == 0x100
+        assert decode(self.WORD, addr=0x200).addr == 0x200
+        assert decode(self.WORD).addr is None
+
+    def test_negative_cache_still_raises(self):
+        for __ in range(2):  # second call hits the negative cache
+            with pytest.raises(DecodeError):
+                decode(0x0000007F)
+
+    def test_decoded_instruction_pickles(self):
+        import pickle
+
+        from repro.iss.semantics import compute
+
+        instr = decode(self.WORD, addr=0x40)
+        compute(instr, 0, 1, 2)  # ensure the execute thunk is bound
+        clone = pickle.loads(pickle.dumps(instr))
+        assert clone.mnemonic == "add" and clone.addr == 0x40
+        # Handler (a closure, stripped on pickle) rebinds lazily.
+        assert compute(clone, 0, 5, 7).value == 12
+
+
 class TestInstructionProperties:
     def test_sources_elide_x0(self):
         instr = decode(encode(Instruction("add", rd=1, rs1=0, rs2=2)))
