@@ -219,6 +219,13 @@ class OoOCore:
         self.csrs = {}
         #: optional callable(addr, instr) invoked at each retirement
         self.retire_hook = None
+        #: optional callable(entry) invoked right after _commit applies
+        #: an entry's architectural effects (repro.verify lockstep).
+        #: Retirements never occur inside a fast-forward span, so this
+        #: hook is FF-safe and deliberately absent from ff_setup().
+        self.commit_hook = None
+        #: (addr, mnemonic) of the most recent commit, for hang reports
+        self._last_commit = None
         #: optional FaultInjector (repro.faults): routed through at each
         #: value-producing site ("rob" results, "regfile" commits)
         self.fault_hook = None
@@ -278,6 +285,11 @@ class OoOCore:
             if self._fetch_blocked is not None else None,
             "pending_stores": len(self.pending_stores),
             "blocked_loads": len(self._blocked_loads),
+            "last_commit": "%s@%#x" % (self._last_commit[1],
+                                       self._last_commit[0])
+            if self._last_commit is not None else None,
+            "arch_pc": hex(self._arch_pc())
+            if self._arch_pc() is not None else None,
         }
         if self.rob:
             head = self.rob[0]
@@ -285,6 +297,15 @@ class OoOCore:
                              f"state={head.state}")
             state["head_pending_producers"] = head.pending_producers
         return state
+
+    def _arch_pc(self):
+        """Address of the oldest unretired instruction (the point the
+        architectural state has reached), or the fetch PC when the ROB
+        holds nothing live."""
+        for entry in self.rob:
+            if entry.state != _RobEntry.SQUASHED:
+                return entry.addr
+        return self.fetch_pc
 
     def post_interrupt(self, vector):
         """Request a precise interrupt (taken at the next cycle)."""
@@ -634,10 +655,20 @@ class OoOCore:
                 self._blocked_loads.append(entry)
 
     def _source_values(self, entry):
+        """Operand values aligned to the (rs1, rs2, rs3) slots.
+
+        ``entry.sources`` (the wired producer links) elides x0 reads,
+        so the resolved values are zipped back into slot positions via
+        ``source_slots``; elided slots read the hard-wired zero.  The
+        trailing simt pseudo-dependency (regfile None) is never
+        consumed: only as many links exist as non-None slots."""
+        resolved = iter(entry.sources)
         values = []
-        for regfile, index, producer in entry.sources:
-            if regfile is None:
+        for slot in entry.instr.source_slots:
+            if slot is None:
+                values.append(0)
                 continue
+            regfile, index, producer = next(resolved)
             if producer is not None:
                 values.append(producer.value if producer.value is not None
                               else 0)
@@ -862,6 +893,9 @@ class OoOCore:
             if head.state != _RobEntry.DONE:
                 break
             self._commit(head)
+            self._last_commit = (head.addr, head.instr.mnemonic)
+            if self.commit_hook is not None:
+                self.commit_hook(head)
             if self.retire_hook is not None:
                 self.retire_hook(head.addr, head.instr)
             if self.tracer is not None:

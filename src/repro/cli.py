@@ -11,6 +11,8 @@ Commands:
 * ``sweep <knob> <workload>``   — design-space sensitivity sweep
 * ``faults [workload]``         — transient fault-injection campaign
 * ``cache stats|clear|verify``  — administer the on-disk run cache
+* ``verify lockstep|torture|shrink|corpus`` — differential lockstep
+  verification against the ISS golden model (docs/VERIFICATION.md)
 
 ``sweep`` and ``faults`` accept ``--jobs N`` (or the ``REPRO_JOBS``
 environment variable) to shard runs across worker processes; output is
@@ -283,6 +285,112 @@ def _cmd_fpga(args):
     return 0 if report.all_passed else 1
 
 
+def _verify_lockstep(args):
+    from repro.core.watchdog import SimulationHang
+    from repro.verify import Divergence, run_lockstep
+    from repro.workloads import all_workloads, get_workload
+
+    if args.workload not in all_workloads():
+        print(f"unknown workload '{args.workload}'; one of: "
+              f"{', '.join(sorted(all_workloads()))}", file=sys.stderr)
+        return 2
+    inst = get_workload(args.workload)().build(scale=args.scale)
+    machines = ("diag", "ooo") if args.machine == "both" \
+        else (args.machine,)
+    failed = False
+    for machine in machines:
+        config = args.config if machine == "diag" else None
+        try:
+            result = run_lockstep(
+                inst.program, machine=machine, config=config,
+                fast_forward=not args.no_fast_forward,
+                max_cycles=args.max_cycles, setup=inst.setup)
+        except Divergence as exc:
+            print(f"{machine:5s} DIVERGED\n{exc}")
+            failed = True
+            continue
+        except SimulationHang as exc:
+            print(f"{machine:5s} HUNG: {exc}")
+            failed = True
+            continue
+        print(f"{machine:5s} lockstep ok: {result.retired} retired / "
+              f"{result.cycles} cycles, state identical at every "
+              f"commit")
+    return 1 if failed else 0
+
+
+def _verify_torture(args):
+    from repro.verify import run_torture
+    from repro.verify.campaign import shrink_failures
+
+    machines = ("diag", "ooo") if args.machine == "both" \
+        else (args.machine,)
+    ff_modes = {"both": (True, False), "on": (True,),
+                "off": (False,)}[args.ff]
+    simt_modes = {"both": (False, True), "on": (True,),
+                  "off": (False,)}[args.simt]
+    report = run_torture(args.seed, args.count, machines=machines,
+                         ff_modes=ff_modes, simt_modes=simt_modes,
+                         ops=args.ops, jobs=args.jobs,
+                         max_cycles=args.max_cycles)
+    print(f"torture seed={args.seed}: {report.summary()}")
+    for outcome in report.failures[:10]:
+        print(f"--- {outcome.spec.workload} [{outcome.status}]")
+        print("\n".join(outcome.detail.splitlines()[:12]))
+    if report.failures and args.shrink:
+        for path in shrink_failures(report):
+            print(f"shrunk reproducer written: {path}")
+    return 0 if report.ok else 1
+
+
+def _verify_shrink(args):
+    from repro.verify import generate, shrink_program, write_reproducer
+    from repro.verify.campaign import SEED_STRIDE, SIMT_CONFIG
+    from repro.verify.shrink import CORPUS_DIR, divergence_predicate
+
+    program_seed = args.seed * SEED_STRIDE + args.index
+    program = generate(program_seed, ops=args.ops, simt=args.simt)
+    config = SIMT_CONFIG if args.simt else "F4C2"
+    predicate = divergence_predicate(
+        args.machine, config=config,
+        fast_forward=not args.no_fast_forward)
+    if not predicate(program):
+        print(f"seed {args.seed} index {args.index} does not diverge "
+              f"on {args.machine}; nothing to shrink")
+        return 1
+    shrunk = shrink_program(program, predicate)
+    path = write_reproducer(args.out or CORPUS_DIR, shrunk,
+                            args.machine, config=config,
+                            fast_forward=not args.no_fast_forward)
+    print(f"{len(program.ops)} -> {len(shrunk.ops)} op groups; "
+          f"wrote {path}")
+    return 0
+
+
+def _verify_corpus(args):
+    from repro.verify.shrink import CORPUS_DIR, replay_corpus
+
+    directory = args.dir or CORPUS_DIR
+    results = replay_corpus(directory)
+    if not results:
+        print(f"no corpus files under {directory}")
+        return 0
+    failures = [r for r in results if r[3] is not None]
+    for path, machine, ff, error in failures:
+        print(f"FAIL {path} [{machine}, ff={'on' if ff else 'off'}]")
+        print("\n".join(str(error).splitlines()[:8]))
+    print(f"corpus: {len(results)} replays, "
+          f"{len(failures)} failures")
+    return 1 if failures else 0
+
+
+def _cmd_verify(args):
+    return {"lockstep": _verify_lockstep,
+            "torture": _verify_torture,
+            "shrink": _verify_shrink,
+            "corpus": _verify_corpus}[args.action](args)
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -375,6 +483,61 @@ def build_parser():
     cache_p.add_argument("--dir", default=None, metavar="PATH",
                          help="cache directory (default: the active "
                               "REPRO_DISK_CACHE location)")
+
+    verify_p = sub.add_parser(
+        "verify", help="differential lockstep verification against the "
+                       "ISS golden model (docs/VERIFICATION.md)")
+    verify_sub = verify_p.add_subparsers(dest="action", required=True)
+
+    vl = verify_sub.add_parser(
+        "lockstep", help="run one workload in lockstep with the ISS")
+    vl.add_argument("workload")
+    vl.add_argument("--machine", default="both",
+                    choices=("both", "diag", "ooo"))
+    vl.add_argument("--config", default="F4C2",
+                    choices=("I4C2", "F4C2", "F4C16", "F4C32"))
+    vl.add_argument("--scale", type=float, default=0.25)
+    vl.add_argument("--max-cycles", type=int, default=None)
+    vl.add_argument("--no-fast-forward", action="store_true")
+
+    vt = verify_sub.add_parser(
+        "torture", help="constrained-random torture campaign "
+                        "(machine x FF x SIMT matrix)")
+    vt.add_argument("--seed", type=int, default=0)
+    vt.add_argument("--count", type=int, default=50,
+                    help="programs per matrix cell row (default 50)")
+    vt.add_argument("--ops", type=int, default=40,
+                    help="op groups per program (default 40)")
+    vt.add_argument("--machine", default="both",
+                    choices=("both", "diag", "ooo"))
+    vt.add_argument("--ff", default="both", choices=("both", "on", "off"),
+                    help="fast-forward modes to cover (default both)")
+    vt.add_argument("--simt", default="both",
+                    choices=("both", "on", "off"),
+                    help="SIMT-region program modes (default both)")
+    vt.add_argument("--max-cycles", type=int, default=400_000)
+    vt.add_argument("--shrink", action="store_true",
+                    help="ddmin any diverging program into "
+                         "tests/regressions/")
+    add_jobs_opt(vt)
+
+    vs = verify_sub.add_parser(
+        "shrink", help="shrink one diverging torture cell to a minimal "
+                       "reproducer")
+    vs.add_argument("--seed", type=int, required=True,
+                    help="campaign base seed of the failing cell")
+    vs.add_argument("--index", type=int, default=0)
+    vs.add_argument("--machine", default="diag",
+                    choices=("diag", "ooo"))
+    vs.add_argument("--ops", type=int, default=40)
+    vs.add_argument("--simt", action="store_true")
+    vs.add_argument("--no-fast-forward", action="store_true")
+    vs.add_argument("--out", default=None, metavar="DIR",
+                    help="corpus directory (default tests/regressions)")
+
+    vc = verify_sub.add_parser(
+        "corpus", help="replay every reproducer in tests/regressions/")
+    vc.add_argument("--dir", default=None, metavar="DIR")
     return parser
 
 
@@ -390,6 +553,7 @@ def main(argv=None):
         "sweep": _cmd_sweep,
         "faults": _cmd_faults,
         "cache": _cmd_cache,
+        "verify": _cmd_verify,
     }[args.command]
     try:
         return handler(args)

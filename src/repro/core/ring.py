@@ -103,6 +103,13 @@ class RingEngine:
         #: optional callable(addr, instr) invoked at each retirement,
         #: in program order (test/trace hook)
         self.retire_hook = None
+        #: optional callable(entry) invoked right after _commit applies
+        #: an entry's architectural effects (repro.verify lockstep).
+        #: Retirements never occur inside a fast-forward span, so this
+        #: hook is FF-safe and deliberately absent from ff_setup().
+        self.commit_hook = None
+        #: (addr, mnemonic) of the most recent commit, for hang reports
+        self._last_commit = None
         #: optional FaultInjector (repro.faults): routed through at each
         #: value-producing site ("pe" results, "lane" commits)
         self.fault_hook = None
@@ -161,6 +168,11 @@ class RingEngine:
             "resident_clusters": self._resident_count,
             "pending_stores": len(self.pending_stores),
             "blocked_loads": len(self._blocked_loads),
+            "last_commit": "%s@%#x" % (self._last_commit[1],
+                                       self._last_commit[0])
+            if self._last_commit is not None else None,
+            "arch_pc": hex(self._arch_pc())
+            if self._arch_pc() is not None else None,
         }
         if self.window:
             head = self.window[0]
@@ -169,6 +181,17 @@ class RingEngine:
             state["head_blocked_on"] = repr(head.blocked_on) \
                 if head.blocked_on is not None else None
         return state
+
+    def _arch_pc(self):
+        """Address of the oldest uncommitted instruction (the point the
+        architectural state has reached), or the fetch/arm PC when the
+        window holds nothing live."""
+        for entry in self.window:
+            if entry.state not in (PEState.SQUASHED, PEState.DISABLED):
+                return entry.addr
+        if self._arm_pending is not None:
+            return self._arm_pending[2]
+        return self.next_fetch_pc
 
     def step(self):
         """Advance one cycle."""
@@ -681,10 +704,20 @@ class RingEngine:
         return used < 1
 
     def _source_values(self, entry):
+        """Operand values aligned to the (rs1, rs2, rs3) slots.
+
+        ``entry.sources`` (the wired producer links) elides x0 reads,
+        so the resolved values are zipped back into slot positions via
+        ``source_slots``; elided slots read the hard-wired zero.  The
+        trailing simt pseudo-dependency (regfile None) is never
+        consumed: only as many links exist as non-None slots."""
+        resolved = iter(entry.sources)
         values = []
-        for regfile, index, producer in entry.sources:
-            if regfile is None:
-                continue  # pseudo-dependency (simt pairing)
+        for slot in entry.instr.source_slots:
+            if slot is None:
+                values.append(0)
+                continue
+            regfile, index, producer = next(resolved)
             if producer is not None:
                 values.append(producer.value if producer.value is not None
                               else 0)
@@ -1044,6 +1077,9 @@ class RingEngine:
             if head.state is not PEState.DONE:
                 break
             self._commit(head)
+            self._last_commit = (head.addr, head.instr.mnemonic)
+            if self.commit_hook is not None:
+                self.commit_hook(head)
             if self.retire_hook is not None:
                 self.retire_hook(head.addr, head.instr)
             if self.tracer is not None:

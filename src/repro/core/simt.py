@@ -304,10 +304,10 @@ class SimtExecutor:
 
     def _execute(self, context, instr, addr, start, lsu_key=None):
         """Functional + timing execution of one instruction."""
-        values = [context.read(rf, idx) for rf, idx in instr.sources]
-        rs1 = values[0] if values else 0
-        rs2 = values[1] if len(values) > 1 else 0
-        rs3 = values[2] if len(values) > 2 else 0
+        # source_slots aligns operands positionally (instr.sources
+        # elides x0 reads; elided slots read the hard-wired zero)
+        rs1, rs2, rs3 = (context.read(*slot) if slot is not None else 0
+                         for slot in instr.source_slots)
         result = compute(instr, addr, rs1, rs2, rs3)
         if result.mem_addr is not None:
             if result.store_value is not None:

@@ -71,6 +71,11 @@ class TrialResult:
     cycles: int = 0
     retired: int = 0
     error: str = None
+    #: architectural point a hang was stuck at, from the watchdog's
+    #: head-state snapshot: the address the committed state has reached
+    #: and the last committed (addr, mnemonic) before progress stopped
+    arch_pc: str = None
+    last_commit: str = None
 
 
 @dataclass
@@ -113,6 +118,14 @@ class CampaignReport:
             count = self.counts[outcome]
             lines.append(f"    {outcome:10s} {count:4d}  "
                          f"({100.0 * count / total:5.1f}%)")
+        for trial in self.trials:
+            if trial.outcome == "hang" and (trial.arch_pc
+                                            or trial.last_commit):
+                lines.append(
+                    f"    first hang stuck at {trial.arch_pc or '?'} "
+                    f"(last commit: {trial.last_commit or 'none'}, "
+                    f"{trial.retired} retired)")
+                break
         return "\n".join(lines)
 
 
@@ -185,9 +198,13 @@ def _classify(machine, config, program, inst, spec, max_cycles,
             machine, config, program, inst, injector, max_cycles)
     except SimulationHang as exc:
         # the watchdog's progress marker IS the retired-instruction
-        # counter; the head-state dump carries its final value
+        # counter; the head-state dump carries its final value plus
+        # the architectural snapshot (where the committed state got
+        # stuck, and on what) that makes a torture hang actionable
         return TrialResult(spec, "hang", cycles=exc.cycle,
                            retired=exc.head_state.get("retired", 0),
+                           arch_pc=exc.head_state.get("arch_pc"),
+                           last_commit=exc.head_state.get("last_commit"),
                            error=str(exc))
     except Exception as exc:  # engine raised: the fault was detected
         return TrialResult(spec, "detected",

@@ -74,8 +74,16 @@ class RunSpec:
 
 
 def execute_spec(spec):
-    """Run one :class:`RunSpec` in this process (cache-aware); the
-    pool's worker entry point, but equally the serial path."""
+    """Run one spec in this process; the pool's worker entry point,
+    but equally the serial path.
+
+    Any picklable spec object exposing ``.execute()`` (e.g.
+    :class:`repro.verify.campaign.TortureSpec`) runs through the same
+    pool/degradation machinery as a :class:`RunSpec`."""
+    execute = getattr(spec, "execute", None)
+    if callable(execute):
+        return execute()
+
     from repro.harness.runner import run_baseline, run_diag
 
     if spec.machine == "diag":

@@ -297,6 +297,29 @@ class Instruction:
         return out
 
     @property
+    def source_slots(self):
+        """The (rs1, rs2, rs3) operand slots, positionally aligned.
+
+        Each element is a (regfile, index) pair, or None when the slot
+        is unused or reads the hard-wired zero register.  The non-None
+        elements appear in exactly the order :attr:`sources` lists
+        them, so an engine that wired its dependencies from ``sources``
+        (which elides x0) can zip resolved values back into slot
+        positions, substituting zero for the elided slots — reading
+        ``sources`` positionally as rs1/rs2/rs3 misassigns operands
+        whenever rs1 or rs2 is x0 (e.g. ``sub rd, x0, rs``)."""
+        info = self.info
+        slots = []
+        for regfile, index in ((info.rs1_file, self.rs1),
+                               (info.rs2_file, self.rs2),
+                               (info.rs3_file, self.rs3)):
+            if regfile is None or (regfile == "x" and index == 0):
+                slots.append(None)
+            else:
+                slots.append((regfile, index))
+        return slots
+
+    @property
     def dest(self):
         """Register written, as a (regfile, index) pair, or None."""
         info = self.info

@@ -287,8 +287,13 @@ def compute(instr, pc, rs1=0, rs2=0, rs3=0):
 
 
 def finish_load(instr, raw):
-    """Convert raw loaded bytes (as unsigned int) to the register value."""
+    """Convert raw loaded bytes (as unsigned int) to the register value.
+
+    ``raw`` may be wider than the access (store→load forwarding hands
+    over the full store register, not the memory image), so it is
+    truncated to the load size before extension."""
     size = _LOAD_SIZES[instr.mnemonic]
+    raw &= (1 << (size * 8)) - 1
     if instr.mnemonic in _LOAD_SIGNED:
         sign = 1 << (size * 8 - 1)
         raw = ((raw & (sign - 1)) - (raw & sign)) & MASK32

@@ -1,0 +1,27 @@
+"""Differential verification layer (docs/VERIFICATION.md).
+
+Cross-checks the two timing engines (DiAG ring, OoO baseline) against
+the sequential ISS golden model:
+
+* :mod:`repro.verify.lockstep` — co-simulation oracle comparing
+  committed architectural state at every retirement boundary.
+* :mod:`repro.verify.torture` — constrained-random RV32IMF program
+  generator (riscv-torture style, seeded and deterministic).
+* :mod:`repro.verify.shrink` — ddmin delta-debugger producing minimal
+  reproducers in ``tests/regressions/``.
+* :mod:`repro.verify.campaign` — parallel torture campaigns through
+  the :mod:`repro.harness.parallel` pool.
+"""
+
+from repro.verify.lockstep import Divergence, LockstepResult, run_lockstep
+from repro.verify.torture import TortureProgram, generate
+from repro.verify.shrink import ddmin, shrink_program, write_reproducer
+from repro.verify.campaign import (TortureOutcome, TortureSpec,
+                                   build_specs, run_torture)
+
+__all__ = [
+    "Divergence", "LockstepResult", "run_lockstep",
+    "TortureProgram", "generate",
+    "ddmin", "shrink_program", "write_reproducer",
+    "TortureOutcome", "TortureSpec", "build_specs", "run_torture",
+]

@@ -1,0 +1,186 @@
+"""Parallel torture campaigns over the machine × FF × SIMT matrix.
+
+A campaign expands a base seed into ``count`` deterministic program
+seeds and runs each program under lockstep on every requested
+combination of engine, fast-forward mode and SIMT mode.  Each cell is
+a picklable :class:`TortureSpec` exposing ``.execute()``, so the whole
+batch rides the existing :func:`repro.harness.parallel.run_specs`
+pool (worker watchdogs, graceful serial degradation, ``--jobs`` /
+``REPRO_JOBS`` resolution) unchanged.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.asm.assembler import assemble
+from repro.core.watchdog import SimulationHang
+from repro.verify.lockstep import Divergence, run_lockstep
+from repro.verify.torture import generate
+
+#: per-index spread keeping program seeds disjoint across indices
+#: while remaining a pure function of (base seed, index)
+SEED_STRIDE = 1_000_003
+
+#: SIMT programs run on a many-cluster preset so the ring actually
+#: pipelines the region (F4C2 falls back to sequential execution)
+SIMT_CONFIG = "F4C16"
+
+
+@dataclass(frozen=True)
+class TortureSpec:
+    """One torture cell: (program seed, engine, FF mode, SIMT mode)."""
+
+    seed: int                 # campaign base seed
+    index: int                # program index within the campaign
+    machine: str              # "diag" | "ooo"
+    ff: bool = True
+    simt: bool = False
+    ops: int = 40
+    config: str = "F4C2"
+    max_cycles: int = 400_000
+
+    @property
+    def program_seed(self):
+        return self.seed * SEED_STRIDE + self.index
+
+    @property
+    def workload(self):
+        """Display name (run_specs quotes it in degradation warnings)."""
+        return (f"torture[s{self.seed}i{self.index}:{self.machine}"
+                f":ff={'on' if self.ff else 'off'}"
+                f":simt={'on' if self.simt else 'off'}]")
+
+    def program(self):
+        return generate(self.program_seed, ops=self.ops, simt=self.simt)
+
+    def execute(self):
+        """Run this cell; returns a picklable :class:`TortureOutcome`."""
+        program = self.program()
+        try:
+            assembled = assemble(program.source)
+        except Exception as exc:
+            return TortureOutcome(spec=self, status="asm-error",
+                                  detail=str(exc))
+        try:
+            result = run_lockstep(assembled, machine=self.machine,
+                                  config=self.config,
+                                  fast_forward=self.ff,
+                                  max_cycles=self.max_cycles)
+        except Divergence as exc:
+            return TortureOutcome(spec=self, status="divergence",
+                                  detail=str(exc), kind=exc.kind)
+        except SimulationHang as exc:
+            return TortureOutcome(spec=self, status="hang",
+                                  detail=str(exc))
+        except Exception as exc:
+            return TortureOutcome(
+                spec=self, status="error",
+                detail=f"{type(exc).__name__}: {exc}")
+        return TortureOutcome(spec=self, status="ok",
+                              retired=result.retired,
+                              cycles=result.cycles)
+
+
+@dataclass
+class TortureOutcome:
+    """Result of one cell (strings only: crosses process boundaries)."""
+
+    spec: TortureSpec
+    status: str               # ok | divergence | hang | error | asm-error
+    detail: str = ""
+    kind: str = None          # Divergence.kind when status=divergence
+    retired: int = 0
+    cycles: int = 0
+
+    @property
+    def ok(self):
+        return self.status == "ok"
+
+
+@dataclass
+class TortureReport:
+    """Aggregate of one campaign."""
+
+    outcomes: list = field(default_factory=list)
+
+    @property
+    def failures(self):
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def ok(self):
+        return not self.failures
+
+    def counts(self):
+        out = {}
+        for outcome in self.outcomes:
+            out[outcome.status] = out.get(outcome.status, 0) + 1
+        return out
+
+    def summary(self):
+        counts = self.counts()
+        total = len(self.outcomes)
+        parts = [f"{total} cells"] + [f"{k}={v}"
+                                      for k, v in sorted(counts.items())]
+        return ", ".join(parts)
+
+
+def build_specs(seed, count, machines=("diag", "ooo"),
+                ff_modes=(True, False), simt_modes=(False, True),
+                ops=40, max_cycles=400_000):
+    """The campaign matrix, in deterministic order."""
+    specs = []
+    for index in range(count):
+        for simt in simt_modes:
+            config = SIMT_CONFIG if simt else "F4C2"
+            for machine in machines:
+                for ff in ff_modes:
+                    specs.append(TortureSpec(
+                        seed=seed, index=index, machine=machine, ff=ff,
+                        simt=simt, ops=ops, config=config,
+                        max_cycles=max_cycles))
+    return specs
+
+
+def run_torture(seed, count, machines=("diag", "ooo"),
+                ff_modes=(True, False), simt_modes=(False, True),
+                ops=40, jobs=None, max_cycles=400_000):
+    """Run a torture campaign; returns a :class:`TortureReport`."""
+    from repro.harness.parallel import run_specs
+
+    specs = build_specs(seed, count, machines=machines,
+                        ff_modes=ff_modes, simt_modes=simt_modes,
+                        ops=ops, max_cycles=max_cycles)
+    outcomes = run_specs(specs, jobs=jobs)
+    return TortureReport(outcomes=list(outcomes))
+
+
+def shrink_failures(report, out_dir=None, max_shrinks=4):
+    """Shrink the diverging cells of a report into corpus files.
+
+    Deduplicates by (program seed, simt): one reproducer per diverging
+    program, shrunk against the first machine/FF cell that caught it.
+    Returns the written paths."""
+    from repro.verify.shrink import (CORPUS_DIR, divergence_predicate,
+                                     shrink_program, write_reproducer)
+
+    out_dir = out_dir if out_dir is not None else CORPUS_DIR
+    seen, paths = set(), []
+    for outcome in report.failures:
+        if outcome.status != "divergence" or len(paths) >= max_shrinks:
+            continue
+        spec = outcome.spec
+        key = (spec.program_seed, spec.simt)
+        if key in seen:
+            continue
+        seen.add(key)
+        predicate = divergence_predicate(
+            spec.machine, config=spec.config, fast_forward=spec.ff,
+            max_cycles=spec.max_cycles)
+        program = spec.program()
+        if not predicate(program):
+            continue  # not reproducible in-process; skip
+        shrunk = shrink_program(program, predicate)
+        paths.append(write_reproducer(
+            out_dir, shrunk, spec.machine, divergence=outcome.detail,
+            config=spec.config, fast_forward=spec.ff))
+    return paths

@@ -1,0 +1,350 @@
+"""Constrained-random RV32IMF torture-program generator.
+
+riscv-torture style: a seeded :class:`random.Random` draws from
+weighted opcode classes (ALU reg/reg and reg/imm, M-extension
+edge-value sequences, loads/stores, store→load hazard pairs, forward
+branches, bounded count-down loops, forward jumps/calls, FP arithmetic
+and an optional SIMT region) and emits an assembly program that is
+**guaranteed to terminate**: control flow is forward-only except for
+count-down loops with a fixed small trip count and ``simt_s`` regions
+with a small latched bound.
+
+Structure (relied on by the shrinker): the program is a fixed prologue
+(pointer/register/FP initialisation), a sequence of *op groups* — each
+an atomic tuple of assembly lines whose labels are private to the
+group, so any subset of groups still assembles — a fixed epilogue
+(``ebreak``) and a fixed data section.  Dropping groups never breaks
+the rest, which is what makes ddmin shrinking sound.
+
+Constraints that keep the three executors comparable:
+
+* no CSR reads (engines return cycles, the ISS returns instruction
+  counts — a legitimate model difference);
+* loads/stores stay on the ``data``/``scratch`` sections (plus rare
+  absolute ``imm(x0)`` addressing against low memory);
+* SIMT region bodies are def-before-use per iteration and write only
+  per-thread temporaries, matching the paper's requirement that
+  iterations be independent except through the counter register.
+
+``x0`` appears as a source operand with deliberate frequency: operand
+wiring around the zero register is exactly where dataflow engines that
+elide x0 dependencies historically miscompute (see
+tests/regressions/).
+"""
+
+import random
+from dataclasses import dataclass, replace
+
+DATA_WORDS = 64
+SCRATCH_BYTES = 256
+
+#: registers never written by generated ops
+#: s2 = data base, s3 = scratch base, s8/s9 = loop counters,
+#: s10/s11 = simt rc / bound
+_RESERVED = ("s2", "s3", "s8", "s9", "s10", "s11", "sp", "gp", "tp")
+
+INT_POOL = ("t0", "t1", "t2", "t3", "t4", "t5", "t6",
+            "a2", "a3", "a4", "a5", "a6", "a7",
+            "s0", "s1", "s4", "s5", "s6", "s7")
+FP_POOL = ("ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7",
+           "fa0", "fa1", "fa2", "fa3", "fs0", "fs1")
+
+#: architectural edge values (M-extension overflow, shift masking,
+#: sign boundaries)
+EDGE_VALUES = (0, 1, 2, 0xFFFFFFFF, 0xFFFFFFFE, 0x80000000, 0x80000001,
+               0x7FFFFFFF, 0x7FFFFFFE, 31, 32, 33, 0xFFFFFFE3, 0xAAAAAAAA,
+               0x55555555, 0x12345678)
+
+_ALU_RR = ("add", "sub", "and", "or", "xor", "sll", "srl", "sra",
+           "slt", "sltu", "mul", "mulh", "mulhsu", "mulhu",
+           "div", "divu", "rem", "remu")
+_M_OPS = ("mul", "mulh", "mulhsu", "mulhu", "div", "divu", "rem", "remu",
+          "sra", "srl", "sll")
+_ALU_IMM = ("addi", "andi", "ori", "xori", "slti", "sltiu")
+_SHIFT_IMM = ("slli", "srli", "srai")
+_BRANCHES = ("beq", "bne", "blt", "bge", "bltu", "bgeu")
+_FP_RR = ("fadd.s", "fsub.s", "fmul.s", "fdiv.s", "fmin.s", "fmax.s",
+          "fsgnj.s", "fsgnjn.s", "fsgnjx.s")
+_FP_FMA = ("fmadd.s", "fmsub.s", "fnmadd.s", "fnmsub.s")
+_FP_CMP = ("feq.s", "flt.s", "fle.s")
+_LOADS = (("lw", 4), ("lh", 2), ("lhu", 2), ("lb", 1), ("lbu", 1))
+_STORES = (("sw", 4), ("sh", 2), ("sb", 1))
+
+
+@dataclass(frozen=True)
+class TortureProgram:
+    """A generated program, factored for the shrinker."""
+
+    seed: int
+    simt: bool
+    prologue: tuple
+    ops: tuple       # tuple of op groups; each group = tuple of lines
+    epilogue: tuple
+    data: tuple
+
+    @property
+    def source(self):
+        lines = list(self.prologue)
+        for group in self.ops:
+            lines.extend(group)
+        lines.extend(self.epilogue)
+        lines.extend(self.data)
+        return "\n".join(lines) + "\n"
+
+    def with_ops(self, ops):
+        """Same program with a subset/replacement of the op groups."""
+        return replace(self, ops=tuple(tuple(g) for g in ops))
+
+    def __len__(self):
+        return len(self.ops)
+
+
+class _Generator:
+    def __init__(self, seed, simt):
+        self.rng = random.Random(seed)
+        self.simt = simt
+        self.labels = 0
+
+    # ------------------------------------------------------- helpers
+
+    def label(self, stem):
+        self.labels += 1
+        return f"L{stem}_{self.labels}"
+
+    def reg(self, zero_weight=0.0):
+        if zero_weight and self.rng.random() < zero_weight:
+            return "x0"
+        return self.rng.choice(INT_POOL)
+
+    def dst(self):
+        return self.rng.choice(INT_POOL)
+
+    def freg(self):
+        return self.rng.choice(FP_POOL)
+
+    def value(self):
+        r = self.rng.random()
+        if r < 0.4:
+            return self.rng.choice(EDGE_VALUES)
+        if r < 0.7:
+            return self.rng.randrange(0, 256)
+        return self.rng.randrange(0, 1 << 32)
+
+    def imm12(self):
+        return self.rng.randrange(-2048, 2048)
+
+    def offset(self, size, span):
+        return self.rng.randrange(0, span // size) * size
+
+    # ------------------------------------------------------ op classes
+
+    def op_alu_rr(self):
+        return [f"    {self.rng.choice(_ALU_RR)} {self.dst()}, "
+                f"{self.reg(0.12)}, {self.reg(0.12)}"]
+
+    def op_alu_imm(self):
+        if self.rng.random() < 0.3:
+            return [f"    {self.rng.choice(_SHIFT_IMM)} {self.dst()}, "
+                    f"{self.reg(0.1)}, {self.rng.randrange(0, 32)}"]
+        return [f"    {self.rng.choice(_ALU_IMM)} {self.dst()}, "
+                f"{self.reg(0.1)}, {self.imm12()}"]
+
+    def op_lui(self):
+        if self.rng.random() < 0.5:
+            return [f"    lui {self.dst()}, "
+                    f"{self.rng.randrange(0, 1 << 20)}"]
+        return [f"    auipc {self.dst()}, "
+                f"{self.rng.randrange(0, 1 << 20)}"]
+
+    def op_m_edge(self):
+        """Drive an M-extension/shift op with architectural edge values
+        (0x80000000 / -1 overflow, div-by-zero, shamt >= 32)."""
+        a, b = self.dst(), self.dst()
+        lines = [f"    li {a}, {self.rng.choice(EDGE_VALUES):#x}",
+                 f"    li {b}, {self.rng.choice(EDGE_VALUES):#x}"]
+        op = self.rng.choice(_M_OPS)
+        rs2 = "x0" if self.rng.random() < 0.15 else b
+        lines.append(f"    {op} {self.dst()}, {a}, {rs2}")
+        return lines
+
+    def op_load(self):
+        mnem, size = self.rng.choice(_LOADS)
+        if self.rng.random() < 0.06:
+            return [f"    {mnem} {self.dst()}, "
+                    f"{self.offset(size, 128)}(x0)"]
+        base, span = (("s2", DATA_WORDS * 4) if self.rng.random() < 0.7
+                      else ("s3", SCRATCH_BYTES))
+        return [f"    {mnem} {self.dst()}, {self.offset(size, span)}({base})"]
+
+    def op_store(self):
+        mnem, size = self.rng.choice(_STORES)
+        src = self.reg(0.1)
+        if self.rng.random() < 0.06:
+            return [f"    {mnem} {src}, {self.offset(size, 128)}(x0)"]
+        return [f"    {mnem} {src}, "
+                f"{self.offset(size, SCRATCH_BYTES)}(s3)"]
+
+    def op_hazard(self):
+        """Store→load pair engineered to hit the forwarding/blocking
+        paths: exact-match forwarding, partial overlap, or a byte store
+        under a wider load."""
+        word = self.offset(4, SCRATCH_BYTES)
+        src, dst = self.reg(0.08), self.dst()
+        shape = self.rng.random()
+        if shape < 0.4:       # exact match: forwardable
+            mnem, size = self.rng.choice(_STORES)
+            lmnem = {4: "lw", 2: "lhu" if self.rng.random() < 0.5
+                     else "lh", 1: "lbu" if self.rng.random() < 0.5
+                     else "lb"}[size]
+            return [f"    {mnem} {src}, {word}(s3)",
+                    f"    {lmnem} {dst}, {word}(s3)"]
+        if shape < 0.75:      # partial overlap: blocks until drain
+            sub = self.rng.choice(((f"sb {src}, {word + 1}(s3)", "lw"),
+                                   (f"sh {src}, {word + 2}(s3)", "lw"),
+                                   (f"sw {src}, {word}(s3)", "lb"),
+                                   (f"sw {src}, {word}(s3)", "lhu")))
+            return [f"    {sub[0]}",
+                    f"    {sub[1]} {dst}, {word}(s3)"]
+        # store, unrelated op, load back (drained path)
+        return [f"    sw {src}, {word}(s3)",
+                f"    xor {self.dst()}, {self.reg()}, {self.reg()}",
+                f"    lw {dst}, {word}(s3)"]
+
+    def op_branch(self):
+        target = self.label("br")
+        mnem = self.rng.choice(_BRANCHES)
+        lines = [f"    {mnem} {self.reg(0.15)}, {self.reg(0.15)}, "
+                 f"{target}"]
+        for _ in range(self.rng.randrange(1, 3)):
+            lines.append(f"    addi {self.dst()}, {self.reg()}, "
+                         f"{self.imm12()}")
+        lines.append(f"{target}:")
+        return lines
+
+    def op_loop(self):
+        head = self.label("loop")
+        trips = self.rng.randrange(2, 7)
+        lines = [f"    li s8, {trips}", f"{head}:"]
+        for _ in range(self.rng.randrange(1, 4)):
+            lines.append(f"    {self.rng.choice(_ALU_RR)} {self.dst()}, "
+                         f"{self.reg()}, {self.reg()}")
+        lines += ["    addi s8, s8, -1", f"    bne s8, x0, {head}"]
+        return lines
+
+    def op_jump(self):
+        target = self.label("j")
+        link = self.rng.choice(("ra", "x0", self.dst()))
+        lines = [f"    jal {link}, {target}",
+                 f"    addi {self.dst()}, {self.reg()}, 1",
+                 f"{target}:"]
+        return lines
+
+    def op_fp(self):
+        r = self.rng.random()
+        if r < 0.45:
+            return [f"    {self.rng.choice(_FP_RR)} {self.freg()}, "
+                    f"{self.freg()}, {self.freg()}"]
+        if r < 0.6:
+            return [f"    {self.rng.choice(_FP_FMA)} {self.freg()}, "
+                    f"{self.freg()}, {self.freg()}, {self.freg()}"]
+        if r < 0.7:
+            return [f"    {self.rng.choice(_FP_CMP)} {self.dst()}, "
+                    f"{self.freg()}, {self.freg()}"]
+        if r < 0.78:
+            return [f"    fsqrt.s {self.freg()}, {self.freg()}"]
+        if r < 0.86:
+            return [f"    fclass.s {self.dst()}, {self.freg()}"]
+        if r < 0.93:
+            mnem = self.rng.choice(("fcvt.w.s", "fcvt.wu.s", "fmv.x.w"))
+            return [f"    {mnem} {self.dst()}, {self.freg()}"]
+        mnem = self.rng.choice(("fcvt.s.w", "fcvt.s.wu", "fmv.w.x"))
+        return [f"    {mnem} {self.freg()}, {self.reg(0.1)}"]
+
+    def op_fp_mem(self):
+        if self.rng.random() < 0.5:
+            return [f"    flw {self.freg()}, "
+                    f"{self.offset(4, DATA_WORDS * 4)}(s2)"]
+        return [f"    fsw {self.freg()}, "
+                f"{self.offset(4, SCRATCH_BYTES)}(s3)"]
+
+    def op_simt(self):
+        """A pipelineable simt_s..simt_e region.  Bodies are
+        def-before-use per iteration and write only the per-thread
+        temporaries t4-t6/ft6-ft7, so sequential (ISS/OoO) and
+        pipelined (ring) execution agree."""
+        step = self.rng.choice((1, 1, 2))
+        end = self.rng.randrange(3, 11)
+        interval = self.rng.randrange(1, 4)
+        lines = ["    li s10, 0", f"    li s9, {step}",
+                 f"    li s11, {end}",
+                 f"    simt_s s10, s9, s11, {interval}",
+                 "    slli t4, s10, 2",
+                 "    add t4, t4, s3"]
+        defined = ["t4", "s10"]
+        for _ in range(self.rng.randrange(1, 4)):
+            dst = self.rng.choice(("t5", "t6"))
+            lines.append(f"    {self.rng.choice(_ALU_RR)} {dst}, "
+                         f"{self.rng.choice(defined)}, "
+                         f"{self.rng.choice(defined)}")
+            if dst not in defined:
+                defined.append(dst)
+        if self.rng.random() < 0.35:
+            lines += ["    fcvt.s.w ft6, s10",
+                      "    fmul.s ft6, ft6, ft6",
+                      "    fsw ft6, 0(t4)"]
+        else:
+            lines.append(f"    sw {self.rng.choice(defined)}, 0(t4)")
+        lines.append("    simt_e s10, s11")
+        return lines
+
+    # ----------------------------------------------------- generation
+
+    WEIGHTS = (("op_alu_rr", 22), ("op_alu_imm", 16), ("op_lui", 4),
+               ("op_m_edge", 10), ("op_load", 10), ("op_store", 8),
+               ("op_hazard", 9), ("op_branch", 10), ("op_loop", 4),
+               ("op_jump", 4), ("op_fp", 10), ("op_fp_mem", 4))
+
+    def prologue(self):
+        lines = [".text", "main:", "    la s2, data", "    la s3, scratch"]
+        for reg in INT_POOL:
+            lines.append(f"    li {reg}, {self.value():#x}")
+        for i, reg in enumerate(FP_POOL):
+            lines.append(f"    flw {reg}, {(i * 4) % (DATA_WORDS * 4)}(s2)")
+        return lines
+
+    def data(self):
+        words = []
+        for _ in range(DATA_WORDS):
+            if self.rng.random() < 0.5:
+                # plausible float bit patterns keep FP ops interesting
+                words.append(self.rng.choice(
+                    (0x3F800000, 0x40490FDB, 0xBF000000, 0x7F800000,
+                     0xFF800000, 0x7FC00000, 0x00000001, 0x80000000,
+                     0x00800000, 0x7F7FFFFF, 0x3EAAAAAB, 0xC2280000)))
+            else:
+                words.append(self.value())
+        return [".data",
+                "data: .word " + ", ".join(f"{w:#x}" for w in words),
+                f"scratch: .space {SCRATCH_BYTES}"]
+
+    def ops(self, count):
+        names = [name for name, weight in self.WEIGHTS
+                 for _ in range(weight)]
+        groups = [tuple(getattr(self, self.rng.choice(names))())
+                  for _ in range(count)]
+        if self.simt:
+            for _ in range(self.rng.randrange(1, 3)):
+                pos = self.rng.randrange(0, len(groups) + 1)
+                groups.insert(pos, tuple(self.op_simt()))
+        return groups
+
+
+def generate(seed, ops=60, simt=False):
+    """Deterministically generate one torture program."""
+    gen = _Generator(seed, simt)
+    prologue = tuple(gen.prologue())
+    groups = tuple(gen.ops(ops))
+    data = tuple(gen.data())
+    return TortureProgram(seed=seed, simt=simt, prologue=prologue,
+                          ops=groups, epilogue=("    ebreak",),
+                          data=data)

@@ -1,0 +1,49 @@
+"""Replay the shrunk-reproducer corpus (tests/regressions/).
+
+Every ``.s`` file under ``tests/regressions/`` is a minimal program
+that once diverged between a timing engine and the ISS.  After the
+corresponding bugfix each must run divergence-free on *both* engines
+with fast-forward on and off — this is the executable form of the
+repository's verification history.
+"""
+
+import os
+
+import pytest
+
+from repro.asm import assemble
+from repro.verify import run_lockstep
+from repro.verify.shrink import CORPUS_MAGIC, corpus_files, replay_corpus
+
+CORPUS = os.path.join(os.path.dirname(__file__), "regressions")
+
+
+def test_corpus_is_not_empty():
+    assert len(corpus_files(CORPUS)) >= 5
+
+
+def test_corpus_files_are_self_describing():
+    for path in corpus_files(CORPUS):
+        with open(path) as fh:
+            first = fh.readline().rstrip("\n")
+        assert first == CORPUS_MAGIC, f"{path} missing corpus header"
+
+
+@pytest.mark.parametrize("path", corpus_files(CORPUS),
+                         ids=lambda p: os.path.basename(p))
+@pytest.mark.parametrize("machine", ("diag", "ooo"))
+@pytest.mark.parametrize("ff", (True, False), ids=("ff-on", "ff-off"))
+def test_reproducer_is_green(path, machine, ff):
+    with open(path) as fh:
+        program = assemble(fh.read())
+    result = run_lockstep(program, machine=machine, fast_forward=ff,
+                          max_cycles=300_000)
+    assert result.halted
+
+
+def test_replay_corpus_helper_matches():
+    """The CLI/CI replay helper agrees with the per-file tests."""
+    results = replay_corpus(directory=CORPUS)
+    assert results, "corpus replay produced no results"
+    bad = [(p, m, ff, e) for p, m, ff, e in results if e is not None]
+    assert not bad, bad

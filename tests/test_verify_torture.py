@@ -1,0 +1,102 @@
+"""Torture generator and campaign runner tests (repro.verify)."""
+
+import pickle
+
+import pytest
+
+from repro.asm import assemble
+from repro.harness.parallel import run_specs
+from repro.iss.simulator import ISS, HaltReason
+from repro.verify import TortureSpec, build_specs, generate, run_torture
+from repro.verify.campaign import SEED_STRIDE, SIMT_CONFIG, TortureOutcome
+
+
+class TestDeterminism:
+    """Same seed -> identical program bytes (the shrinker, the corpus
+    and CI replays all rest on this)."""
+
+    @pytest.mark.parametrize("simt", (False, True))
+    def test_same_seed_same_bytes(self, simt):
+        a = generate(1234, ops=40, simt=simt)
+        b = generate(1234, ops=40, simt=simt)
+        assert a.source == b.source
+        assert a.source.encode() == b.source.encode()
+
+    def test_different_seeds_differ(self):
+        assert generate(1, ops=40).source != generate(2, ops=40).source
+
+    def test_ops_count_respected(self):
+        program = generate(7, ops=25)
+        assert len(program.ops) == 25
+
+    def test_spec_seed_derivation(self):
+        spec = TortureSpec(seed=3, index=5, machine="diag")
+        assert spec.program_seed == 3 * SEED_STRIDE + 5
+        assert spec.program().source == \
+            generate(spec.program_seed, ops=spec.ops).source
+
+
+class TestGeneratedPrograms:
+    """Every generated program must assemble and terminate on the ISS."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_assembles_and_terminates(self, seed):
+        program = generate(seed, ops=40)
+        iss = ISS(assemble(program.source))
+        reason = iss.run(max_steps=2_000_000)
+        assert reason == HaltReason.EBREAK
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_simt_mode_assembles_and_terminates(self, seed):
+        program = generate(seed, ops=30, simt=True)
+        assert "simt_s" in program.source
+        iss = ISS(assemble(program.source))
+        reason = iss.run(max_steps=2_000_000)
+        assert reason == HaltReason.EBREAK
+
+    def test_with_ops_subset_still_assembles(self):
+        program = generate(11, ops=30)
+        subset = program.with_ops(program.ops[::3])
+        assemble(subset.source)  # private labels keep subsets legal
+
+
+class TestCampaign:
+    def test_matrix_shape_and_order(self):
+        specs = build_specs(seed=0, count=2)
+        # 2 programs x {simt off,on} x {diag,ooo} x {ff on,off}
+        assert len(specs) == 16
+        assert specs[0].index == 0 and specs[-1].index == 1
+        # SIMT cells run on the many-cluster preset
+        for spec in specs:
+            assert spec.config == (SIMT_CONFIG if spec.simt else "F4C2")
+
+    def test_spec_pickles(self):
+        spec = TortureSpec(seed=1, index=2, machine="ooo", ff=False)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.workload == spec.workload
+
+    def test_outcome_pickles(self):
+        outcome = TortureOutcome(
+            spec=TortureSpec(seed=0, index=0, machine="diag"),
+            status="divergence", detail="x", kind="reg")
+        clone = pickle.loads(pickle.dumps(outcome))
+        assert clone.status == "divergence" and not clone.ok
+
+    def test_pooled_campaign_ordered_and_clean(self):
+        specs = build_specs(seed=0, count=2, machines=("diag",),
+                            ff_modes=(True,), simt_modes=(False,),
+                            ops=15)
+        outcomes = run_specs(specs, jobs=2)
+        assert len(outcomes) == len(specs)
+        for spec, outcome in zip(specs, outcomes):
+            assert outcome.spec == spec  # pool preserves order
+            assert outcome.ok, outcome.detail
+
+    def test_run_torture_report(self):
+        report = run_torture(seed=0, count=1, machines=("ooo",),
+                             ff_modes=(True,), simt_modes=(False,),
+                             ops=15, jobs=1)
+        assert report.ok
+        assert report.counts() == {"ok": 1}
+        assert "1 cells" in report.summary()
