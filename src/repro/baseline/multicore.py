@@ -80,7 +80,10 @@ class MulticoreCPU:
     def run(self, max_cycles=None):
         budget = max_cycles if max_cycles is not None \
             else self.config.max_cycles
-        live = list(self.cores)
+        # resume-safe (see DiAGProcessor.run): skip already-halted
+        # cores and continue from the cores' absolute cycle — both
+        # no-ops for a fresh CPU
+        live = [c for c in self.cores if not c.halted]
         # Group fast-forward: lockstep cores may only skip together, to
         # the earliest event of any live core (cores interact solely
         # through the shared hierarchy, which no quiescent core touches
@@ -88,7 +91,7 @@ class MulticoreCPU:
         ff = True
         for core in self.cores:
             ff = core.ff_setup() and ff
-        cycle = 0
+        cycle = max((c.cycle for c in self.cores), default=0)
         while live and cycle < budget:
             for core in live:
                 core.step()
@@ -139,6 +142,19 @@ class MulticoreCPU:
         result.halted = all(c.halted for c in self.cores)
         result.timed_out = not result.halted
         return result
+
+    # ----------------------------------------------------- checkpointing
+
+    def save_state(self, meta=None):
+        """Snapshot all cores + the shared hierarchy/memory into a
+        :class:`repro.checkpoint.Checkpoint` (docs/RESILIENCE.md)."""
+        from repro import checkpoint
+        return checkpoint.save_state(self, meta=meta)
+
+    @classmethod
+    def restore_state(cls, ckpt):
+        from repro import checkpoint
+        return checkpoint.restore_state(ckpt, expect=cls.__name__)
 
 
 def run_multicore(program, num_cores, config=None, thread_regs=None,

@@ -265,6 +265,26 @@ class OoOCore:
                          halted=self.halted, timed_out=not self.halted,
                          halt_reason=self.halt_reason)
 
+    # ----------------------------------------------------- checkpointing
+    #
+    # The cycle budget in run() is absolute and every bit of in-flight
+    # state (ROB, lane tails, store buffer, blocked loads, ready heap,
+    # predictor/caches, stats) lives on the object graph, so a restored
+    # core resumes exactly: run-N -> save -> restore -> run-M equals an
+    # uninterrupted N+M run (tests/test_checkpoint.py).
+
+    def save_state(self, meta=None):
+        """Snapshot this core into a :class:`repro.checkpoint.
+        Checkpoint` (docs/RESILIENCE.md); hooks/tracers detach and
+        come back as None on restore."""
+        from repro import checkpoint
+        return checkpoint.save_state(self, meta=meta)
+
+    @classmethod
+    def restore_state(cls, ckpt):
+        from repro import checkpoint
+        return checkpoint.restore_state(ckpt, expect=cls.__name__)
+
     def check_watchdog(self):
         """Raise SimulationHang if the core has stopped retiring."""
         if self.halted:

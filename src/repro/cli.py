@@ -16,8 +16,12 @@ Commands:
 
 ``sweep`` and ``faults`` accept ``--jobs N`` (or the ``REPRO_JOBS``
 environment variable) to shard runs across worker processes; output is
-identical for any N (see docs/PARALLEL.md). Everything the CLI does is
-also available as a library; see README.md.
+identical for any N (see docs/PARALLEL.md). ``sweep``, ``faults`` and
+``verify torture`` additionally accept ``--journal [PATH]`` /
+``--resume`` for crash-safe resumable campaigns, and print a one-line
+resilience summary to stderr whenever the harness had to retry,
+requeue or quarantine anything (docs/RESILIENCE.md). Everything the
+CLI does is also available as a library; see README.md.
 """
 
 import argparse
@@ -173,18 +177,22 @@ def _cmd_run(args):
 
 
 def _cmd_stats(args):
-    from repro.obs import format_flat
+    from repro.obs import format_flat, resilience_snapshot
 
     records = _run_machines(args)
     if args.json is not None:
         docs = {name: _record_doc(rec) for name, rec in records.items()}
         doc = next(iter(docs.values())) if len(docs) == 1 else docs
+        doc["resilience"] = resilience_snapshot()
         _emit_json(doc, args.json)
     else:
         for name, rec in records.items():
             print(f"==> {args.workload} on {name} "
                   f"({rec.config}, status={rec.status})")
             print(format_flat(rec.stats))
+        print("==> harness resilience (host-side; excluded from "
+              "byte-identity, see docs/RESILIENCE.md)")
+        print(format_flat(resilience_snapshot()))
     return 0 if all(not r.failed for r in records.values()) else 1
 
 
@@ -224,12 +232,33 @@ def _cmd_experiment(args):
     return 0
 
 
+def _journal_arg(args):
+    """Resolve ``--journal``/``--resume`` into run_specs' ``journal``
+    argument (``--resume`` alone implies an auto-named journal)."""
+    journal = getattr(args, "journal", None)
+    if journal is None and getattr(args, "resume", False):
+        journal = True
+    return journal
+
+
+def _emit_resilience():
+    """One-line harness-resilience summary on stderr (stdout stays
+    byte-identical across retries/resumes; docs/RESILIENCE.md)."""
+    from repro.obs import resilience_summary
+
+    line = resilience_summary()
+    if line:
+        print(line, file=sys.stderr)
+
+
 def _cmd_sweep(args):
     from repro.harness.sweeps import ALL_SWEEPS
 
     sweep = ALL_SWEEPS[args.knob]
-    result = sweep(args.workload, scale=args.scale, jobs=args.jobs)
+    result = sweep(args.workload, scale=args.scale, jobs=args.jobs,
+                   journal=_journal_arg(args), resume=args.resume)
     print(result.render())
+    _emit_resilience()
     return 0 if result.all_verified() else 1
 
 
@@ -249,11 +278,13 @@ def _cmd_cache(args):
         print(f"removed {cache.clear()} cached run(s) from "
               f"{cache.root}")
     else:  # verify
-        outcome = cache.verify()
+        repair = getattr(args, "repair", False)
+        outcome = cache.verify(repair=repair)
+        state = "removed" if repair else "use --repair to remove"
         print(f"checked {outcome['checked']} entries: "
-              f"{outcome['ok']} ok, {outcome['removed']} "
-              f"corrupt (removed)")
-        return 0 if outcome["removed"] == 0 else 1
+              f"{outcome['ok']} ok, {outcome['corrupt']} "
+              f"corrupt ({state})")
+        return 0 if outcome["corrupt"] == 0 else 1
     return 0
 
 
@@ -269,11 +300,14 @@ def _cmd_faults(args):
         report = run_campaign(args.workload, machine=args.machine,
                               config=args.config, scale=args.scale,
                               trials=args.trials, seed=args.seed,
-                              jobs=args.jobs)
+                              jobs=args.jobs,
+                              journal=_journal_arg(args),
+                              resume=args.resume)
     except CampaignError as exc:
         print(f"campaign aborted: {exc}", file=sys.stderr)
         return 1
     print(report.summary())
+    _emit_resilience()
     return 0
 
 
@@ -332,8 +366,10 @@ def _verify_torture(args):
     report = run_torture(args.seed, args.count, machines=machines,
                          ff_modes=ff_modes, simt_modes=simt_modes,
                          ops=args.ops, jobs=args.jobs,
-                         max_cycles=args.max_cycles)
+                         max_cycles=args.max_cycles,
+                         journal=_journal_arg(args), resume=args.resume)
     print(f"torture seed={args.seed}: {report.summary()}")
+    _emit_resilience()
     for outcome in report.failures[:10]:
         print(f"--- {outcome.spec.workload} [{outcome.status}]")
         print("\n".join(outcome.detail.splitlines()[:12]))
@@ -458,12 +494,26 @@ def build_parser():
                             "env var, else serial); results are "
                             "identical for any N")
 
+    def add_resume_opts(p):
+        p.add_argument("--journal", nargs="?", const=True, default=None,
+                       metavar="PATH",
+                       help="fsync every completed cell to a "
+                            "write-ahead journal (auto-named under "
+                            ".repro_journal/ if PATH omitted); see "
+                            "docs/RESILIENCE.md")
+        p.add_argument("--resume", action="store_true",
+                       help="replay journaled cells instead of "
+                            "re-running them (implies --journal); "
+                            "output is byte-identical to an "
+                            "undisturbed run")
+
     sweep_p = sub.add_parser("sweep", help="design-space sweep")
     sweep_p.add_argument("knob", choices=("clusters", "threads",
                                           "lsu_depth", "flush_penalty"))
     sweep_p.add_argument("workload")
     sweep_p.add_argument("--scale", type=float, default=0.5)
     add_jobs_opt(sweep_p)
+    add_resume_opts(sweep_p)
 
     faults_p = sub.add_parser(
         "faults", help="seed-driven transient fault-injection campaign")
@@ -476,6 +526,7 @@ def build_parser():
     faults_p.add_argument("--trials", type=int, default=20)
     faults_p.add_argument("--seed", type=int, default=0)
     add_jobs_opt(faults_p)
+    add_resume_opts(faults_p)
 
     cache_p = sub.add_parser(
         "cache", help="administer the persistent on-disk run cache")
@@ -483,6 +534,9 @@ def build_parser():
     cache_p.add_argument("--dir", default=None, metavar="PATH",
                          help="cache directory (default: the active "
                               "REPRO_DISK_CACHE location)")
+    cache_p.add_argument("--repair", action="store_true",
+                         help="verify only: remove corrupt entries "
+                              "instead of just reporting them")
 
     verify_p = sub.add_parser(
         "verify", help="differential lockstep verification against the "
@@ -520,6 +574,7 @@ def build_parser():
                     help="ddmin any diverging program into "
                          "tests/regressions/")
     add_jobs_opt(vt)
+    add_resume_opts(vt)
 
     vs = verify_sub.add_parser(
         "shrink", help="shrink one diverging torture cell to a minimal "

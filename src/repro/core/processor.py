@@ -82,11 +82,19 @@ class DiAGProcessor:
     def run(self, max_cycles=None):
         """Run all rings in lockstep until every thread halts.
 
+        The cycle budget is *absolute*: a processor restored from a
+        checkpoint at cycle N continues toward the same budget an
+        uninterrupted run would have had, so split runs and whole runs
+        retire identical schedules (tests/test_checkpoint.py).
+
         Raises :class:`repro.core.watchdog.SimulationHang` if any ring
         stops retiring for ``config.watchdog_window`` cycles."""
         budget = max_cycles if max_cycles is not None \
             else self.config.max_cycles
-        live = list(self.rings)
+        # resume-safe: already-halted rings must not step again and the
+        # loop counter picks up from the rings' absolute cycle (both
+        # are no-ops for a fresh processor)
+        live = [r for r in self.rings if not r.halted]
         # Group fast-forward: lockstep rings may only skip together, to
         # the earliest event of any live ring (rings interact solely
         # through memory, which no quiescent ring touches before its
@@ -94,7 +102,7 @@ class DiAGProcessor:
         ff = True
         for ring in self.rings:
             ff = ring.ff_setup() and ff
-        cycle = 0
+        cycle = max((r.cycle for r in self.rings), default=0)
         while live and cycle < budget:
             for ring in live:
                 ring.step()
@@ -127,6 +135,24 @@ class DiAGProcessor:
         result.halted = all(r.halted for r in self.rings)
         result.timed_out = not result.halted
         return result
+
+    # ----------------------------------------------------- checkpointing
+
+    def save_state(self, meta=None):
+        """Snapshot the whole processor (rings, lanes, hierarchy,
+        memory, stats) into a :class:`repro.checkpoint.Checkpoint`;
+        see docs/RESILIENCE.md. Hooks/tracers are detached and come
+        back as None after :meth:`restore_state`."""
+        from repro import checkpoint
+        return checkpoint.save_state(self, meta=meta)
+
+    @classmethod
+    def restore_state(cls, ckpt):
+        """Rebuild a processor from a checkpoint taken by
+        :meth:`save_state`; :meth:`run` then continues exactly where
+        the snapshot stopped."""
+        from repro import checkpoint
+        return checkpoint.restore_state(ckpt, expect=cls.__name__)
 
 
 def run_program(program, config, num_threads=1, thread_regs=None,

@@ -146,6 +146,27 @@ class RingEngine:
                     self.ff_skip_to(target)
         return self.stats
 
+    # ----------------------------------------------------- checkpointing
+    #
+    # All in-flight DiAG state is distributed across this object graph
+    # (register-lane occupancy, window entries, cluster buffers, LSU
+    # queues, reuse/predictor state, stats) and run()'s budget is
+    # absolute, so a pickled ring resumes exactly. Single-ring
+    # checkpoints carry their own hierarchy copy; multi-ring snapshots
+    # go through DiAGProcessor.save_state so the shared hierarchy is
+    # captured once.
+
+    def save_state(self, meta=None):
+        """Snapshot this ring (plus its hierarchy/memory) into a
+        :class:`repro.checkpoint.Checkpoint`; docs/RESILIENCE.md."""
+        from repro import checkpoint
+        return checkpoint.save_state(self, meta=meta)
+
+    @classmethod
+    def restore_state(cls, ckpt):
+        from repro import checkpoint
+        return checkpoint.restore_state(ckpt, expect=cls.__name__)
+
     def check_watchdog(self):
         """Raise SimulationHang if the ring has stopped retiring."""
         if self.halted:

@@ -34,7 +34,6 @@ path (see :mod:`repro.harness.parallel`).
 
 import warnings
 from collections import Counter
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -239,7 +238,11 @@ def _trial_chunk(workload, machine, run_cfg, scale, specs, budget,
 
 def _chunked(specs, jobs):
     """Split ``specs`` into at most ``jobs`` contiguous chunks whose
-    concatenation preserves the plan order."""
+    concatenation preserves the plan order.
+
+    Chunking is a pure function of (plan, jobs) and the chunks are the
+    journal's unit of work, so resuming a journaled campaign requires
+    the same ``--jobs`` it started with (docs/RESILIENCE.md)."""
     size, remainder = divmod(len(specs), jobs)
     chunks = []
     start = 0
@@ -251,31 +254,57 @@ def _chunked(specs, jobs):
     return chunks
 
 
+@dataclass(frozen=True)
+class FaultChunkSpec:
+    """One contiguous chunk of planned trials as a picklable
+    :func:`repro.harness.parallel.run_specs` cell, so fault campaigns
+    ride the same retry/backoff/journal machinery as every other
+    batch. All fields are dataclasses or scalars — the chunk's content
+    hash (journal key) covers the full trial identity including the
+    golden registers and budget."""
+
+    workload: str
+    machine: str
+    run_cfg: object           # DiAGConfig | OoOConfig (picklable)
+    scale: float
+    specs: tuple              # planned FaultSpecs, plan order
+    budget: int
+    gold_x: tuple
+    gold_f: tuple
+    chunk_index: int
+
+    def execute(self):
+        return _trial_chunk(self.workload, self.machine, self.run_cfg,
+                            self.scale, list(self.specs), self.budget,
+                            list(self.gold_x), list(self.gold_f))
+
+    def failure_record(self, status, error, failure_class):
+        """A chunk the harness gave up on yields no synthetic trials —
+        returning None makes :func:`_classify_pooled` re-classify it
+        in-process (the engine's own watchdogs bound that run), so a
+        campaign never reports fabricated outcomes."""
+        warnings.warn(f"fault chunk {self.chunk_index} of "
+                      f"{self.workload} {status} ({error}); "
+                      "re-classifying in-process")
+        return None
+
+
 def _classify_pooled(workload, machine, run_cfg, scale, specs, budget,
-                     gold_x, gold_f, jobs):
-    """Shard trial classification across a process pool; any pool
-    failure degrades to classifying the missing chunks serially."""
+                     gold_x, gold_f, jobs, journal=None, resume=False):
+    """Shard trial classification across :func:`run_specs` (retry with
+    backoff, pool rebuild, journaled resume); any chunk the harness
+    still could not produce is re-classified serially in-process."""
+    from repro.harness.parallel import run_specs
+
     chunks = _chunked(specs, jobs)
-    results = [None] * len(chunks)
-    try:
-        from repro.harness.parallel import _pool
-        pool = _pool(min(jobs, len(chunks)))
-        futures = [pool.submit(_trial_chunk, workload, machine, run_cfg,
-                               scale, chunk, budget, gold_x, gold_f)
-                   for chunk in chunks]
-    except Exception as exc:
-        warnings.warn(f"campaign pool unavailable "
-                      f"({type(exc).__name__}: {exc}); running serially")
-        return _trial_chunk(workload, machine, run_cfg, scale, specs,
-                            budget, gold_x, gold_f)
-    for index, future in enumerate(futures):
-        try:
-            results[index] = future.result()
-        except Exception as exc:
-            warnings.warn(f"campaign worker failed "
-                          f"({type(exc).__name__}: {exc}); "
-                          "re-running chunk serially")
-    pool.shutdown(wait=True)
+    cells = [FaultChunkSpec(workload=workload, machine=machine,
+                            run_cfg=run_cfg, scale=scale,
+                            specs=tuple(chunk), budget=budget,
+                            gold_x=tuple(gold_x), gold_f=tuple(gold_f),
+                            chunk_index=index)
+             for index, chunk in enumerate(chunks)]
+    results = run_specs(cells, jobs=jobs, journal=journal,
+                        resume=resume)
     for index, chunk_result in enumerate(results):
         if chunk_result is None:
             results[index] = _trial_chunk(
@@ -285,7 +314,8 @@ def _classify_pooled(workload, machine, run_cfg, scale, specs, budget,
 
 
 def run_campaign(workload, machine="diag", config="F4C2", scale=0.25,
-                 trials=20, seed=0, watchdog_window=None, jobs=None):
+                 trials=20, seed=0, watchdog_window=None, jobs=None,
+                 journal=None, resume=False):
     """Run a full injection campaign; returns a :class:`CampaignReport`.
 
     ``config`` names a Table 2 preset for ``machine="diag"`` and is
@@ -295,6 +325,9 @@ def run_campaign(workload, machine="diag", config="F4C2", scale=0.25,
     slack, which no fault-free quiet period can approach. ``jobs`` > 1
     (or ``REPRO_JOBS``) shards the trials across worker processes; the
     report is identical to the serial one, in the same trial order.
+    ``journal``/``resume`` journal completed trial chunks for
+    crash-safe resumption; the chunking depends on ``jobs``, so resume
+    with the same ``--jobs`` (docs/RESILIENCE.md).
     """
     if machine not in ("diag", "ooo"):
         raise ValueError(f"unknown machine {machine!r}")
@@ -335,10 +368,10 @@ def run_campaign(workload, machine="diag", config="F4C2", scale=0.25,
                             site_population=population)
     from repro.harness.parallel import resolve_jobs
     jobs = resolve_jobs(jobs)
-    if jobs > 1 and len(specs) > 1:
+    if (jobs > 1 and len(specs) > 1) or journal:
         report.trials.extend(_classify_pooled(
             workload, machine, run_cfg, scale, specs, budget,
-            gold_x, gold_f, jobs))
+            gold_x, gold_f, jobs, journal=journal, resume=resume))
     else:
         for spec in specs:
             report.trials.append(_classify(machine, run_cfg, program,

@@ -9,8 +9,10 @@ the paper's rows/series.
 """
 
 from repro.harness.runner import (
+    FAILURE_CLASSES,
     RUN_STATUSES,
     RunRecord,
+    classify_failure,
     run_baseline,
     run_diag,
     clear_cache,
@@ -22,6 +24,7 @@ from repro.harness.parallel import (
     resolve_jobs,
     run_specs,
 )
+from repro.harness.journal import RunJournal, spec_key
 from repro.harness.experiments import (
     run_fig9a,
     run_fig9b,
@@ -38,12 +41,16 @@ from repro.harness.experiments import (
 from repro.harness.report import format_table, render_experiment
 
 __all__ = [
+    "FAILURE_CLASSES",
     "RUN_STATUSES",
+    "RunJournal",
     "RunRecord",
     "RunSpec",
     "aggregate_stats",
+    "classify_failure",
     "clear_cache",
     "execute_spec",
+    "spec_key",
     "format_table",
     "resolve_jobs",
     "run_specs",

@@ -34,7 +34,8 @@ from pathlib import Path
 
 #: bump when the entry format or RunRecord semantics change; old
 #: entries then simply stop matching and age out via LRU eviction
-CACHE_SCHEMA = 1
+#: (2: RunRecord gained ``failure_class``)
+CACHE_SCHEMA = 2
 
 #: default LRU bound on entry files
 MAX_ENTRIES = 4096
@@ -130,7 +131,8 @@ class DiskCache:
         self.hits = 0
         self.misses = 0
         self.writes = 0
-        self.dropped = 0  # corrupt entries removed on read/verify
+        self.dropped = 0   # corrupt entries removed on read/verify
+        self.repaired = 0  # corrupt entries removed by verify(repair=True)
 
     # ------------------------------------------------------------ paths
 
@@ -248,7 +250,8 @@ class DiskCache:
         return {"root": str(self.root), "entries": len(entries),
                 "bytes": size, "max_entries": self.max_entries,
                 "hits": self.hits, "misses": self.misses,
-                "writes": self.writes, "dropped": self.dropped}
+                "writes": self.writes, "dropped": self.dropped,
+                "repaired": self.repaired}
 
     def clear(self):
         """Remove every entry file; returns how many were removed."""
@@ -257,23 +260,33 @@ class DiskCache:
             self._remove(path)
         return len(entries)
 
-    def verify(self):
-        """Scan all entries; remove any that fail to decode or whose
-        content hash / filename key don't match. Returns counts."""
-        checked = ok = removed = 0
+    def verify(self, repair=False):
+        """Scan all entries for damage — failure to decode, content
+        hash or filename-key mismatch, wrong schema.
+
+        By default the scan only *reports* (an audit must not mutate
+        the cache under audit); ``repair=True`` additionally removes
+        every corrupt entry, counted in ``stats()['repaired']``.
+        Unreadable files count as corrupt either way. Returns
+        ``{"checked", "ok", "corrupt", "removed"}``."""
+        checked = ok = corrupt = removed = 0
         for path in self._entries():
             checked += 1
             try:
                 raw = path.read_text()
             except OSError:
-                continue
-            if self._decode(raw, key=path.stem) is None:
-                self._remove(path)
-                self.dropped += 1
-                removed += 1
+                raw = None
+            if raw is None or self._decode(raw, key=path.stem) is None:
+                corrupt += 1
+                if repair:
+                    self._remove(path)
+                    self.dropped += 1
+                    self.repaired += 1
+                    removed += 1
             else:
                 ok += 1
-        return {"checked": checked, "ok": ok, "removed": removed}
+        return {"checked": checked, "ok": ok, "corrupt": corrupt,
+                "removed": removed}
 
 
 # =====================================================================

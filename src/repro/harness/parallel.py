@@ -9,34 +9,70 @@ with no wall-clock input, so a record computed in a worker is
 bit-identical (modulo the ``host.*`` wall-clock gauges) to one computed
 serially, and ``tests/test_parallel_equivalence.py`` enforces it.
 
-Degradation is graceful and total: any pool-level failure — fork/spawn
-refused by the OS, a spec or record that fails to pickle, a worker
-blowing past the wall-clock watchdog, the pool dying mid-flight —
-falls back to executing the affected specs serially in-process, so a
-parallel sweep can never produce fewer results than a serial one.
+Degradation is graceful and total (docs/RESILIENCE.md): any pool-level
+failure — fork/spawn refused by the OS, a spec or record that fails to
+pickle, a worker blowing past the wall-clock watchdog, the pool dying
+mid-flight — is retried with exponential backoff + jitter, survives a
+``BrokenProcessPool`` by rebuilding the pool and requeueing whatever
+was in flight, and finally falls back to executing the affected specs
+serially in-process, so a parallel sweep can never produce fewer
+results than a serial one. A spec whose serial fallback *also* raises
+is quarantined (synthesized ``status="quarantined"`` record,
+``failure_class="infra"``) instead of aborting the sweep; a spec that
+times out again under the bounded serial retry becomes
+``status="timeout"`` with its elapsed time instead of hanging forever.
+
+Crash safety: pass ``journal=`` (a path, or ``True`` for an auto-named
+file under ``.repro_journal/``) and every completed record is fsync'd
+to a write-ahead journal (:mod:`repro.harness.journal`) the moment it
+arrives; ``resume=True`` replays the journal and only executes what is
+missing — byte-identical to an undisturbed run. While a journal is
+active, SIGINT/SIGTERM are drained through the journal (the completed
+prefix is always durable) before the interrupt propagates.
 
 Workers share the persistent :mod:`repro.harness.diskcache` (atomic
 writes make concurrent writers safe), so a pooled sweep warms the same
 cache later serial runs hit.
 
-Worker count resolution: explicit ``jobs`` argument, else the
-``REPRO_JOBS`` environment variable, else 1 (serial). The per-spec
-wall-clock watchdog defaults to ``REPRO_WORKER_TIMEOUT`` seconds
-(900 if unset); a worker that exceeds it is abandoned and its spec
-re-run serially under the engine's own cycle/liveness watchdogs.
+Knobs: ``jobs`` arg > ``REPRO_JOBS`` env > 1 (serial); per-spec
+watchdog ``REPRO_WORKER_TIMEOUT`` (900 s); pool retries per spec
+``REPRO_RETRIES`` (2); backoff base ``REPRO_RETRY_BACKOFF`` (0.05 s);
+serial-retry deadline ``REPRO_SERIAL_RETRY_TIMEOUT`` (max(watchdog,
+60 s)).
 """
 
 import os
 import pickle
+import random
+import signal
+import threading
+import time
 import warnings
 from concurrent.futures import TimeoutError as FutureTimeout
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, replace
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass
 
 from repro.obs import deterministic_view, merge_flat
+from repro.obs.resilience import (
+    JOURNAL_APPENDS,
+    JOURNAL_HITS,
+    QUARANTINED,
+    REQUEUED,
+    RETRIES,
+    TIMEOUTS,
+    resilience,
+)
 
 #: default per-spec wall-clock watchdog (seconds)
 WORKER_TIMEOUT = 900.0
+
+#: default pool resubmissions per spec after a transient failure
+RETRY_LIMIT = 2
+
+#: floor on the bounded serial-retry deadline (seconds)
+SERIAL_RETRY_FLOOR = 60.0
 
 
 @dataclass(frozen=True)
@@ -71,6 +107,18 @@ class RunSpec:
     @classmethod
     def ooo(cls, workload, **kwargs):
         return cls(machine="ooo", workload=workload, **kwargs)
+
+    def failure_record(self, status, error, failure_class):
+        """Synthesize the record for a spec the harness could not
+        execute (quarantine, serial-retry timeout) — same protocol any
+        ``.execute()``-style spec may implement."""
+        from repro.harness.runner import RunRecord
+        config = self.config or ("F4C32" if self.machine == "diag"
+                                 else "ooo8")
+        return RunRecord(workload=self.workload, machine=self.machine,
+                         config=config, threads=self.threads,
+                         simt=self.simt, status=status, error=error,
+                         failure_class=failure_class)
 
 
 def execute_spec(spec):
@@ -116,6 +164,42 @@ def _worker_timeout(timeout):
         return WORKER_TIMEOUT
 
 
+def _retry_limit(retries):
+    """Pool resubmissions per spec: arg > ``REPRO_RETRIES`` > 2."""
+    if retries is not None:
+        return max(0, int(retries))
+    try:
+        return max(0, int(os.environ.get("REPRO_RETRIES", RETRY_LIMIT)))
+    except ValueError:
+        return RETRY_LIMIT
+
+
+def _serial_retry_deadline(deadline):
+    """The bounded serial retry gets its *own* deadline, never shorter
+    than the pool watchdog and floored at 60 s (a 1 ms test watchdog
+    must not condemn the serial path); ``REPRO_SERIAL_RETRY_TIMEOUT``
+    overrides."""
+    try:
+        return float(os.environ.get(
+            "REPRO_SERIAL_RETRY_TIMEOUT",
+            max(deadline, SERIAL_RETRY_FLOOR)))
+    except ValueError:
+        return max(deadline, SERIAL_RETRY_FLOOR)
+
+
+def _backoff_sleep(attempt):
+    """Exponential backoff with jitter before resubmitting a spec
+    (attempt 1 -> ~base, doubling, capped at 5 s)."""
+    try:
+        base = float(os.environ.get("REPRO_RETRY_BACKOFF", "0.05"))
+    except ValueError:
+        base = 0.05
+    if base <= 0:
+        return
+    delay = min(base * (2 ** max(0, attempt - 1)), 5.0)
+    time.sleep(delay * (0.5 + random.random() / 2))
+
+
 def _pool(max_workers):
     """Prefer fork where the platform offers it (no re-import cost per
     worker; both engines are deterministic so inherited state is just
@@ -132,50 +216,280 @@ def _pool(max_workers):
     return ProcessPoolExecutor(max_workers=max_workers)
 
 
-def run_specs(specs, jobs=None, timeout=None):
-    """Execute ``specs`` and return their RunRecords in input order.
+def _failure_record(spec, status, error, failure_class):
+    """Synthesize a result for a spec the harness gave up on, via the
+    spec's own ``failure_record`` protocol."""
+    maker = getattr(spec, "failure_record", None)
+    if maker is None:
+        raise TypeError(f"{type(spec).__name__} cannot synthesize a "
+                        f"failure record ({status}: {error})")
+    return maker(status=status, error=error,
+                 failure_class=failure_class)
+
+
+def _quarantine(spec, attempts, exc):
+    """A spec that failed in the pool *and* in-process: quarantine it
+    (classified infra failure) rather than aborting the sweep."""
+    resilience().inc(QUARANTINED)
+    error = f"{type(exc).__name__}: {exc}"
+    warnings.warn(f"{spec.workload} failed {attempts} attempt(s) "
+                  f"({error}); quarantined")
+    return _failure_record(spec, "quarantined", error, "infra")
+
+
+def _journal_put(jrnl, keys, index, record):
+    if jrnl is not None and record is not None:
+        if jrnl.append(keys[index], record):
+            resilience().inc(JOURNAL_APPENDS)
+
+
+@contextmanager
+def _signal_guard(jrnl):
+    """While a journal is open on the main thread, convert SIGINT and
+    SIGTERM into a KeyboardInterrupt so the ``finally`` drain runs and
+    the completed prefix stays durable before the process dies."""
+    if jrnl is None \
+            or threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _handler(signum, frame):
+        raise KeyboardInterrupt(f"signal {signum}")
+
+    previous = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[sig] = signal.signal(sig, _handler)
+        except (ValueError, OSError, RuntimeError):
+            pass
+    try:
+        yield
+    finally:
+        for sig, old in previous.items():
+            try:
+                signal.signal(sig, old)
+            except (ValueError, OSError, RuntimeError):
+                pass
+
+
+def run_specs(specs, jobs=None, timeout=None, journal=None,
+              resume=False, retries=None):
+    """Execute ``specs`` and return their records in input order.
 
     ``jobs`` > 1 shards across a process pool; 1 (the default without
     ``REPRO_JOBS``) runs in-process. Every pool-level failure degrades
-    to serial re-execution of whatever is missing, with a warning.
+    — retry with backoff, pool rebuild, serial re-execution, and as a
+    last resort a synthesized quarantine/timeout record — with a
+    warning; the result list always has one entry per spec.
+
+    ``journal``: a path (or ``True`` for an auto-named file) enabling
+    the write-ahead journal; ``resume=True`` replays previously
+    journaled records instead of re-executing them. ``retries`` bounds
+    pool resubmissions per spec (default ``REPRO_RETRIES`` / 2).
     """
     specs = list(specs)
     jobs = resolve_jobs(jobs)
-    if jobs <= 1 or len(specs) <= 1:
-        return [execute_spec(spec) for spec in specs]
+    records = [None] * len(specs)
+    jrnl = keys = None
+    if journal:
+        from repro.harness.journal import (RunJournal, resolve_path,
+                                           spec_key)
+        keys = [spec_key(spec) for spec in specs]
+        jrnl = RunJournal(resolve_path(journal, specs))
+        if resume:
+            done = jrnl.load()
+            hits = 0
+            for index, key in enumerate(keys):
+                if key in done:
+                    records[index] = done[key]
+                    hits += 1
+            if hits:
+                resilience().inc(JOURNAL_HITS, hits)
+    pending = [i for i, record in enumerate(records) if record is None]
     try:
-        pool = _pool(min(jobs, len(specs)))
-        futures = [pool.submit(execute_spec, spec) for spec in specs]
+        with _signal_guard(jrnl):
+            if jobs <= 1 or len(pending) <= 1:
+                for index in pending:
+                    records[index] = execute_spec(specs[index])
+                    _journal_put(jrnl, keys, index, records[index])
+            else:
+                _run_pooled(specs, pending, records, jobs, timeout,
+                            retries, jrnl, keys)
+    finally:
+        if jrnl is not None:
+            jrnl.close()
+    return records
+
+
+def _run_pooled(specs, pending, records, jobs, timeout, retries,
+                jrnl, keys):
+    """The pool path of :func:`run_specs`: fill ``records[pending]``."""
+    try:
+        pool = _pool(min(jobs, len(pending)))
+        futures = {index: pool.submit(execute_spec, specs[index])
+                   for index in pending}
     except (pickle.PicklingError, TypeError, OSError) as exc:
         warnings.warn(f"process pool unavailable ({exc}); "
                       "running serially")
-        return [execute_spec(spec) for spec in specs]
+        for index in pending:
+            records[index] = execute_spec(specs[index])
+            _journal_put(jrnl, keys, index, records[index])
+        return
+
     deadline = _worker_timeout(timeout)
-    records = [None] * len(specs)
+    retry_limit = _retry_limit(retries)
+    attempts = {index: 1 for index in pending}
+    timed_out = set()     # hung under the watchdog -> bounded retry
+    serial_fill = set()   # pool gave up -> in-process execution
     hung = False
-    for index, future in enumerate(futures):
-        try:
-            records[index] = future.result(timeout=deadline)
-        except FutureTimeout:
-            # do NOT join this worker — abandon the whole pool below
-            hung = True
-            warnings.warn(
-                f"worker exceeded the {deadline:.0f}s watchdog on "
-                f"{specs[index].workload}; re-running serially")
-        except Exception as exc:
-            # BrokenProcessPool, a worker OSError, an unpicklable
-            # result — anything: fill in serially
-            warnings.warn(
-                f"pool failure on {specs[index].workload} "
-                f"({type(exc).__name__}: {exc}); re-running serially")
+    reg = resilience()
+
+    try:
+        position = 0
+        while position < len(pending):
+            index = pending[position]
+            if records[index] is not None or index in timed_out \
+                    or index in serial_fill:
+                position += 1
+                continue
+            spec = specs[index]
+            try:
+                record = futures[index].result(timeout=deadline)
+            except FutureTimeout:
+                # do NOT join this worker — abandon the pool below
+                hung = True
+                timed_out.add(index)
+                warnings.warn(
+                    f"worker exceeded the {deadline:.0f}s watchdog on "
+                    f"{spec.workload}; re-running serially")
+                continue
+            except BrokenProcessPool as exc:
+                # a worker died (SIGKILL, OOM). Blame the head-of-line
+                # spec for attempt accounting, rebuild the pool, and
+                # requeue everything still in flight.
+                attempts[index] += 1
+                if attempts[index] > retry_limit + 1:
+                    warnings.warn(
+                        f"pool failure on {spec.workload} "
+                        f"(BrokenProcessPool x{attempts[index] - 1}); "
+                        "re-running serially")
+                    serial_fill.add(index)
+                unfinished = [j for j in pending[position:]
+                              if records[j] is None
+                              and j not in timed_out
+                              and j not in serial_fill]
+                try:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                except Exception:
+                    pass
+                if not unfinished:
+                    continue
+                try:
+                    pool = _pool(min(jobs, len(unfinished)))
+                    for j in unfinished:
+                        futures[j] = pool.submit(execute_spec, specs[j])
+                    reg.inc(REQUEUED, len(unfinished))
+                    warnings.warn(
+                        f"worker process died ({exc}); pool rebuilt, "
+                        f"{len(unfinished)} spec(s) requeued")
+                except Exception as rebuild_exc:
+                    warnings.warn(
+                        f"process pool unavailable after worker death "
+                        f"({rebuild_exc}); re-running serially")
+                    serial_fill.update(unfinished)
+                continue
+            except Exception as exc:
+                # a worker raised / an unpicklable result: transient
+                # until proven otherwise — bounded resubmission with
+                # backoff, then the serial path.
+                error = f"{type(exc).__name__}: {exc}"
+                if attempts[index] <= retry_limit:
+                    attempts[index] += 1
+                    _backoff_sleep(attempts[index] - 1)
+                    try:
+                        futures[index] = pool.submit(execute_spec, spec)
+                    except Exception:
+                        pass
+                    else:
+                        reg.inc(RETRIES)
+                        warnings.warn(
+                            f"pool failure on {spec.workload} ({error});"
+                            f" retrying with backoff (attempt "
+                            f"{attempts[index]}/{retry_limit + 1})")
+                        continue
+                warnings.warn(f"pool failure on {spec.workload} "
+                              f"({error}); re-running serially")
+                serial_fill.add(index)
+                continue
+            records[index] = record
+            _journal_put(jrnl, keys, index, record)
+            position += 1
+    except BaseException:
+        # interrupted mid-wait (e.g. SIGINT via the signal guard):
+        # terminate workers rather than leaking them, then let the
+        # journal drain in run_specs' finally
+        _abandon(pool)
+        raise
+
     if hung:
         _abandon(pool)
     else:
-        pool.shutdown(wait=True)
-    for index, record in enumerate(records):
-        if record is None:
-            records[index] = execute_spec(specs[index])
-    return records
+        try:
+            pool.shutdown(wait=True)
+        except Exception:
+            pass
+
+    for index in pending:
+        if records[index] is not None:
+            continue
+        spec = specs[index]
+        try:
+            if index in timed_out:
+                records[index] = _serial_retry(spec, deadline, reg)
+            else:
+                records[index] = execute_spec(spec)
+        except Exception as exc:
+            records[index] = _quarantine(spec, attempts[index], exc)
+        _journal_put(jrnl, keys, index, records[index])
+
+
+def _serial_retry(spec, deadline, reg):
+    """Bounded re-run of a spec whose pool worker hung: a fresh
+    single-worker pool under its own deadline. A second timeout is
+    recorded as ``status="timeout"`` with the elapsed time — a hung
+    spec may cost two deadlines, never the whole sweep."""
+    limit = _serial_retry_deadline(deadline)
+    start = time.monotonic()
+    try:
+        retry_pool = _pool(1)
+        future = retry_pool.submit(execute_spec, spec)
+    except Exception as exc:
+        # no pool available: unbounded in-process degradation — the
+        # engine's own cycle/liveness watchdogs still apply
+        warnings.warn(f"serial-retry pool unavailable ({exc}); "
+                      f"running {spec.workload} in-process")
+        return execute_spec(spec)
+    try:
+        record = future.result(timeout=limit)
+    except FutureTimeout:
+        _abandon(retry_pool)
+        elapsed = time.monotonic() - start
+        reg.inc(TIMEOUTS)
+        warnings.warn(
+            f"{spec.workload} exceeded the {limit:.0f}s serial-retry "
+            f"deadline too; recording status=timeout")
+        record = _failure_record(
+            spec, "timeout",
+            f"serial retry exceeded {limit:.0f}s "
+            f"(elapsed {elapsed:.1f}s)", "hang")
+        if hasattr(record, "wall_seconds"):
+            record.wall_seconds = elapsed
+        return record
+    except Exception:
+        _abandon(retry_pool)
+        return execute_spec(spec)
+    retry_pool.shutdown(wait=True)
+    return record
 
 
 def _abandon(pool):
@@ -183,7 +497,10 @@ def _abandon(pool):
     ``shutdown(wait=True)`` — or interpreter exit — would block on the
     stuck process otherwise)."""
     procs = list((getattr(pool, "_processes", None) or {}).values())
-    pool.shutdown(wait=False, cancel_futures=True)
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
     for proc in procs:
         try:
             proc.terminate()

@@ -44,8 +44,23 @@ from repro.workloads import get_workload
 #: RunRecord.status values: "ok" = ran to halt (verified says whether
 #: outputs matched), "timed_out" = cycle budget exhausted while still
 #: retiring, "hang" = liveness watchdog fired, "error" = the engine or
-#: the workload's verifier raised.
-RUN_STATUSES = ("ok", "timed_out", "hang", "error")
+#: the workload's verifier raised. The last two are synthesized by the
+#: harness (see docs/RESILIENCE.md): "timeout" = the wall-clock
+#: watchdog fired twice (pool + bounded serial retry), "quarantined" =
+#: the spec failed every pool attempt *and* its in-process fallback.
+RUN_STATUSES = ("ok", "timed_out", "hang", "error", "timeout",
+                "quarantined")
+
+#: the docs/RESILIENCE.md failure taxonomy (RunRecord.failure_class)
+FAILURE_CLASSES = ("hang", "crash", "divergence", "infra")
+
+
+def classify_failure(status):
+    """Map a :class:`RunRecord` status onto the failure taxonomy
+    (None for statuses that are not failures — "ok", and "timed_out",
+    which is a bounded result, not a breakage)."""
+    return {"hang": "hang", "error": "crash",
+            "timeout": "hang", "quarantined": "infra"}.get(status)
 
 
 @dataclass
@@ -67,6 +82,9 @@ class RunRecord:
     stall_fractions: dict = field(default_factory=dict)
     extra: dict = field(default_factory=dict)
     wall_seconds: float = 0.0
+    #: docs/RESILIENCE.md taxonomy for failed runs ("hang" / "crash" /
+    #: "divergence" / "infra"); None when the run is not a failure
+    failure_class: str = None
     #: full machine-readable stats document — the flat dump of the
     #: repro.obs.StatsRegistry this run populated (shared ``core.*`` /
     #: ``mem.*`` namespace plus engine detail; see docs/OBSERVABILITY.md)
@@ -198,6 +216,7 @@ def run_diag(workload, config="F4C32", scale=1.0, threads=1, simt=False,
         record.status = "error"
         record.error = f"{type(exc).__name__}: {exc}"
         record.wall_seconds = time.time() - start
+        record.failure_class = classify_failure(record.status)
         return record
     key = ("diag", workload, config, scale, threads, simt, max_cycles,
            tuple(sorted(overrides.items())), digest)
@@ -255,6 +274,7 @@ def run_diag(workload, config="F4C32", scale=1.0, threads=1, simt=False,
             record.status = "error"
             record.error = f"{type(exc).__name__}: {exc}"
         record.wall_seconds = time.time() - start
+        record.failure_class = classify_failure(record.status)
         return record
 
     return _cached(key, factory, bypass=tracer is not None)
@@ -281,6 +301,7 @@ def run_baseline(workload, scale=1.0, threads=1, max_cycles=None,
         record.status = "error"
         record.error = f"{type(exc).__name__}: {exc}"
         record.wall_seconds = time.time() - start
+        record.failure_class = classify_failure(record.status)
         return record
     # the full config contents, not just its name: a customized
     # OoOConfig must never alias the default's cache slot
@@ -344,6 +365,7 @@ def run_baseline(workload, scale=1.0, threads=1, max_cycles=None,
             record.status = "error"
             record.error = f"{type(exc).__name__}: {exc}"
         record.wall_seconds = time.time() - start
+        record.failure_class = classify_failure(record.status)
         return record
 
     return _cached(key, factory, bypass=tracer is not None)

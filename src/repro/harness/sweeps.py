@@ -66,52 +66,62 @@ class SweepResult:
         return merge_flat([r.stats for r in self.points.values()])
 
 
-def _sweep(workload, knob, values, specs, jobs=None):
+def _sweep(workload, knob, values, specs, jobs=None, journal=None,
+           resume=False):
     """Execute ``specs`` (one per knob value, same order) through the
-    pool and zip them back into a :class:`SweepResult`."""
+    pool and zip them back into a :class:`SweepResult`. ``journal`` /
+    ``resume`` enable crash-safe resumable execution
+    (docs/RESILIENCE.md)."""
     result = SweepResult(workload=workload, knob=knob)
-    records = run_specs(specs, jobs=jobs)
+    records = run_specs(specs, jobs=jobs, journal=journal,
+                        resume=resume)
     for value, record in zip(values, records):
         result.points[value] = record
     return result
 
 
 def sweep_clusters(workload, scale=0.5, cluster_counts=(2, 4, 8, 16, 32),
-                   simt=False, jobs=None):
+                   simt=False, jobs=None, journal=None, resume=False):
     """Cycles vs. ring size — the paper's 32/256/512-PE axis, densified."""
     specs = [RunSpec.diag(workload, config="F4C32", scale=scale,
                           num_clusters=count, simt=simt)
              for count in cluster_counts]
-    return _sweep(workload, "clusters", cluster_counts, specs, jobs)
+    return _sweep(workload, "clusters", cluster_counts, specs, jobs,
+                  journal, resume)
 
 
 def sweep_threads(workload, scale=0.5, thread_counts=(1, 2, 4, 8, 16),
-                  total_clusters=32, simt=False, jobs=None):
+                  total_clusters=32, simt=False, jobs=None, journal=None,
+                  resume=False):
     """Spatial-parallelism scaling at a fixed 32-cluster budget."""
     specs = [RunSpec.diag(workload, config="F4C32", scale=scale,
                           threads=threads,
                           num_clusters=max(1, total_clusters // threads),
                           simt=simt)
              for threads in thread_counts]
-    return _sweep(workload, "threads", thread_counts, specs, jobs)
+    return _sweep(workload, "threads", thread_counts, specs, jobs,
+                  journal, resume)
 
 
 def sweep_lsu_depth(workload, scale=0.5, depths=(1, 2, 4, 8, 16),
-                    jobs=None):
+                    jobs=None, journal=None, resume=False):
     """Cluster LSU queue depth (paper Section 5.2's request queue)."""
     specs = [RunSpec.diag(workload, config="F4C16", scale=scale,
                           config_overrides={"lsu_queue_depth": depth})
              for depth in depths]
-    return _sweep(workload, "lsu_queue_depth", depths, specs, jobs)
+    return _sweep(workload, "lsu_queue_depth", depths, specs, jobs,
+                  journal, resume)
 
 
 def sweep_flush_penalty(workload, scale=0.5,
-                        penalties=(1, 3, 6, 12), jobs=None):
+                        penalties=(1, 3, 6, 12), jobs=None,
+                        journal=None, resume=False):
     """Cost of a control-flow flush (paper Section 7.3.2's >=3 cycles)."""
     specs = [RunSpec.diag(workload, config="F4C16", scale=scale,
                           config_overrides={"flush_penalty": penalty})
              for penalty in penalties]
-    return _sweep(workload, "flush_penalty", penalties, specs, jobs)
+    return _sweep(workload, "flush_penalty", penalties, specs, jobs,
+                  journal, resume)
 
 
 ALL_SWEEPS = {

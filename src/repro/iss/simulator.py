@@ -82,13 +82,36 @@ class ISS:
     # ----------------------------------------------------------- running
 
     def run(self, max_steps=5_000_000):
-        """Run until ebreak/ecall or ``max_steps``; returns halt reason."""
+        """Run until ebreak/ecall or ``max_steps``; returns halt reason.
+
+        ``max_steps`` is an *absolute* instruction count and a
+        MAX_STEPS halt is a resumable pause, so run(N) → run(N+M)
+        (possibly across a checkpoint) equals one run(N+M) exactly;
+        ebreak/ecall halts are final."""
+        if self.halt_reason is HaltReason.MAX_STEPS:
+            self.halt_reason = None
         while self.halt_reason is None:
             if self.stats.instructions >= max_steps:
                 self.halt_reason = HaltReason.MAX_STEPS
                 break
             self.step()
         return self.halt_reason
+
+    # ----------------------------------------------------- checkpointing
+
+    def save_state(self, meta=None):
+        """Snapshot the full ISS (pc, x/f files, CSRs, memory image,
+        stats, SIMT stack) into a :class:`repro.checkpoint.Checkpoint`.
+        ``run(max_steps)`` compares against the absolute instruction
+        count, so a restored ISS continues exactly where it stopped;
+        the ``trace`` hook detaches and restores as None."""
+        from repro import checkpoint
+        return checkpoint.save_state(self, meta=meta)
+
+    @classmethod
+    def restore_state(cls, ckpt):
+        from repro import checkpoint
+        return checkpoint.restore_state(ckpt, expect=cls.__name__)
 
     def post_interrupt(self, vector):
         """Request an asynchronous interrupt (paper Section 5.1.4).

@@ -33,6 +33,12 @@ from repro.obs.registry import (
     format_flat,
     merge_flat,
 )
+from repro.obs.resilience import (
+    resilience,
+    resilience_snapshot,
+    resilience_summary,
+    reset_resilience,
+)
 
 __all__ = [
     "Counter",
@@ -53,4 +59,8 @@ __all__ = [
     "collect_ooo",
     "export_throughput",
     "format_flat",
+    "reset_resilience",
+    "resilience",
+    "resilience_snapshot",
+    "resilience_summary",
 ]

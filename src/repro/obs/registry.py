@@ -29,9 +29,12 @@ docs/PARALLEL.md for the contract.
 
 import json
 
-#: stats that legitimately differ run-to-run (wall-clock self-profiling)
+#: stats that legitimately differ run-to-run — wall-clock
+#: self-profiling, plus the harness resilience counters (retries,
+#: requeues, checkpoint I/O; see repro.obs.resilience) whose values
+#: depend on host behaviour, not on what the simulation computed —
 #: and are therefore excluded from byte-identity comparisons
-HOST_STAT_PREFIXES = ("host.", "sim.host.")
+HOST_STAT_PREFIXES = ("host.", "sim.host.", "harness.", "ckpt.")
 
 #: flat stats merged by min()/max() rather than summed
 _MIN_STATS = frozenset(("sim.halted",))

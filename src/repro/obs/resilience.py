@@ -1,0 +1,87 @@
+"""Process-wide resilience counters (harness retries, checkpoint I/O).
+
+The run/campaign registries in :mod:`repro.obs.bridge` describe *what a
+simulation did* and are part of the byte-identity contract between
+serial and pooled execution. Resilience events — a worker retried after
+a transient failure, a pool rebuilt, a spec quarantined, a checkpoint
+written — describe *what the host had to do to get there* and
+legitimately differ between two executions of the same sweep (a flaky
+fork on one machine, none on another). They therefore live in their own
+process-wide registry under the ``harness.*`` / ``ckpt.*`` namespaces,
+which :func:`repro.obs.registry.deterministic_view` strips alongside
+the ``host.*`` wall-clock gauges.
+
+``repro stats`` appends a snapshot of this registry to its stats
+document; the sweep/faults/torture CLI commands print a one-line
+summary to stderr whenever any counter is non-zero.
+"""
+
+from repro.obs.registry import StatsRegistry
+
+#: every resilience stat, pre-registered so snapshots always carry the
+#: full set (zeros included) — names are part of docs/RESILIENCE.md
+RETRIES = "harness.retries"
+REQUEUED = "harness.requeued"
+QUARANTINED = "harness.quarantined"
+TIMEOUTS = "harness.timeouts"
+JOURNAL_HITS = "harness.journal.hits"
+JOURNAL_APPENDS = "harness.journal.appends"
+CKPT_BYTES = "ckpt.bytes"
+CKPT_SAVE_MS = "ckpt.save_ms"
+CKPT_RESTORE_MS = "ckpt.restore_ms"
+
+_COUNTERS = (
+    (RETRIES, "pool specs resubmitted after a transient failure"),
+    (REQUEUED, "in-flight specs requeued after a pool rebuild"),
+    (QUARANTINED, "poison specs quarantined after repeated failure"),
+    (TIMEOUTS, "specs that exhausted the serial-retry deadline"),
+    (JOURNAL_HITS, "specs satisfied from the write-ahead journal"),
+    (JOURNAL_APPENDS, "records appended to the write-ahead journal"),
+    (CKPT_BYTES, "checkpoint payload bytes written"),
+)
+_HISTOGRAMS = (
+    (CKPT_SAVE_MS, "checkpoint save latency (ms)"),
+    (CKPT_RESTORE_MS, "checkpoint restore latency (ms)"),
+)
+
+_registry = None
+
+
+def resilience():
+    """The process-wide resilience :class:`StatsRegistry`."""
+    global _registry
+    if _registry is None:
+        _registry = StatsRegistry()
+        for name, desc in _COUNTERS:
+            _registry.counter(name, desc)
+        for name, desc in _HISTOGRAMS:
+            _registry.histogram(name, desc)
+    return _registry
+
+
+def reset_resilience():
+    """Drop all resilience counters (test isolation)."""
+    global _registry
+    _registry = None
+
+
+def resilience_snapshot():
+    """Flat ``{name: value}`` dump of the resilience registry."""
+    return resilience().as_dict()
+
+
+def resilience_summary():
+    """One-line summary of non-zero counters, or None when quiet.
+
+    Campaign CLI commands print this to *stderr* so resilience noise
+    can never perturb a byte-identity comparison of campaign stdout.
+    """
+    snap = resilience_snapshot()
+    parts = [f"{name.split('harness.', 1)[-1]}={int(snap[name])}"
+             for name, __ in _COUNTERS
+             if name.startswith("harness.") and snap.get(name)]
+    if snap.get(CKPT_BYTES):
+        parts.append(f"ckpt_bytes={int(snap[CKPT_BYTES])}")
+    if not parts:
+        return None
+    return "resilience: " + " ".join(parts)

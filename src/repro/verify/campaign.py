@@ -52,6 +52,12 @@ class TortureSpec:
     def program(self):
         return generate(self.program_seed, ops=self.ops, simt=self.simt)
 
+    def failure_record(self, status, error, failure_class):
+        """Synthesize the outcome for a cell the harness gave up on
+        (quarantine / serial-retry timeout); see docs/RESILIENCE.md."""
+        return TortureOutcome(spec=self, status=status, detail=error,
+                              failure_class=failure_class)
+
     def execute(self):
         """Run this cell; returns a picklable :class:`TortureOutcome`."""
         program = self.program()
@@ -86,10 +92,21 @@ class TortureOutcome:
 
     spec: TortureSpec
     status: str               # ok | divergence | hang | error | asm-error
+                              # (+ harness-synthesized timeout/quarantined)
     detail: str = ""
     kind: str = None          # Divergence.kind when status=divergence
     retired: int = 0
     cycles: int = 0
+    #: docs/RESILIENCE.md taxonomy; filled by __post_init__ for engine
+    #: outcomes, by the harness for synthesized ones
+    failure_class: str = None
+
+    def __post_init__(self):
+        if self.failure_class is None:
+            self.failure_class = {
+                "divergence": "divergence", "hang": "hang",
+                "error": "crash", "asm-error": "crash",
+            }.get(self.status)
 
     @property
     def ok(self):
@@ -143,14 +160,20 @@ def build_specs(seed, count, machines=("diag", "ooo"),
 
 def run_torture(seed, count, machines=("diag", "ooo"),
                 ff_modes=(True, False), simt_modes=(False, True),
-                ops=40, jobs=None, max_cycles=400_000):
-    """Run a torture campaign; returns a :class:`TortureReport`."""
+                ops=40, jobs=None, max_cycles=400_000,
+                journal=None, resume=False):
+    """Run a torture campaign; returns a :class:`TortureReport`.
+
+    ``journal``/``resume`` enable the crash-safe write-ahead journal —
+    a campaign killed mid-flight re-runs only its missing cells and
+    reports byte-identically (docs/RESILIENCE.md)."""
     from repro.harness.parallel import run_specs
 
     specs = build_specs(seed, count, machines=machines,
                         ff_modes=ff_modes, simt_modes=simt_modes,
                         ops=ops, max_cycles=max_cycles)
-    outcomes = run_specs(specs, jobs=jobs)
+    outcomes = run_specs(specs, jobs=jobs, journal=journal,
+                         resume=resume)
     return TortureReport(outcomes=list(outcomes))
 
 

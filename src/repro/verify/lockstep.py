@@ -269,6 +269,100 @@ def _ooo_config(config, fast_forward):
     return dataclasses.replace(config, fast_forward=fast_forward)
 
 
+class LockstepSession:
+    """A lockstep run as one picklable, *checkpointable* object graph.
+
+    Bundles the timing engine, the private ISS, both store recorders
+    and the oracle (installed as the engine's ``commit_hook``) so the
+    whole co-simulation can be snapshotted mid-run via
+    :meth:`save_state` and resumed exactly — the restored segment runs
+    with the oracle still attached, which is how the checkpoint layer
+    proves "restore ≡ uninterrupted" at the architectural level, not
+    just for stats (docs/RESILIENCE.md). :func:`run_lockstep` is the
+    one-shot wrapper.
+    """
+
+    def __init__(self, program, machine="diag", config="F4C2",
+                 fast_forward=True, setup=None, fault_spec=None,
+                 history_depth=HISTORY_DEPTH):
+        if machine not in MACHINES:
+            raise ValueError(f"unknown machine {machine!r}")
+        self.machine = machine
+        if machine == "diag":
+            cfg = _diag_config(config, fast_forward)
+            self.sim = DiAGProcessor(cfg, program, num_threads=1)
+            self.engine = self.sim.rings[0]
+            memory = self.sim.memory
+        else:
+            cfg = _ooo_config(
+                config if not isinstance(config, str) else None,
+                fast_forward)
+            self.sim = OoOCore(cfg, program)
+            self.engine = self.sim
+            memory = self.sim.hierarchy.memory
+
+        self.iss = ISS(program)
+        if setup is not None:
+            setup(memory)
+            setup(self.iss.memory)
+        if fault_spec is not None:
+            from repro.faults.injector import FaultInjector
+            FaultInjector(fault_spec).attach(self.engine,
+                                             self.sim.hierarchy)
+
+        self.engine_rec = _StoreRecorder(memory)
+        self.iss_rec = _StoreRecorder(self.iss.memory)
+        self.oracle = _Oracle(machine, self.iss, self.engine.arch,
+                              self.engine.stats, self.engine_rec,
+                              self.iss_rec,
+                              history_depth=history_depth)
+        self.engine.commit_hook = self.oracle
+
+    @property
+    def cycle(self):
+        return self.engine.cycle
+
+    def run(self, max_cycles=None):
+        """Advance the engine (ISS in tow via the oracle) to the next
+        halt or the absolute cycle budget; raises :class:`Divergence`
+        on the first mismatched commit."""
+        return self.sim.run(max_cycles=max_cycles)
+
+    def finish(self, result):
+        """Validate the halt boundary and fold a run's outcome into a
+        :class:`LockstepResult`."""
+        engine, iss = self.engine, self.iss
+        halted = bool(getattr(result, "halted", False) or engine.halted)
+        halt_reason = getattr(engine, "halt_reason", None)
+        if halted and iss.halt_reason is None:
+            raise Divergence(
+                self.machine, "halt",
+                f"engine halted ({halt_reason}) but ISS has not "
+                f"(iss pc={iss.pc:#x})", history=self.oracle.history)
+        return LockstepResult(
+            machine=self.machine, retired=engine.stats.retired,
+            cycles=getattr(result, "cycles", engine.cycle),
+            halted=halted, halt_reason=str(halt_reason),
+            writes=len(self.engine_rec.writes))
+
+    # ----------------------------------------------------- checkpointing
+
+    def save_state(self, meta=None):
+        """Snapshot the *whole co-simulation* — engine, ISS, oracle,
+        recorders — in one checkpoint. ``hooks=()``: unlike a bare
+        engine snapshot, the commit hook here is the oracle itself
+        (plain picklable state), and it must travel with the graph so
+        the restored segment stays under lockstep."""
+        from repro import checkpoint
+        return checkpoint.save_state(self, hooks=(), meta=meta)
+
+    @classmethod
+    def restore_state(cls, ckpt):
+        from repro import checkpoint
+        session = checkpoint.restore_state(ckpt, expect=cls.__name__)
+        return session
+
+
 def run_lockstep(program, machine="diag", config="F4C2", max_cycles=None,
                  fast_forward=True, setup=None, fault_spec=None,
                  history_depth=HISTORY_DEPTH):
@@ -284,52 +378,9 @@ def run_lockstep(program, machine="diag", config="F4C2", max_cycles=None,
     Returns :class:`LockstepResult`; raises :class:`Divergence` (or
     :class:`repro.core.watchdog.SimulationHang` from the engine).
     """
-    if machine not in MACHINES:
-        raise ValueError(f"unknown machine {machine!r}")
-    if machine == "diag":
-        cfg = _diag_config(config, fast_forward)
-        proc = DiAGProcessor(cfg, program, num_threads=1)
-        engine = proc.rings[0]
-        memory = proc.memory
-        runner = proc.run
-        stats = engine.stats
-        arch = engine.arch
-    else:
-        cfg = _ooo_config(config if not isinstance(config, str) else None,
-                          fast_forward)
-        core = OoOCore(cfg, program)
-        engine = core
-        memory = core.hierarchy.memory
-        runner = core.run
-        stats = core.stats
-        arch = core.arch
-
-    iss = ISS(program)
-    if setup is not None:
-        setup(memory)
-        setup(iss.memory)
-    if fault_spec is not None:
-        from repro.faults.injector import FaultInjector
-        hierarchy = proc.hierarchy if machine == "diag" \
-            else core.hierarchy
-        FaultInjector(fault_spec).attach(engine, hierarchy)
-
-    engine_rec = _StoreRecorder(memory)
-    iss_rec = _StoreRecorder(iss.memory)
-    oracle = _Oracle(machine, iss, arch, stats, engine_rec, iss_rec,
-                     history_depth=history_depth)
-    engine.commit_hook = oracle
-    result = runner(max_cycles=max_cycles)
-
-    halted = bool(getattr(result, "halted", False) or engine.halted)
-    halt_reason = getattr(engine, "halt_reason", None)
-    if halted and iss.halt_reason is None:
-        raise Divergence(
-            machine, "halt",
-            f"engine halted ({halt_reason}) but ISS has not "
-            f"(iss pc={iss.pc:#x})", history=oracle.history)
-    return LockstepResult(
-        machine=machine, retired=stats.retired,
-        cycles=getattr(result, "cycles", engine.cycle),
-        halted=halted, halt_reason=str(halt_reason),
-        writes=len(engine_rec.writes))
+    session = LockstepSession(program, machine=machine, config=config,
+                              fast_forward=fast_forward, setup=setup,
+                              fault_spec=fault_spec,
+                              history_depth=history_depth)
+    result = session.run(max_cycles=max_cycles)
+    return session.finish(result)

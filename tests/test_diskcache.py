@@ -167,14 +167,31 @@ class TestDamage:
         assert cache.stats()["dropped"] == 1
         assert not path.exists()  # damaged entries are removed
 
-    def test_verify_removes_only_damaged(self, tmp_path):
+    def test_verify_reports_without_removing(self, tmp_path):
         cache = DiskCache(tmp_path)
         cache.put("a" * 64, make_record())
         cache.put("b" * 64, make_record(cycles=999))
         (tmp_path / ("b" * 64 + ".json")).write_text("junk")
         report = cache.verify()
-        assert report == {"checked": 2, "ok": 1, "removed": 1}
+        assert report == {"checked": 2, "ok": 1, "corrupt": 1,
+                          "removed": 0}
+        # the audit must not mutate the cache under audit
+        assert (tmp_path / ("b" * 64 + ".json")).exists()
+        assert cache.stats()["repaired"] == 0
+
+    def test_verify_repair_removes_only_damaged(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put("a" * 64, make_record())
+        cache.put("b" * 64, make_record(cycles=999))
+        (tmp_path / ("b" * 64 + ".json")).write_text("junk")
+        report = cache.verify(repair=True)
+        assert report == {"checked": 2, "ok": 1, "corrupt": 1,
+                          "removed": 1}
+        assert not (tmp_path / ("b" * 64 + ".json")).exists()
         assert cache.get("a" * 64) is not None
+        assert cache.stats()["repaired"] == 1
+        # a second pass finds a clean cache
+        assert cache.verify(repair=True)["corrupt"] == 0
 
     def test_stray_tmp_files_ignored(self, tmp_path):
         cache = DiskCache(tmp_path)

@@ -1,0 +1,455 @@
+"""Crash-safe journaled execution: write-ahead journal, resume,
+retry/backoff, pool rebuild, quarantine, and timeout classification.
+
+Exercises the :func:`repro.harness.parallel.run_specs` degradation
+ladder end-to-end with purpose-built specs (cheap deterministic cells,
+flaky cells, poison cells, a worker-killing cell, a hanging cell) and
+the journal/resume paths of the torture and fault campaigns. See
+docs/RESILIENCE.md for the contract each test pins down.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+
+from repro.harness.journal import RunJournal, resolve_path, spec_key
+from repro.harness.parallel import run_specs
+from repro.obs.resilience import (
+    JOURNAL_APPENDS,
+    JOURNAL_HITS,
+    QUARANTINED,
+    REQUEUED,
+    RETRIES,
+    TIMEOUTS,
+    reset_resilience,
+    resilience_snapshot,
+)
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+@pytest.fixture(autouse=True)
+def fresh_counters(monkeypatch):
+    monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0")
+    reset_resilience()
+    yield
+    reset_resilience()
+
+
+def counters():
+    return resilience_snapshot()
+
+
+# ---------------------------------------------------------------------
+# purpose-built specs (module-level: picklable into pool workers).
+# Cross-attempt state lives in files because attempts may land in
+# different processes.
+# ---------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AddSpec:
+    a: int
+    b: int
+    log: str = None   # file that records every actual execution
+
+    @property
+    def workload(self):
+        return f"add-{self.a}-{self.b}"
+
+    def execute(self):
+        if self.log:
+            with open(self.log, "a") as fh:
+                fh.write(f"{self.a}+{self.b}\n")
+        return {"workload": self.workload, "sum": self.a + self.b,
+                "status": "ok"}
+
+    def failure_record(self, status, error, failure_class):
+        return {"workload": self.workload, "status": status,
+                "error": error, "failure_class": failure_class}
+
+
+@dataclass(frozen=True)
+class FlakySpec:
+    counter: str       # file counting prior attempts
+    fail_times: int
+
+    @property
+    def workload(self):
+        return "flaky"
+
+    def execute(self):
+        tries = 0
+        if os.path.exists(self.counter):
+            with open(self.counter) as fh:
+                tries = len(fh.read().splitlines())
+        if tries < self.fail_times:
+            with open(self.counter, "a") as fh:
+                fh.write("attempt\n")
+            raise RuntimeError(f"transient #{tries + 1}")
+        return {"workload": self.workload, "status": "ok",
+                "tries": tries}
+
+    def failure_record(self, status, error, failure_class):
+        return {"workload": self.workload, "status": status,
+                "error": error, "failure_class": failure_class}
+
+
+@dataclass(frozen=True)
+class PoisonSpec:
+    tag: int = 0
+
+    @property
+    def workload(self):
+        return f"poison-{self.tag}"
+
+    def execute(self):
+        raise RuntimeError("always broken")
+
+    def failure_record(self, status, error, failure_class):
+        return {"workload": self.workload, "status": status,
+                "error": error, "failure_class": failure_class}
+
+
+@dataclass(frozen=True)
+class KillerSpec:
+    marker: str        # exists -> this attempt survives
+
+    @property
+    def workload(self):
+        return "killer"
+
+    def execute(self):
+        if not os.path.exists(self.marker):
+            with open(self.marker, "w") as fh:
+                fh.write("died once\n")
+            os.kill(os.getpid(), signal.SIGKILL)
+        return {"workload": self.workload, "status": "ok"}
+
+    def failure_record(self, status, error, failure_class):
+        return {"workload": self.workload, "status": status,
+                "error": error, "failure_class": failure_class}
+
+
+@dataclass(frozen=True)
+class SleepySpec:
+    seconds: float
+
+    @property
+    def workload(self):
+        return "sleepy"
+
+    def execute(self):
+        time.sleep(self.seconds)
+        return {"workload": self.workload, "status": "ok"}
+
+    def failure_record(self, status, error, failure_class):
+        return {"workload": self.workload, "status": status,
+                "error": error, "failure_class": failure_class}
+
+
+@dataclass(frozen=True)
+class JSpec:
+    """Mirror of the spec the signal-drain child process runs: spec
+    keys hash the class *name* and fields, so this resumes the child's
+    journal."""
+
+    tag: int
+    marker: str
+    stop: str
+
+    @property
+    def workload(self):
+        return f"j{self.tag}"
+
+    def execute(self):
+        if self.tag == 0:
+            with open(self.marker, "w") as fh:
+                fh.write("x")
+            return {"tag": 0, "status": "ok"}
+        while not os.path.exists(self.stop):
+            time.sleep(0.01)
+        return {"tag": 1, "status": "ok"}
+
+    def failure_record(self, status, error, failure_class):
+        return {"tag": self.tag, "status": status,
+                "failure_class": failure_class}
+
+
+def add_specs(tmp_path, n=4, log=None):
+    return [AddSpec(a=i, b=i * 10, log=log and str(log))
+            for i in range(n)]
+
+
+# ---------------------------------------------------------------------
+# the journal itself
+# ---------------------------------------------------------------------
+
+class TestJournal:
+    def test_roundtrip(self, tmp_path):
+        jrnl = RunJournal(tmp_path / "j.jsonl")
+        assert jrnl.append("k1", {"status": "ok", "n": 1})
+        assert jrnl.append("k2", {"status": "ok", "n": 2})
+        jrnl.close()
+        done = RunJournal(jrnl.path).load()
+        assert done == {"k1": {"status": "ok", "n": 1},
+                        "k2": {"status": "ok", "n": 2}}
+
+    def test_torn_and_garbage_lines_skipped(self, tmp_path):
+        jrnl = RunJournal(tmp_path / "j.jsonl")
+        jrnl.append("k1", {"n": 1})
+        jrnl.append("k2", {"n": 2})
+        jrnl.close()
+        with open(jrnl.path, "a") as fh:
+            fh.write("not json at all\n")
+            fh.write('{"schema": 1, "key": "k3", "sha": "0", "rec')
+        fresh = RunJournal(jrnl.path)
+        assert fresh.load() == {"k1": {"n": 1}, "k2": {"n": 2}}
+        assert fresh.skipped_lines == 2
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert RunJournal(tmp_path / "absent.jsonl").load() == {}
+
+    def test_spec_key_is_content_addressed(self, tmp_path):
+        a1 = AddSpec(a=1, b=2)
+        assert spec_key(a1) == spec_key(AddSpec(a=1, b=2))
+        assert spec_key(a1) != spec_key(AddSpec(a=1, b=3))
+        assert spec_key(a1) != spec_key(PoisonSpec(tag=1))
+
+    def test_auto_path_is_campaign_addressed(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_JOURNAL_DIR", str(tmp_path))
+        specs = add_specs(tmp_path)
+        path = resolve_path(True, specs)
+        assert path == resolve_path("auto", specs)
+        assert path.parent == tmp_path
+        assert path != resolve_path(True, specs[:2])
+        explicit = tmp_path / "mine.jsonl"
+        assert resolve_path(explicit, specs) == explicit
+
+
+# ---------------------------------------------------------------------
+# journaled run_specs + resume
+# ---------------------------------------------------------------------
+
+class TestResume:
+    def test_serial_run_journals_every_record(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        records = run_specs(add_specs(tmp_path), jobs=1, journal=path)
+        assert [r["sum"] for r in records] == [0, 11, 22, 33]
+        assert len(path.read_text().splitlines()) == 4
+        assert counters()[JOURNAL_APPENDS] == 4
+
+    def test_resume_skips_completed_prefix(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        log = tmp_path / "log.txt"
+        specs = add_specs(tmp_path, log=log)
+        run_specs(specs[:2], jobs=1, journal=path)
+        assert len(log.read_text().splitlines()) == 2
+
+        reset_resilience()
+        records = run_specs(specs, jobs=1, journal=path, resume=True)
+        # the two journaled cells were replayed, not re-executed
+        assert len(log.read_text().splitlines()) == 4
+        assert counters()[JOURNAL_HITS] == 2
+        assert [r["sum"] for r in records] == [0, 11, 22, 33]
+
+    def test_resumed_equals_fresh(self, tmp_path):
+        specs = add_specs(tmp_path)
+        fresh = run_specs(specs, jobs=1)
+        path = tmp_path / "j.jsonl"
+        run_specs(specs[:3], jobs=1, journal=path)
+        resumed = run_specs(specs, jobs=1, journal=path, resume=True)
+        assert resumed == fresh
+
+    def test_without_resume_journal_is_write_only(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        log = tmp_path / "log.txt"
+        specs = add_specs(tmp_path, log=log)
+        run_specs(specs, jobs=1, journal=path)
+        run_specs(specs, jobs=1, journal=path)  # no resume: re-executes
+        assert len(log.read_text().splitlines()) == 8
+        assert counters()[JOURNAL_HITS] == 0
+
+
+# ---------------------------------------------------------------------
+# degradation ladder
+# ---------------------------------------------------------------------
+
+class TestDegradation:
+    def test_transient_failure_retried_with_backoff(self, tmp_path):
+        specs = [FlakySpec(counter=str(tmp_path / "c.txt"),
+                           fail_times=1)] + add_specs(tmp_path, 2)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            records = run_specs(specs, jobs=2)
+        assert records[0]["status"] == "ok"
+        assert [r["status"] for r in records] == ["ok"] * 3
+        assert counters()[RETRIES] >= 1
+        assert any("retrying with backoff" in str(w.message)
+                   for w in caught)
+
+    def test_poison_spec_quarantined(self, tmp_path):
+        specs = [PoisonSpec(tag=7)] + add_specs(tmp_path, 2)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            records = run_specs(specs, jobs=2, retries=1)
+        assert records[0]["status"] == "quarantined"
+        assert records[0]["failure_class"] == "infra"
+        assert "always broken" in records[0]["error"]
+        assert [r["status"] for r in records[1:]] == ["ok", "ok"]
+        assert counters()[QUARANTINED] == 1
+        assert any("quarantined" in str(w.message) for w in caught)
+
+    def test_dead_worker_rebuilds_pool_and_requeues(self, tmp_path):
+        specs = [KillerSpec(marker=str(tmp_path / "died.txt"))] \
+            + add_specs(tmp_path, 3)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            records = run_specs(specs, jobs=2)
+        assert [r["status"] for r in records] == ["ok"] * 4
+        assert (tmp_path / "died.txt").exists()
+        assert counters()[REQUEUED] >= 1
+        assert any("requeued" in str(w.message) for w in caught)
+
+    def test_second_timeout_becomes_timeout_record(self, tmp_path,
+                                                   monkeypatch):
+        monkeypatch.setenv("REPRO_SERIAL_RETRY_TIMEOUT", "0.5")
+        specs = [SleepySpec(seconds=30.0)] + add_specs(tmp_path, 2)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            records = run_specs(specs, jobs=2, timeout=0.75)
+        assert records[0]["status"] == "timeout"
+        assert records[0]["failure_class"] == "hang"
+        assert "serial retry exceeded" in records[0]["error"]
+        assert [r["status"] for r in records[1:]] == ["ok", "ok"]
+        assert counters()[TIMEOUTS] == 1
+        assert any("watchdog" in str(w.message) for w in caught)
+
+    def test_journal_survives_pool_degradation(self, tmp_path):
+        """Records synthesized by the degradation ladder are journaled
+        too — a resume replays the quarantine instead of re-running the
+        poison spec."""
+        path = tmp_path / "j.jsonl"
+        specs = [PoisonSpec(tag=9)] + add_specs(tmp_path, 2)
+        with warnings.catch_warnings(record=True):
+            warnings.simplefilter("always")
+            first = run_specs(specs, jobs=2, retries=0, journal=path)
+        reset_resilience()
+        resumed = run_specs(specs, jobs=1, journal=path, resume=True)
+        assert resumed == first
+        assert counters()[JOURNAL_HITS] == 3
+        assert counters()[QUARANTINED] == 0
+
+
+# ---------------------------------------------------------------------
+# signal drain
+# ---------------------------------------------------------------------
+
+CHILD_SCRIPT = """\
+import os, sys, time
+sys.path.insert(0, sys.argv[1])
+from dataclasses import dataclass
+from repro.harness.parallel import run_specs
+
+@dataclass(frozen=True)
+class JSpec:
+    tag: int
+    marker: str
+    stop: str
+
+    @property
+    def workload(self):
+        return f"j{self.tag}"
+
+    def execute(self):
+        if self.tag == 0:
+            with open(self.marker, "w") as fh:
+                fh.write("x")
+            return {"tag": 0, "status": "ok"}
+        while not os.path.exists(self.stop):
+            time.sleep(0.01)
+        return {"tag": 1, "status": "ok"}
+
+    def failure_record(self, status, error, failure_class):
+        return {"tag": self.tag, "status": status,
+                "failure_class": failure_class}
+
+marker, stop, journal = sys.argv[2], sys.argv[3], sys.argv[4]
+specs = [JSpec(0, marker, stop), JSpec(1, marker, stop)]
+run_specs(specs, jobs=1, journal=journal)
+"""
+
+
+class TestSignalDrain:
+    def test_sigterm_leaves_durable_prefix_then_resumes(self, tmp_path):
+        marker = tmp_path / "marker"
+        stop = tmp_path / "stop"
+        journal = tmp_path / "j.jsonl"
+        script = tmp_path / "child.py"
+        script.write_text(CHILD_SCRIPT)
+        proc = subprocess.Popen(
+            [sys.executable, str(script), SRC, str(marker), str(stop),
+             str(journal)])
+        try:
+            deadline = time.monotonic() + 30
+            while not marker.exists():
+                assert time.monotonic() < deadline, \
+                    "child never reached spec 0"
+                assert proc.poll() is None, "child died early"
+                time.sleep(0.01)
+            time.sleep(0.2)  # let the journal append land
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) != 0  # KeyboardInterrupt exit
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+        # the completed prefix survived the kill ...
+        assert len(RunJournal(journal).load()) == 1
+
+        # ... and a resume finishes the campaign without re-running it
+        stop.write_text("go")
+        specs = [JSpec(0, str(marker), str(stop)),
+                 JSpec(1, str(marker), str(stop))]
+        records = run_specs(specs, jobs=1, journal=journal, resume=True)
+        assert records == [{"tag": 0, "status": "ok"},
+                           {"tag": 1, "status": "ok"}]
+        assert counters()[JOURNAL_HITS] == 1
+
+
+# ---------------------------------------------------------------------
+# campaign-level resume (torture + fault injection)
+# ---------------------------------------------------------------------
+
+class TestCampaignResume:
+    def test_torture_resume_is_identical(self, tmp_path):
+        from repro.verify.campaign import run_torture
+        kwargs = dict(seed=0, count=2, machines=("diag",),
+                      ff_modes=(True,), simt_modes=(False,), ops=12,
+                      jobs=1)
+        path = tmp_path / "torture.jsonl"
+        first = run_torture(journal=path, **kwargs)
+        reset_resilience()
+        resumed = run_torture(journal=path, resume=True, **kwargs)
+        assert [o.status for o in resumed.outcomes] \
+            == [o.status for o in first.outcomes]
+        assert counters()[JOURNAL_HITS] == len(first.outcomes)
+
+    def test_fault_campaign_resume_is_identical(self, tmp_path):
+        from repro.faults.campaign import run_campaign
+        kwargs = dict(workload="nn", machine="diag", config="F4C2",
+                      scale=0.2, trials=6, seed=42, jobs=2)
+        path = tmp_path / "faults.jsonl"
+        first = run_campaign(journal=path, **kwargs)
+        reset_resilience()
+        resumed = run_campaign(journal=path, resume=True, **kwargs)
+        assert resumed.outcome_sequence() == first.outcome_sequence()
+        assert resumed.counts == first.counts
+        assert counters()[JOURNAL_HITS] >= 1

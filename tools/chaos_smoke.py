@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""CI chaos smoke: SIGKILL a campaign mid-flight, resume, diff.
+
+Runs a fixed-seed torture campaign three ways:
+
+1. **reference** — undisturbed, stdout captured;
+2. **chaos**     — same campaign with ``--journal``, SIGKILLed the
+   moment the write-ahead journal holds at least one completed cell;
+3. **resume**    — same command with ``--resume``, stdout captured.
+
+The resumed stdout must be **byte-identical** to the reference — the
+crash-safety contract of docs/RESILIENCE.md §2 (resilience counters go
+to stderr precisely so they cannot perturb this comparison). The
+resume must also actually *be* a resume: its stderr has to report
+journal hits for every journaled cell.
+
+Usage: ``python tools/chaos_smoke.py [--count 8] [--jobs 2]``
+(``src/`` is put on ``sys.path``/``PYTHONPATH`` automatically).
+"""
+
+import argparse
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    os.pardir)
+SRC = os.path.join(REPO, "src")
+sys.path.insert(0, SRC)
+
+
+def campaign_cmd(args, extra=()):
+    return [sys.executable, "-m", "repro", "verify", "torture",
+            "--seed", str(args.seed), "--count", str(args.count),
+            "--machine", "diag", "--ff", "on", "--simt", "off",
+            "--ops", str(args.ops), "--jobs", str(args.jobs),
+            *extra]
+
+
+def run(cmd):
+    env = dict(os.environ, PYTHONPATH=SRC)
+    return subprocess.run(cmd, capture_output=True, text=True, env=env)
+
+
+def journal_lines(path):
+    try:
+        with open(path) as handle:
+            return sum(1 for __ in handle)
+    except OSError:
+        return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--count", type=int, default=8)
+    parser.add_argument("--ops", type=int, default=24)
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--kill-after", type=int, default=1,
+                        help="SIGKILL once the journal holds this many "
+                             "cells (default 1)")
+    args = parser.parse_args(argv)
+    failures = []
+
+    journal = os.path.join(
+        tempfile.mkdtemp(prefix="repro-chaos-"), "campaign.jsonl")
+
+    # 1. the undisturbed reference
+    reference = run(campaign_cmd(args))
+    if reference.returncode != 0:
+        print(reference.stdout)
+        print(reference.stderr, file=sys.stderr)
+        print("FAIL: reference campaign failed", file=sys.stderr)
+        return 1
+
+    # 2. chaos: journal on, SIGKILL mid-flight
+    env = dict(os.environ, PYTHONPATH=SRC)
+    proc = subprocess.Popen(
+        campaign_cmd(args, ("--journal", journal)),
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL, env=env)
+    deadline = time.monotonic() + 120
+    while journal_lines(journal) < args.kill_after \
+            and proc.poll() is None:
+        if time.monotonic() > deadline:
+            proc.kill()
+            proc.wait()
+            print("FAIL: journal never reached "
+                  f"{args.kill_after} cells", file=sys.stderr)
+            return 1
+        time.sleep(0.02)
+    killed_at = journal_lines(journal)
+    if proc.poll() is None:
+        proc.send_signal(signal.SIGKILL)
+        proc.wait()
+        print(f"killed campaign with {killed_at} cells journaled")
+    else:
+        # tiny campaign raced to completion; the resume check below
+        # still validates replay, just without a real crash
+        print("note: campaign finished before the kill "
+              f"({killed_at} cells journaled)")
+
+    # 3. resume and diff
+    resumed = run(campaign_cmd(args, ("--journal", journal,
+                                      "--resume")))
+    if resumed.returncode != 0:
+        failures.append("resumed campaign failed "
+                        f"(rc={resumed.returncode})")
+    if resumed.stdout != reference.stdout:
+        failures.append("resumed stdout differs from the reference")
+        print("--- reference ---")
+        print(reference.stdout)
+        print("--- resumed ---")
+        print(resumed.stdout)
+    hits = re.search(r"journal\.hits=(\d+)", resumed.stderr)
+    if killed_at and (hits is None or int(hits.group(1)) < killed_at):
+        failures.append(
+            f"expected >= {killed_at} journal hits on resume, "
+            f"stderr said: {resumed.stderr.strip()!r}")
+
+    print(f"reference: {reference.stdout.strip().splitlines()[0]}")
+    print(f"resume journal hits: "
+          f"{hits.group(1) if hits else 'none reported'}")
+    for line in failures:
+        print(f"FAIL: {line}", file=sys.stderr)
+    if not failures:
+        print("chaos smoke OK: kill + resume is byte-identical")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
