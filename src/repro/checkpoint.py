@@ -36,6 +36,7 @@ import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.obs import telemetry
 from repro.obs.resilience import (
     CKPT_BYTES,
     CKPT_RESTORE_MS,
@@ -142,8 +143,11 @@ def save_state(sim, hooks=HOOK_ATTRS, meta=None):
         meta=dict(meta or {}))
     reg = resilience()
     reg.inc(CKPT_BYTES, len(payload))
-    reg.histogram(CKPT_SAVE_MS).sample(
-        (time.perf_counter() - start) * 1000.0)
+    save_ms = (time.perf_counter() - start) * 1000.0
+    reg.histogram(CKPT_SAVE_MS).sample(save_ms)
+    telemetry.emit("checkpoint_save", machine=ckpt.machine,
+                   cycle=ckpt.cycle, bytes=len(payload),
+                   ms=round(save_ms, 3))
     return ckpt
 
 
@@ -173,8 +177,10 @@ def restore_state(ckpt, expect=None):
         raise CheckpointError(
             f"cannot unpickle {ckpt.machine} checkpoint: "
             f"{type(exc).__name__}: {exc}") from exc
-    resilience().histogram(CKPT_RESTORE_MS).sample(
-        (time.perf_counter() - start) * 1000.0)
+    restore_ms = (time.perf_counter() - start) * 1000.0
+    resilience().histogram(CKPT_RESTORE_MS).sample(restore_ms)
+    telemetry.emit("checkpoint_restore", machine=ckpt.machine,
+                   cycle=ckpt.cycle, ms=round(restore_ms, 3))
     return sim
 
 

@@ -13,6 +13,7 @@ Commands:
 * ``cache stats|clear|verify``  — administer the on-disk run cache
 * ``verify lockstep|torture|shrink|corpus`` — differential lockstep
   verification against the ISS golden model (docs/VERIFICATION.md)
+* ``bench history``             — bench-trend history / regression gate
 
 ``sweep`` and ``faults`` accept ``--jobs N`` (or the ``REPRO_JOBS``
 environment variable) to shard runs across worker processes; output is
@@ -20,8 +21,13 @@ identical for any N (see docs/PARALLEL.md). ``sweep``, ``faults`` and
 ``verify torture`` additionally accept ``--journal [PATH]`` /
 ``--resume`` for crash-safe resumable campaigns, and print a one-line
 resilience summary to stderr whenever the harness had to retry,
-requeue or quarantine anything (docs/RESILIENCE.md). Everything the
-CLI does is also available as a library; see README.md.
+requeue or quarantine anything (docs/RESILIENCE.md). The same three
+commands take ``--telemetry [PATH]`` (structured JSONL run-event
+stream), ``--progress`` (live status line folded from that stream) and
+``--metrics-port N`` (OpenMetrics HTTP exposition); ``repro trace
+--campaign <telemetry.jsonl>`` merges a stream into one campaign-level
+Chrome trace (docs/OBSERVABILITY.md §6). Everything the CLI does is
+also available as a library; see README.md.
 """
 
 import argparse
@@ -177,28 +183,80 @@ def _cmd_run(args):
 
 
 def _cmd_stats(args):
-    from repro.obs import format_flat, resilience_snapshot
+    from repro.obs import (format_flat, openmetrics_flat,
+                           resilience_snapshot)
 
     records = _run_machines(args)
-    if args.json is not None:
+    fmt = args.format
+    if fmt == "text" and args.json is not None:
+        fmt = "json"  # back-compat spelling of --format json
+
+    def narrow(flat):
+        """Apply ``--filter PREFIX`` to a flat stats dump."""
+        if not args.filter:
+            return flat
+        return {name: value for name, value in flat.items()
+                if name.startswith(args.filter)}
+
+    if fmt == "json":
         docs = {name: _record_doc(rec) for name, rec in records.items()}
+        for doc in docs.values():
+            doc["stats"] = narrow(doc["stats"])
         doc = next(iter(docs.values())) if len(docs) == 1 else docs
         doc["resilience"] = resilience_snapshot()
-        _emit_json(doc, args.json)
+        _emit_json(doc, args.json if args.json is not None else "-")
+    elif fmt == "openmetrics":
+        # one exposition document: per-machine stats namespaced by
+        # engine, resilience counters appended, single # EOF
+        combined = {}
+        for name, rec in records.items():
+            for key, value in narrow(rec.stats).items():
+                combined[f"{name}.{key}"] = value
+        combined.update(narrow(resilience_snapshot()))
+        sys.stdout.write(openmetrics_flat(combined))
     else:
         for name, rec in records.items():
             print(f"==> {args.workload} on {name} "
                   f"({rec.config}, status={rec.status})")
-            print(format_flat(rec.stats))
+            print(format_flat(narrow(rec.stats)))
         print("==> harness resilience (host-side; excluded from "
               "byte-identity, see docs/RESILIENCE.md)")
-        print(format_flat(resilience_snapshot()))
+        print(format_flat(narrow(resilience_snapshot())))
     return 0 if all(not r.failed for r in records.values()) else 1
+
+
+def _trace_campaign(args):
+    """``repro trace --campaign <telemetry.jsonl>``: merge a campaign
+    telemetry stream into one Chrome trace (worker Gantt)."""
+    from repro.obs import campaign_trace, read_events
+
+    events = read_events(args.campaign)
+    if not events:
+        print(f"no telemetry events in {args.campaign}",
+              file=sys.stderr)
+        return 1
+    doc = campaign_trace(events, max_events=args.max_events)
+    with open(args.output, "w") as handle:
+        json.dump(doc, handle)
+    trace_events = doc.get("traceEvents", [])
+    spans = sum(1 for ev in trace_events if ev.get("ph") == "X")
+    workers = len({ev.get("pid") for ev in events})
+    print(f"wrote {args.output}: {len(trace_events)} trace events "
+          f"({spans} spans) from {len(events)} telemetry events "
+          f"across {workers} process(es)")
+    print("open in https://ui.perfetto.dev or chrome://tracing")
+    return 0
 
 
 def _cmd_trace(args):
     from repro.obs import EventTracer
 
+    if args.campaign is not None:
+        return _trace_campaign(args)
+    if args.workload is None:
+        print("trace: a workload (or --campaign PATH) is required",
+              file=sys.stderr)
+        return 2
     tracer = EventTracer(max_events=args.max_events)
     records = _run_machines(args, tracer=tracer)
     tracer.write(args.output)
@@ -241,24 +299,83 @@ def _journal_arg(args):
     return journal
 
 
-def _emit_resilience():
+def _emit_resilience(monitor=None):
     """One-line harness-resilience summary on stderr (stdout stays
-    byte-identical across retries/resumes; docs/RESILIENCE.md)."""
-    from repro.obs import resilience_summary
+    byte-identical across retries/resumes; docs/RESILIENCE.md).
 
-    line = resilience_summary()
+    The line always carries the campaign cache-hit ratio and the ETA
+    source (docs/OBSERVABILITY.md §6). A monitored campaign
+    (``--progress``/``--telemetry``/``--metrics-port``) reports them
+    from the telemetry fold and always prints; an unmonitored one
+    stays quiet unless a resilience counter fired."""
+    from repro.obs import resilience_summary
+    from repro.obs.progress import summary_extras
+
+    if monitor is None and resilience_summary() is None:
+        return
+    line = resilience_summary(extra=summary_extras(monitor))
     if line:
         print(line, file=sys.stderr)
+
+
+def _campaign_monitor(args, label):
+    """Honour ``--progress`` / ``--telemetry`` / ``--metrics-port``.
+
+    Returns ``(monitor, server)`` — a bound
+    :class:`repro.obs.ProgressRenderer` (quiet unless ``--progress``)
+    plus an optional running :class:`repro.obs.MetricsServer`, or
+    ``(None, None)`` when none of the flags were given. The caller
+    threads ``monitor`` into the campaign as ``progress=`` and must
+    call :func:`_finish_monitor` afterwards."""
+    want_progress = getattr(args, "progress", False)
+    stream_arg = getattr(args, "telemetry", None)
+    port = getattr(args, "metrics_port", None)
+    if not want_progress and stream_arg is None and port is None:
+        return None, None
+    from repro.obs import (MetricsServer, ProgressRenderer,
+                           StatsRegistry, resilience, telemetry)
+
+    bus = telemetry.configure(
+        path=None if stream_arg in (None, True) else stream_arg)
+    print(f"telemetry: {bus.path}", file=sys.stderr)
+    monitor = ProgressRenderer(label=label,
+                               quiet=not want_progress).bind(bus)
+    server = None
+    if port is not None:
+        def provider():
+            # read-only fold of state the harness thread updates; the
+            # exposition is at most one poll interval stale
+            reg = StatsRegistry()
+            reg.merge(resilience())
+            reg.merge(monitor.progress.to_registry())
+            return reg.to_openmetrics()
+
+        server = MetricsServer(provider, port=port).start()
+        print(f"metrics: http://127.0.0.1:{server.port}/metrics",
+              file=sys.stderr)
+    return monitor, server
+
+
+def _finish_monitor(monitor, server):
+    if monitor is not None:
+        monitor.finish()
+    if server is not None:
+        server.close()
 
 
 def _cmd_sweep(args):
     from repro.harness.sweeps import ALL_SWEEPS
 
+    monitor, server = _campaign_monitor(args, f"sweep {args.knob}")
     sweep = ALL_SWEEPS[args.knob]
-    result = sweep(args.workload, scale=args.scale, jobs=args.jobs,
-                   journal=_journal_arg(args), resume=args.resume)
+    try:
+        result = sweep(args.workload, scale=args.scale, jobs=args.jobs,
+                       journal=_journal_arg(args), resume=args.resume,
+                       progress=monitor)
+    finally:
+        _finish_monitor(monitor, server)
     print(result.render())
-    _emit_resilience()
+    _emit_resilience(monitor)
     return 0 if result.all_verified() else 1
 
 
@@ -296,18 +413,21 @@ def _cmd_faults(args):
         print(f"unknown workload '{args.workload}'; one of: "
               f"{', '.join(sorted(all_workloads()))}", file=sys.stderr)
         return 2
+    monitor, server = _campaign_monitor(args, f"faults {args.workload}")
     try:
         report = run_campaign(args.workload, machine=args.machine,
                               config=args.config, scale=args.scale,
                               trials=args.trials, seed=args.seed,
                               jobs=args.jobs,
                               journal=_journal_arg(args),
-                              resume=args.resume)
+                              resume=args.resume, progress=monitor)
     except CampaignError as exc:
         print(f"campaign aborted: {exc}", file=sys.stderr)
         return 1
+    finally:
+        _finish_monitor(monitor, server)
     print(report.summary())
-    _emit_resilience()
+    _emit_resilience(monitor)
     return 0
 
 
@@ -363,13 +483,18 @@ def _verify_torture(args):
                 "off": (False,)}[args.ff]
     simt_modes = {"both": (False, True), "on": (True,),
                   "off": (False,)}[args.simt]
-    report = run_torture(args.seed, args.count, machines=machines,
-                         ff_modes=ff_modes, simt_modes=simt_modes,
-                         ops=args.ops, jobs=args.jobs,
-                         max_cycles=args.max_cycles,
-                         journal=_journal_arg(args), resume=args.resume)
+    monitor, server = _campaign_monitor(args, "torture")
+    try:
+        report = run_torture(args.seed, args.count, machines=machines,
+                             ff_modes=ff_modes, simt_modes=simt_modes,
+                             ops=args.ops, jobs=args.jobs,
+                             max_cycles=args.max_cycles,
+                             journal=_journal_arg(args),
+                             resume=args.resume, progress=monitor)
+    finally:
+        _finish_monitor(monitor, server)
     print(f"torture seed={args.seed}: {report.summary()}")
-    _emit_resilience()
+    _emit_resilience(monitor)
     for outcome in report.failures[:10]:
         print(f"--- {outcome.spec.workload} [{outcome.status}]")
         print("\n".join(outcome.detail.splitlines()[:12]))
@@ -427,6 +552,44 @@ def _cmd_verify(args):
             "corpus": _verify_corpus}[args.action](args)
 
 
+def _cmd_bench(args):
+    """``repro bench history``: append BENCH_*.json documents to the
+    bench-trend history and/or gate the tracked metrics against their
+    rolling median (also ``tools/bench_history.py``)."""
+    from repro.obs import benchtrend
+
+    history = args.history if args.history is not None \
+        else str(benchtrend.HISTORY_PATH)
+    status = 0
+    for path in args.files:
+        entry = benchtrend.append_entry(path, history, sha=args.sha)
+        if entry is None:
+            print(f"not a readable BENCH_*.json document: {path}",
+                  file=sys.stderr)
+            status = 1
+            continue
+        print(f"appended {entry['bench']} ({len(entry['metrics'])} "
+              f"metrics, sha {str(entry['sha'])[:12]}) -> {history}")
+    if args.check:
+        report = benchtrend.check(
+            history,
+            window=args.window if args.window is not None
+            else benchtrend.WINDOW,
+            tolerance=args.tolerance if args.tolerance is not None
+            else benchtrend.TOLERANCE)
+        for line in benchtrend.format_report(report):
+            stream = sys.stderr if line.startswith("REGRESSION") \
+                else sys.stdout
+            print(line, file=stream)
+        if report["regressions"]:
+            status = 1
+    elif not args.files:
+        print("bench history: nothing to do (pass BENCH_*.json "
+              "files, --check, or both)", file=sys.stderr)
+        return 2
+    return status
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -435,8 +598,12 @@ def build_parser():
 
     sub.add_parser("list", help="list workloads / configs / experiments")
 
-    def add_machine_opts(p, default_machine="both", simt=True):
-        p.add_argument("workload")
+    def add_machine_opts(p, default_machine="both", simt=True,
+                         workload_optional=False):
+        if workload_optional:
+            p.add_argument("workload", nargs="?", default=None)
+        else:
+            p.add_argument("workload")
         p.add_argument("--machine", default=default_machine,
                        choices=("both", "diag", "ooo"),
                        help="engine(s) to run "
@@ -469,16 +636,29 @@ def build_parser():
     stats_p.add_argument("--json", nargs="?", const="-", default=None,
                          metavar="PATH",
                          help="JSON instead of text (stdout if PATH "
-                              "omitted)")
+                              "omitted); same as --format json")
+    stats_p.add_argument("--format", default="text",
+                         choices=("text", "json", "openmetrics"),
+                         help="output format (openmetrics: Prometheus"
+                              "-scrapable text exposition)")
+    stats_p.add_argument("--filter", default=None, metavar="PREFIX",
+                         help="only stats whose dotted name starts "
+                              "with PREFIX (e.g. core.stall)")
 
     trace_p = sub.add_parser(
         "trace", help="run with the event tracer and write a Chrome "
                       "trace_event JSON (Perfetto-loadable)")
-    add_machine_opts(trace_p, default_machine="diag")
+    add_machine_opts(trace_p, default_machine="diag",
+                     workload_optional=True)
     trace_p.add_argument("-o", "--output", default="trace.json")
     trace_p.add_argument("--max-events", type=int, default=200_000,
                          help="ring-buffer bound on retained events "
                               "(older events drop first)")
+    trace_p.add_argument("--campaign", default=None, metavar="PATH",
+                         help="merge a campaign telemetry JSONL "
+                              "stream (from --telemetry) into one "
+                              "worker-Gantt Chrome trace instead of "
+                              "running a workload")
 
     exp_p = sub.add_parser("experiment",
                            help="regenerate a paper table/figure")
@@ -507,6 +687,24 @@ def build_parser():
                             "output is byte-identical to an "
                             "undisturbed run")
 
+    def add_telemetry_opts(p):
+        p.add_argument("--progress", action="store_true",
+                       help="render a live status line on stderr "
+                            "(completed/total, cells/s, ETA, retries, "
+                            "cache hits; docs/OBSERVABILITY.md)")
+        p.add_argument("--telemetry", nargs="?", const=True,
+                       default=None, metavar="PATH",
+                       help="append structured lifecycle events to a "
+                            "telemetry JSONL stream (auto-named under "
+                            ".repro_telemetry/ if PATH omitted); "
+                            "implied by --progress / --metrics-port")
+        p.add_argument("--metrics-port", type=int, default=None,
+                       metavar="N",
+                       help="serve live campaign + resilience "
+                            "aggregates as OpenMetrics text on "
+                            "http://127.0.0.1:N/metrics (0 picks a "
+                            "free port)")
+
     sweep_p = sub.add_parser("sweep", help="design-space sweep")
     sweep_p.add_argument("knob", choices=("clusters", "threads",
                                           "lsu_depth", "flush_penalty"))
@@ -514,6 +712,7 @@ def build_parser():
     sweep_p.add_argument("--scale", type=float, default=0.5)
     add_jobs_opt(sweep_p)
     add_resume_opts(sweep_p)
+    add_telemetry_opts(sweep_p)
 
     faults_p = sub.add_parser(
         "faults", help="seed-driven transient fault-injection campaign")
@@ -527,6 +726,7 @@ def build_parser():
     faults_p.add_argument("--seed", type=int, default=0)
     add_jobs_opt(faults_p)
     add_resume_opts(faults_p)
+    add_telemetry_opts(faults_p)
 
     cache_p = sub.add_parser(
         "cache", help="administer the persistent on-disk run cache")
@@ -575,6 +775,7 @@ def build_parser():
                          "tests/regressions/")
     add_jobs_opt(vt)
     add_resume_opts(vt)
+    add_telemetry_opts(vt)
 
     vs = verify_sub.add_parser(
         "shrink", help="shrink one diverging torture cell to a minimal "
@@ -593,6 +794,28 @@ def build_parser():
     vc = verify_sub.add_parser(
         "corpus", help="replay every reproducer in tests/regressions/")
     vc.add_argument("--dir", default=None, metavar="DIR")
+
+    bench_p = sub.add_parser(
+        "bench", help="benchmark bookkeeping (bench-trend history)")
+    bench_sub = bench_p.add_subparsers(dest="action", required=True)
+    bh = bench_sub.add_parser(
+        "history", help="append BENCH_*.json to benchmarks/"
+                        "history.jsonl and gate trend regressions")
+    bh.add_argument("files", nargs="*",
+                    help="BENCH_*.json documents to append")
+    bh.add_argument("--history", default=None, metavar="PATH",
+                    help="history JSONL (default benchmarks/"
+                         "history.jsonl)")
+    bh.add_argument("--check", action="store_true",
+                    help="gate tracked metrics against the rolling "
+                         "median (exit 1 on regression)")
+    bh.add_argument("--window", type=int, default=None,
+                    help="rolling-median window (default 8)")
+    bh.add_argument("--tolerance", type=float, default=None,
+                    help="relative tolerance band (default 0.25)")
+    bh.add_argument("--sha", default=None,
+                    help="override the git sha recorded on appended "
+                         "entries")
     return parser
 
 
@@ -609,6 +832,7 @@ def main(argv=None):
         "faults": _cmd_faults,
         "cache": _cmd_cache,
         "verify": _cmd_verify,
+        "bench": _cmd_bench,
     }[args.command]
     try:
         return handler(args)

@@ -290,7 +290,8 @@ class FaultChunkSpec:
 
 
 def _classify_pooled(workload, machine, run_cfg, scale, specs, budget,
-                     gold_x, gold_f, jobs, journal=None, resume=False):
+                     gold_x, gold_f, jobs, journal=None, resume=False,
+                     progress=None):
     """Shard trial classification across :func:`run_specs` (retry with
     backoff, pool rebuild, journaled resume); any chunk the harness
     still could not produce is re-classified serially in-process."""
@@ -304,7 +305,7 @@ def _classify_pooled(workload, machine, run_cfg, scale, specs, budget,
                             chunk_index=index)
              for index, chunk in enumerate(chunks)]
     results = run_specs(cells, jobs=jobs, journal=journal,
-                        resume=resume)
+                        resume=resume, progress=progress)
     for index, chunk_result in enumerate(results):
         if chunk_result is None:
             results[index] = _trial_chunk(
@@ -315,7 +316,7 @@ def _classify_pooled(workload, machine, run_cfg, scale, specs, budget,
 
 def run_campaign(workload, machine="diag", config="F4C2", scale=0.25,
                  trials=20, seed=0, watchdog_window=None, jobs=None,
-                 journal=None, resume=False):
+                 journal=None, resume=False, progress=None):
     """Run a full injection campaign; returns a :class:`CampaignReport`.
 
     ``config`` names a Table 2 preset for ``machine="diag"`` and is
@@ -327,7 +328,9 @@ def run_campaign(workload, machine="diag", config="F4C2", scale=0.25,
     report is identical to the serial one, in the same trial order.
     ``journal``/``resume`` journal completed trial chunks for
     crash-safe resumption; the chunking depends on ``jobs``, so resume
-    with the same ``--jobs`` (docs/RESILIENCE.md).
+    with the same ``--jobs`` (docs/RESILIENCE.md). ``progress`` (a
+    :class:`repro.obs.progress.ProgressRenderer`) tracks the pooled
+    path live; chunks — the journal's unit of work — are its cells.
     """
     if machine not in ("diag", "ooo"):
         raise ValueError(f"unknown machine {machine!r}")
@@ -367,11 +370,18 @@ def run_campaign(workload, machine="diag", config="F4C2", scale=0.25,
                             clean_retired=stats["core.instructions"],
                             site_population=population)
     from repro.harness.parallel import resolve_jobs
+    from repro.obs import telemetry
     jobs = resolve_jobs(jobs)
-    if (jobs > 1 and len(specs) > 1) or journal:
+    telemetry.emit("plan", kind="faults", workload=workload,
+                   machine=machine, trials=len(specs), seed=seed,
+                   clean_cycles=int(clean_cycles),
+                   sites={site: int(count)
+                          for site, count in population.items()})
+    if (jobs > 1 and len(specs) > 1) or journal or progress:
         report.trials.extend(_classify_pooled(
             workload, machine, run_cfg, scale, specs, budget,
-            gold_x, gold_f, jobs, journal=journal, resume=resume))
+            gold_x, gold_f, jobs, journal=journal, resume=resume,
+            progress=progress))
     else:
         for spec in specs:
             report.trials.append(_classify(machine, run_cfg, program,

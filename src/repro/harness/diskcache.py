@@ -32,6 +32,8 @@ import tempfile
 from dataclasses import asdict
 from pathlib import Path
 
+from repro.obs import telemetry
+
 #: bump when the entry format or RunRecord semantics change; old
 #: entries then simply stop matching and age out via LRU eviction
 #: (2: RunRecord gained ``failure_class``)
@@ -157,14 +159,18 @@ class DiskCache:
             raw = path.read_text()
         except OSError:
             self.misses += 1
+            telemetry.emit("cache_miss", run=key[:12], tier="disk")
             return None
         record = self._decode(raw, key)
         if record is None:
             self.dropped += 1
             self.misses += 1
             self._remove(path)
+            telemetry.emit("cache_miss", run=key[:12], tier="disk",
+                           dropped=True)
             return None
         self.hits += 1
+        telemetry.emit("cache_hit", run=key[:12], tier="disk")
         try:  # LRU touch
             os.utime(path)
         except OSError:

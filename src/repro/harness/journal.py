@@ -32,6 +32,7 @@ import pickle
 from pathlib import Path
 
 from repro.harness import diskcache
+from repro.obs import telemetry
 
 JOURNAL_SCHEMA = 1
 
@@ -92,6 +93,8 @@ class RunJournal:
                 self.skipped_lines += 1
                 continue
             done[entry[0]] = entry[1]
+        telemetry.emit("journal_load", path=str(self.path),
+                       entries=len(done), skipped=self.skipped_lines)
         return done
 
     def _decode(self, line):

@@ -55,6 +55,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 
 from repro.obs import deterministic_view, merge_flat
+from repro.obs import telemetry
 from repro.obs.resilience import (
     JOURNAL_APPENDS,
     JOURNAL_HITS,
@@ -121,13 +122,25 @@ class RunSpec:
                          failure_class=failure_class)
 
 
-def execute_spec(spec):
+def execute_spec(spec, run_id=None, span=None):
     """Run one spec in this process; the pool's worker entry point,
     but equally the serial path.
 
     Any picklable spec object exposing ``.execute()`` (e.g.
     :class:`repro.verify.campaign.TortureSpec`) runs through the same
-    pool/degradation machinery as a :class:`RunSpec`."""
+    pool/degradation machinery as a :class:`RunSpec`.
+
+    ``run_id``/``span`` are the telemetry identity the scheduling
+    parent assigned this attempt; when present, a ``started`` event is
+    emitted from the executing process (so the campaign Gantt knows
+    which worker pid ran what). The authoritative ``finished`` /
+    ``failed`` events are emitted by the parent when the record lands —
+    a worker that dies mid-spec therefore leaves an open span, exactly
+    what happened."""
+    if run_id is not None:
+        telemetry.emit(
+            "started", run=run_id, span=span,
+            label=getattr(spec, "workload", type(spec).__name__))
     execute = getattr(spec, "execute", None)
     if callable(execute):
         return execute()
@@ -227,14 +240,59 @@ def _failure_record(spec, status, error, failure_class):
                  failure_class=failure_class)
 
 
-def _quarantine(spec, attempts, exc):
+def _quarantine(spec, attempts, exc, run_id=None):
     """A spec that failed in the pool *and* in-process: quarantine it
     (classified infra failure) rather than aborting the sweep."""
     resilience().inc(QUARANTINED)
     error = f"{type(exc).__name__}: {exc}"
+    telemetry.emit("quarantine", run=run_id, span=attempts,
+                   error=error)
     warnings.warn(f"{spec.workload} failed {attempts} attempt(s) "
                   f"({error}); quarantined")
     return _failure_record(spec, "quarantined", error, "infra")
+
+
+def _rid(run_ids, index):
+    return None if run_ids is None else run_ids[index]
+
+
+def _submit(pool, spec, run_id, span):
+    """Submit one attempt; keeps the bare ``submit(fn, spec)`` shape
+    when telemetry is off (test doubles stub exactly that)."""
+    if run_id is None:
+        return pool.submit(execute_spec, spec)
+    return pool.submit(execute_spec, spec, run_id, span)
+
+
+def _record_event(record, run_id, span):
+    """The parent-side, authoritative completion event for a landed
+    record: exactly one ``finished``/``failed`` per spec per
+    invocation, however many attempts it took."""
+    if run_id is None:
+        return
+    status = getattr(record, "status", None)
+    if status is None and isinstance(record, dict):
+        status = record.get("status")
+    status = status if status is not None else "ok"
+    telemetry.emit("failed" if status != "ok" else "finished",
+                   run=run_id, span=span, status=str(status))
+
+
+def _await_result(future, deadline, progress):
+    """``future.result`` under the watchdog, polling the progress
+    renderer while waiting so worker-side telemetry surfaces live."""
+    if progress is None:
+        return future.result(timeout=deadline)
+    end = time.monotonic() + deadline
+    while True:
+        remaining = end - time.monotonic()
+        try:
+            return future.result(
+                timeout=max(min(remaining, 0.2), 0.01))
+        except FutureTimeout:
+            progress.poll()
+            if time.monotonic() >= end:
+                raise
 
 
 def _journal_put(jrnl, keys, index, record):
@@ -273,7 +331,7 @@ def _signal_guard(jrnl):
 
 
 def run_specs(specs, jobs=None, timeout=None, journal=None,
-              resume=False, retries=None):
+              resume=False, retries=None, progress=None):
     """Execute ``specs`` and return their records in input order.
 
     ``jobs`` > 1 shards across a process pool; 1 (the default without
@@ -286,11 +344,19 @@ def run_specs(specs, jobs=None, timeout=None, journal=None,
     the write-ahead journal; ``resume=True`` replays previously
     journaled records instead of re-executing them. ``retries`` bounds
     pool resubmissions per spec (default ``REPRO_RETRIES`` / 2).
+
+    When a telemetry bus is active (:mod:`repro.obs.telemetry`), every
+    lifecycle edge — scheduled / replayed / started / retry / requeue /
+    quarantine / timeout / finished / failed — lands on the stream
+    with content-hash run IDs; ``progress`` (a
+    :class:`repro.obs.progress.ProgressRenderer`) is bound to the
+    stream and polled at the harness's idle points.
     """
     specs = list(specs)
     jobs = resolve_jobs(jobs)
     records = [None] * len(specs)
     jrnl = keys = None
+    hit_indices = []
     if journal:
         from repro.harness.journal import (RunJournal, resolve_path,
                                            spec_key)
@@ -298,42 +364,73 @@ def run_specs(specs, jobs=None, timeout=None, journal=None,
         jrnl = RunJournal(resolve_path(journal, specs))
         if resume:
             done = jrnl.load()
-            hits = 0
             for index, key in enumerate(keys):
                 if key in done:
                     records[index] = done[key]
-                    hits += 1
-            if hits:
-                resilience().inc(JOURNAL_HITS, hits)
+                    hit_indices.append(index)
+            if hit_indices:
+                resilience().inc(JOURNAL_HITS, len(hit_indices))
     pending = [i for i, record in enumerate(records) if record is None]
+    bus = telemetry.active()
+    run_ids = None
+    if bus is not None:
+        if keys is None:
+            from repro.harness.journal import spec_key
+            keys = [spec_key(spec) for spec in specs]
+        run_ids = [key[:12] for key in keys]
+        bus.emit("campaign_begin", cells=len(specs), jobs=jobs,
+                 pending=len(pending))
+        for index in hit_indices:
+            bus.emit("replayed", run=run_ids[index],
+                     label=getattr(specs[index], "workload", "?"))
+        for index in pending:
+            bus.emit("scheduled", run=run_ids[index],
+                     label=getattr(specs[index], "workload", "?"))
+    if progress is not None:
+        progress.bind(bus)
+        progress.poll()
     try:
         with _signal_guard(jrnl):
             if jobs <= 1 or len(pending) <= 1:
                 for index in pending:
-                    records[index] = execute_spec(specs[index])
+                    records[index] = execute_spec(
+                        specs[index], _rid(run_ids, index), 1)
                     _journal_put(jrnl, keys, index, records[index])
+                    _record_event(records[index],
+                                  _rid(run_ids, index), 1)
+                    if progress is not None:
+                        progress.poll()
             else:
                 _run_pooled(specs, pending, records, jobs, timeout,
-                            retries, jrnl, keys)
+                            retries, jrnl, keys, run_ids, progress)
     finally:
         if jrnl is not None:
             jrnl.close()
+        if bus is not None:
+            bus.emit("campaign_end", cells=len(specs),
+                     completed=sum(1 for r in records
+                                   if r is not None))
+        if progress is not None:
+            progress.poll(force=True)
     return records
 
 
 def _run_pooled(specs, pending, records, jobs, timeout, retries,
-                jrnl, keys):
+                jrnl, keys, run_ids=None, progress=None):
     """The pool path of :func:`run_specs`: fill ``records[pending]``."""
     try:
         pool = _pool(min(jobs, len(pending)))
-        futures = {index: pool.submit(execute_spec, specs[index])
+        futures = {index: _submit(pool, specs[index],
+                                  _rid(run_ids, index), 1)
                    for index in pending}
     except (pickle.PicklingError, TypeError, OSError) as exc:
         warnings.warn(f"process pool unavailable ({exc}); "
                       "running serially")
         for index in pending:
-            records[index] = execute_spec(specs[index])
+            records[index] = execute_spec(
+                specs[index], _rid(run_ids, index), 1)
             _journal_put(jrnl, keys, index, records[index])
+            _record_event(records[index], _rid(run_ids, index), 1)
         return
 
     deadline = _worker_timeout(timeout)
@@ -354,7 +451,8 @@ def _run_pooled(specs, pending, records, jobs, timeout, retries,
                 continue
             spec = specs[index]
             try:
-                record = futures[index].result(timeout=deadline)
+                record = _await_result(futures[index], deadline,
+                                       progress)
             except FutureTimeout:
                 # do NOT join this worker — abandon the pool below
                 hung = True
@@ -387,8 +485,12 @@ def _run_pooled(specs, pending, records, jobs, timeout, retries,
                 try:
                     pool = _pool(min(jobs, len(unfinished)))
                     for j in unfinished:
-                        futures[j] = pool.submit(execute_spec, specs[j])
+                        futures[j] = _submit(pool, specs[j],
+                                             _rid(run_ids, j),
+                                             attempts[j])
                     reg.inc(REQUEUED, len(unfinished))
+                    telemetry.emit("requeue", count=len(unfinished),
+                                   error=f"{type(exc).__name__}: {exc}")
                     warnings.warn(
                         f"worker process died ({exc}); pool rebuilt, "
                         f"{len(unfinished)} spec(s) requeued")
@@ -407,11 +509,17 @@ def _run_pooled(specs, pending, records, jobs, timeout, retries,
                     attempts[index] += 1
                     _backoff_sleep(attempts[index] - 1)
                     try:
-                        futures[index] = pool.submit(execute_spec, spec)
+                        futures[index] = _submit(
+                            pool, spec, _rid(run_ids, index),
+                            attempts[index])
                     except Exception:
                         pass
                     else:
                         reg.inc(RETRIES)
+                        telemetry.emit("retry",
+                                       run=_rid(run_ids, index),
+                                       span=attempts[index],
+                                       error=error)
                         warnings.warn(
                             f"pool failure on {spec.workload} ({error});"
                             f" retrying with backoff (attempt "
@@ -423,6 +531,10 @@ def _run_pooled(specs, pending, records, jobs, timeout, retries,
                 continue
             records[index] = record
             _journal_put(jrnl, keys, index, record)
+            _record_event(record, _rid(run_ids, index),
+                          attempts[index])
+            if progress is not None:
+                progress.poll()
             position += 1
     except BaseException:
         # interrupted mid-wait (e.g. SIGINT via the signal guard):
@@ -443,17 +555,24 @@ def _run_pooled(specs, pending, records, jobs, timeout, retries,
         if records[index] is not None:
             continue
         spec = specs[index]
+        span = attempts[index] + 1
         try:
             if index in timed_out:
-                records[index] = _serial_retry(spec, deadline, reg)
+                records[index] = _serial_retry(
+                    spec, deadline, reg, _rid(run_ids, index), span)
             else:
-                records[index] = execute_spec(spec)
+                records[index] = execute_spec(
+                    spec, _rid(run_ids, index), span)
         except Exception as exc:
-            records[index] = _quarantine(spec, attempts[index], exc)
+            records[index] = _quarantine(spec, attempts[index], exc,
+                                         _rid(run_ids, index))
         _journal_put(jrnl, keys, index, records[index])
+        _record_event(records[index], _rid(run_ids, index), span)
+        if progress is not None:
+            progress.poll()
 
 
-def _serial_retry(spec, deadline, reg):
+def _serial_retry(spec, deadline, reg, run_id=None, span=None):
     """Bounded re-run of a spec whose pool worker hung: a fresh
     single-worker pool under its own deadline. A second timeout is
     recorded as ``status="timeout"`` with the elapsed time — a hung
@@ -462,19 +581,21 @@ def _serial_retry(spec, deadline, reg):
     start = time.monotonic()
     try:
         retry_pool = _pool(1)
-        future = retry_pool.submit(execute_spec, spec)
+        future = _submit(retry_pool, spec, run_id, span)
     except Exception as exc:
         # no pool available: unbounded in-process degradation — the
         # engine's own cycle/liveness watchdogs still apply
         warnings.warn(f"serial-retry pool unavailable ({exc}); "
                       f"running {spec.workload} in-process")
-        return execute_spec(spec)
+        return execute_spec(spec, run_id, span)
     try:
         record = future.result(timeout=limit)
     except FutureTimeout:
         _abandon(retry_pool)
         elapsed = time.monotonic() - start
         reg.inc(TIMEOUTS)
+        telemetry.emit("timeout", run=run_id, span=span,
+                       elapsed=round(elapsed, 3), limit=limit)
         warnings.warn(
             f"{spec.workload} exceeded the {limit:.0f}s serial-retry "
             f"deadline too; recording status=timeout")
@@ -487,7 +608,7 @@ def _serial_retry(spec, deadline, reg):
         return record
     except Exception:
         _abandon(retry_pool)
-        return execute_spec(spec)
+        return execute_spec(spec, run_id, span)
     retry_pool.shutdown(wait=True)
     return record
 

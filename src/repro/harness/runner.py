@@ -38,6 +38,7 @@ from repro.obs import (
     collect_diag,
     collect_ooo,
     export_throughput,
+    telemetry,
 )
 from repro.workloads import get_workload
 
@@ -159,9 +160,14 @@ def _cached(key, factory, bypass=False):
     record = _CACHE.get(key)
     if record is not None:
         _CACHE.move_to_end(key)
+        telemetry.emit("cache_hit", tier="mem")
         return record
     disk = diskcache.active()
     dkey = diskcache.key_for(key) if disk is not None else None
+    if disk is None:
+        # no second tier: this lookup is decided here (a disk tier
+        # emits its own hit/miss from DiskCache.get)
+        telemetry.emit("cache_miss", tier="mem")
     if disk is not None:
         record = disk.get(dkey)
         # a persisted record is only trusted if it says "ok" — the

@@ -67,32 +67,34 @@ class SweepResult:
 
 
 def _sweep(workload, knob, values, specs, jobs=None, journal=None,
-           resume=False):
+           resume=False, progress=None):
     """Execute ``specs`` (one per knob value, same order) through the
     pool and zip them back into a :class:`SweepResult`. ``journal`` /
     ``resume`` enable crash-safe resumable execution
-    (docs/RESILIENCE.md)."""
+    (docs/RESILIENCE.md); ``progress`` renders the sweep live from the
+    telemetry stream (docs/OBSERVABILITY.md §6)."""
     result = SweepResult(workload=workload, knob=knob)
     records = run_specs(specs, jobs=jobs, journal=journal,
-                        resume=resume)
+                        resume=resume, progress=progress)
     for value, record in zip(values, records):
         result.points[value] = record
     return result
 
 
 def sweep_clusters(workload, scale=0.5, cluster_counts=(2, 4, 8, 16, 32),
-                   simt=False, jobs=None, journal=None, resume=False):
+                   simt=False, jobs=None, journal=None, resume=False,
+                   progress=None):
     """Cycles vs. ring size — the paper's 32/256/512-PE axis, densified."""
     specs = [RunSpec.diag(workload, config="F4C32", scale=scale,
                           num_clusters=count, simt=simt)
              for count in cluster_counts]
     return _sweep(workload, "clusters", cluster_counts, specs, jobs,
-                  journal, resume)
+                  journal, resume, progress)
 
 
 def sweep_threads(workload, scale=0.5, thread_counts=(1, 2, 4, 8, 16),
                   total_clusters=32, simt=False, jobs=None, journal=None,
-                  resume=False):
+                  resume=False, progress=None):
     """Spatial-parallelism scaling at a fixed 32-cluster budget."""
     specs = [RunSpec.diag(workload, config="F4C32", scale=scale,
                           threads=threads,
@@ -100,28 +102,29 @@ def sweep_threads(workload, scale=0.5, thread_counts=(1, 2, 4, 8, 16),
                           simt=simt)
              for threads in thread_counts]
     return _sweep(workload, "threads", thread_counts, specs, jobs,
-                  journal, resume)
+                  journal, resume, progress)
 
 
 def sweep_lsu_depth(workload, scale=0.5, depths=(1, 2, 4, 8, 16),
-                    jobs=None, journal=None, resume=False):
+                    jobs=None, journal=None, resume=False,
+                    progress=None):
     """Cluster LSU queue depth (paper Section 5.2's request queue)."""
     specs = [RunSpec.diag(workload, config="F4C16", scale=scale,
                           config_overrides={"lsu_queue_depth": depth})
              for depth in depths]
     return _sweep(workload, "lsu_queue_depth", depths, specs, jobs,
-                  journal, resume)
+                  journal, resume, progress)
 
 
 def sweep_flush_penalty(workload, scale=0.5,
                         penalties=(1, 3, 6, 12), jobs=None,
-                        journal=None, resume=False):
+                        journal=None, resume=False, progress=None):
     """Cost of a control-flow flush (paper Section 7.3.2's >=3 cycles)."""
     specs = [RunSpec.diag(workload, config="F4C16", scale=scale,
                           config_overrides={"flush_penalty": penalty})
              for penalty in penalties]
     return _sweep(workload, "flush_penalty", penalties, specs, jobs,
-                  journal, resume)
+                  journal, resume, progress)
 
 
 ALL_SWEEPS = {

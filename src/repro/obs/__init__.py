@@ -1,17 +1,25 @@
 """Unified instrumentation layer: counters, events, self-profiling.
 
-Three pieces (see docs/OBSERVABILITY.md):
+Four pieces (see docs/OBSERVABILITY.md):
 
 * :class:`StatsRegistry` — hierarchical counter/gauge/histogram
   registry both engines dump into under one naming scheme
-  (``core.*`` shared, ``diag.*`` / ``ooo.*`` / ``mem.*`` specific).
+  (``core.*`` shared, ``diag.*`` / ``ooo.*`` / ``mem.*`` specific),
+  with OpenMetrics text exposition (:func:`openmetrics_flat`).
 * :class:`EventTracer` — ring-buffer-bounded structured event tracer
   with a Chrome ``trace_event`` exporter (opens in Perfetto).
 * :class:`PhaseProfiler` — wall-clock self-profiling of the simulator.
+* :mod:`repro.obs.telemetry` — the campaign-level JSONL run-event bus
+  feeding the live ``--progress`` renderer
+  (:mod:`repro.obs.progress`), the merged campaign Chrome trace, and
+  the ``--metrics-port`` HTTP exposition.
 
-The harness threads all three through ``RunRecord.stats`` so figure
-suites, sweeps and fault campaigns report from the same counters.
+The harness threads all of it through ``RunRecord.stats`` and the
+telemetry stream so figure suites, sweeps and fault campaigns report
+from the same counters.
 """
+
+from repro.obs import telemetry
 
 from repro.obs.bridge import (
     SHARED_CORE_COUNTERS,
@@ -23,6 +31,11 @@ from repro.obs.bridge import (
 )
 from repro.obs.events import EVENT_NAMES, EventTracer
 from repro.obs.profile import PhaseProfiler, export_throughput
+from repro.obs.progress import (
+    CampaignProgress,
+    MetricsServer,
+    ProgressRenderer,
+)
 from repro.obs.registry import (
     HOST_STAT_PREFIXES,
     Counter,
@@ -32,6 +45,12 @@ from repro.obs.registry import (
     deterministic_view,
     format_flat,
     merge_flat,
+    openmetrics_flat,
+)
+from repro.obs.telemetry import (
+    TelemetryBus,
+    campaign_trace,
+    read_events,
 )
 from repro.obs.resilience import (
     resilience,
@@ -41,17 +60,25 @@ from repro.obs.resilience import (
 )
 
 __all__ = [
+    "CampaignProgress",
     "Counter",
     "EVENT_NAMES",
     "EventTracer",
     "Gauge",
     "HOST_STAT_PREFIXES",
     "Histogram",
+    "MetricsServer",
     "PhaseProfiler",
+    "ProgressRenderer",
     "SHARED_CORE_COUNTERS",
     "StatsRegistry",
+    "TelemetryBus",
+    "campaign_trace",
     "deterministic_view",
     "merge_flat",
+    "openmetrics_flat",
+    "read_events",
+    "telemetry",
     "attach_tracer_names",
     "collect_diag",
     "collect_hierarchy",

@@ -1,0 +1,211 @@
+"""Bench-trend tracking: accumulate ``BENCH_*.json`` into a history.
+
+CI produces five bench documents per commit (``BENCH_obs`` /
+``BENCH_engine`` / ``BENCH_parallel`` / ``BENCH_verify`` /
+``BENCH_resilience``) but used to throw them away after the gating
+thresholds passed — the perf *trajectory* was never recorded.
+:func:`append_entry` flattens a bench document's numeric leaves and
+appends one JSONL line to ``benchmarks/history.jsonl`` keyed by git
+sha; :func:`check` compares the newest entry per bench against the
+rolling median of its predecessors and flags regressions on the
+tracked headline metrics. ``tools/bench_history.py`` and ``repro
+bench history`` drive both; the CI bench-trend job runs ``--check``
+on every push. See docs/OBSERVABILITY.md §6.
+
+The check is deliberately median-based and tolerance-banded: CI
+runners are noisy, so a single slow run inside the band is not a
+regression, while a sustained drop below ``median * (1 - tolerance)``
+(or above, for lower-is-better metrics) is.
+"""
+
+import json
+import math
+import os
+import re
+import statistics
+import time
+from pathlib import Path
+
+HISTORY_SCHEMA = 1
+
+#: default history location (checked into the repo so the trajectory
+#: survives CI artifact expiry)
+HISTORY_PATH = Path("benchmarks") / "history.jsonl"
+
+#: rolling-median window (prior entries per bench consulted by check)
+WINDOW = 8
+
+#: minimum prior entries before a metric is gated at all
+MIN_PRIORS = 3
+
+#: relative band around the rolling median before flagging
+TOLERANCE = 0.25
+
+#: headline metrics gated per bench: {bench: ((dotted metric,
+#: direction), ...)} where direction is "higher" (a drop regresses)
+#: or "lower" (a rise regresses). Every other numeric leaf is
+#: recorded but not gated.
+TRACKED = {
+    "engine": (("speedup", "higher"),),
+    "parallel": (("parallel_speedup", "higher"),
+                 ("cache_speedup", "higher")),
+    "verify": (("torture.cells_per_second", "higher"),),
+    "resilience": (("journal.overhead_ratio", "lower"),),
+    "obs": (("nn.diag.sim_cycles_per_sec", "higher"),
+            ("hotspot.ooo.sim_cycles_per_sec", "higher")),
+}
+
+#: subtrees never flattened into history entries (bulk stats dumps and
+#: failure text add thousands of keys without trend value)
+SKIP_SUBTREES = ("merged", "failures")
+
+
+def bench_name(path):
+    """``BENCH_engine.json`` -> ``engine`` (None for other names)."""
+    match = re.match(r"BENCH_([A-Za-z0-9_]+)\.json$",
+                     os.path.basename(str(path)))
+    return match.group(1) if match else None
+
+
+def flatten(doc, prefix="", skip=SKIP_SUBTREES):
+    """Dotted-path numeric leaves of a bench document (finite only)."""
+    flat = {}
+    if isinstance(doc, dict):
+        for key, value in doc.items():
+            if not prefix and key in skip:
+                continue
+            name = f"{prefix}.{key}" if prefix else str(key)
+            flat.update(flatten(value, name, skip))
+    elif isinstance(doc, bool):
+        pass
+    elif isinstance(doc, (int, float)) and math.isfinite(doc):
+        flat[prefix] = doc
+    return flat
+
+
+def code_sha():
+    """The git sha (or package version) naming the code under test."""
+    from repro.harness.diskcache import code_version
+    return code_version()
+
+
+def load_history(path=HISTORY_PATH):
+    """Parsed history entries, oldest first; torn lines are skipped."""
+    entries = []
+    try:
+        text = Path(path).read_text()
+    except OSError:
+        return entries
+    for line in text.splitlines():
+        try:
+            doc = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(doc, dict) \
+                and doc.get("schema") == HISTORY_SCHEMA \
+                and "bench" in doc and "metrics" in doc:
+            entries.append(doc)
+    return entries
+
+
+def append_entry(bench_path, history_path=HISTORY_PATH, sha=None,
+                 ts=None):
+    """Flatten one ``BENCH_*.json`` and append it to the history.
+
+    Returns the appended entry, or None when the file is not a bench
+    document (unrecognised name or unparsable JSON)."""
+    bench = bench_name(bench_path)
+    if bench is None:
+        return None
+    try:
+        doc = json.loads(Path(bench_path).read_text())
+    except (OSError, ValueError):
+        return None
+    entry = {
+        "schema": HISTORY_SCHEMA,
+        "bench": bench,
+        "sha": sha if sha is not None else code_sha(),
+        "ts": round(ts if ts is not None else time.time(), 3),
+        "source": os.path.basename(str(bench_path)),
+        "metrics": flatten(doc),
+    }
+    history_path = Path(history_path)
+    history_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(history_path, "a") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def check(history_path=HISTORY_PATH, window=WINDOW,
+          tolerance=TOLERANCE, min_priors=MIN_PRIORS):
+    """Gate the newest entry per bench against its rolling median.
+
+    Returns ``{"checked": [...], "skipped": [...], "regressions":
+    [...]}`` where each regression names the bench, metric, latest
+    value, rolling median, and the bound it violated. A bench with
+    fewer than ``min_priors`` prior entries is reported as skipped —
+    a young history is never red."""
+    entries = load_history(history_path)
+    by_bench = {}
+    for entry in entries:
+        by_bench.setdefault(entry["bench"], []).append(entry)
+    checked, skipped, regressions = [], [], []
+    for bench, tracked in sorted(TRACKED.items()):
+        series = by_bench.get(bench, [])
+        if not series:
+            skipped.append({"bench": bench,
+                            "reason": "no history entries"})
+            continue
+        latest, priors = series[-1], series[:-1]
+        for metric, direction in tracked:
+            value = latest["metrics"].get(metric)
+            if value is None:
+                skipped.append({"bench": bench, "metric": metric,
+                                "reason": "metric missing from "
+                                          "latest entry"})
+                continue
+            prior_values = [e["metrics"][metric]
+                            for e in priors[-window:]
+                            if metric in e["metrics"]]
+            if len(prior_values) < min_priors:
+                skipped.append({
+                    "bench": bench, "metric": metric,
+                    "reason": f"only {len(prior_values)} prior "
+                              f"entr(y/ies) (< {min_priors})"})
+                continue
+            median = statistics.median(prior_values)
+            if direction == "higher":
+                bound = median * (1.0 - tolerance)
+                bad = value < bound
+            else:
+                bound = median * (1.0 + tolerance)
+                bad = value > bound
+            report = {"bench": bench, "metric": metric,
+                      "direction": direction, "value": value,
+                      "median": median, "bound": bound,
+                      "sha": latest.get("sha"),
+                      "window": len(prior_values)}
+            (regressions if bad else checked).append(report)
+    return {"checked": checked, "skipped": skipped,
+            "regressions": regressions}
+
+
+def format_report(report):
+    """Human-readable lines for a :func:`check` result."""
+    lines = []
+    for item in report["checked"]:
+        lines.append(
+            f"ok: {item['bench']}.{item['metric']} = "
+            f"{item['value']:g} (median {item['median']:g} over "
+            f"{item['window']}, {item['direction']}-is-better)")
+    for item in report["skipped"]:
+        metric = f".{item['metric']}" if "metric" in item else ""
+        lines.append(f"skip: {item['bench']}{metric} — "
+                     f"{item['reason']}")
+    for item in report["regressions"]:
+        lines.append(
+            f"REGRESSION: {item['bench']}.{item['metric']} = "
+            f"{item['value']:g} vs rolling median "
+            f"{item['median']:g} (bound {item['bound']:g}, "
+            f"{item['direction']}-is-better, sha {item['sha']})")
+    return lines

@@ -7,11 +7,14 @@ document regardless of which engine executed it. Three stat kinds:
 
 * :class:`Counter` — monotonically increasing event count
 * :class:`Gauge`   — a point-in-time scalar (IPC, miss rate, seconds)
-* :class:`Histogram` — a distribution (count/sum/min/max/mean)
+* :class:`Histogram` — a distribution (count/sum/min/max/mean plus
+  fixed-bucket p50/p95/p99 quantile estimates)
 
 The registry dumps as a flat ``{name: value}`` dict (histograms expand
-to ``name.count`` / ``name.mean`` / ...), as JSON, or as gem5-style
-``stats.txt`` text (``name  value  # description``). Both engines must
+to ``name.count`` / ``name.mean`` / ``name.p50`` / ...), as JSON, as
+OpenMetrics/Prometheus exposition text (:meth:`to_openmetrics`), or as
+gem5-style ``stats.txt`` text (``name  value  # description``). Both
+engines must
 emit the *shared core namespace* — ``core.*`` and ``mem.*`` — with
 identical names; engine-specific detail lives under ``diag.*`` /
 ``ooo.*`` / ``iss.*`` / ``sim.*``. See docs/OBSERVABILITY.md.
@@ -28,6 +31,8 @@ docs/PARALLEL.md for the contract.
 """
 
 import json
+import re
+from bisect import bisect_left
 
 #: stats that legitimately differ run-to-run — wall-clock
 #: self-profiling, plus the harness resilience counters (retries,
@@ -42,6 +47,58 @@ _MAX_STATS = frozenset(("sim.timed_out",))
 
 #: gauges merged as a core.cycles-weighted mean of the input documents
 _CYCLE_WEIGHTED = frozenset(("ooo.rob.occupancy_avg",))
+
+#: quantile legs histograms expand into flat dumps (suffix, q)
+_QUANTILES = ((".p50", 0.50), (".p95", 0.95), (".p99", 0.99))
+_QUANTILE_SUFFIXES = tuple(suffix for suffix, __ in _QUANTILES)
+
+
+def _bucket_bounds():
+    """Fixed 1-2-5 log-decade upper bounds, 1e-6 .. 5e9 plus 0/+inf.
+
+    The grid is shared by every histogram so bucket tallies from any
+    two documents line up leg-for-leg — that is what makes quantile
+    estimates survive :func:`merge_flat` exactly (buckets sum, then
+    quantiles recompute from the merged tallies, which is the same
+    arithmetic a single combined histogram would have done)."""
+    bounds = [0.0]
+    for exponent in range(-6, 10):
+        for mantissa in (1.0, 2.0, 5.0):
+            bounds.append(mantissa * 10.0 ** exponent)
+    bounds.append(float("inf"))
+    return tuple(bounds)
+
+
+BUCKET_BOUNDS = _bucket_bounds()
+
+
+def _format_bound(bound):
+    """Deterministic flat-dump rendering of a bucket upper bound."""
+    if bound == float("inf"):
+        return "inf"
+    if bound == int(bound):
+        return str(int(bound))
+    return repr(bound)
+
+
+def _bucket_quantile(pairs, count, q, lo, hi):
+    """Estimate quantile ``q`` from sorted ``(bound, tally)`` pairs.
+
+    Returns the upper bound of the bucket holding the q-th sample,
+    clamped to the exact observed [lo, hi] range (so single-sample and
+    degenerate distributions report exact values, and the +inf bucket
+    never leaks into the estimate)."""
+    if not count:
+        return 0.0
+    target = q * count
+    cumulative = 0
+    value = hi
+    for bound, tally in pairs:
+        cumulative += tally
+        if cumulative >= target:
+            value = bound
+            break
+    return float(min(hi, max(lo, value)))
 
 
 class Stat:
@@ -91,9 +148,10 @@ class Gauge(Stat):
 
 
 class Histogram(Stat):
-    """A streaming distribution: count / sum / min / max / mean."""
+    """A streaming distribution: count / sum / min / max / mean plus
+    fixed-bucket p50/p95/p99 estimates on the shared 1-2-5 grid."""
 
-    __slots__ = ("count", "total", "min", "max")
+    __slots__ = ("count", "total", "min", "max", "buckets")
 
     def __init__(self, name, desc=""):
         super().__init__(name, desc)
@@ -101,22 +159,42 @@ class Histogram(Stat):
         self.total = 0
         self.min = None
         self.max = None
+        self.buckets = {}  # bound index -> tally (sparse)
 
     def sample(self, value, n=1):
         self.count += n
         self.total += value * n
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
+        index = bisect_left(BUCKET_BOUNDS, value)
+        if index >= len(BUCKET_BOUNDS):
+            index = len(BUCKET_BOUNDS) - 1
+        self.buckets[index] = self.buckets.get(index, 0) + n
 
     @property
     def mean(self):
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q):
+        """Bucket-resolution quantile estimate (exact at bucket
+        bounds; clamped to the observed min/max)."""
+        pairs = [(BUCKET_BOUNDS[i], self.buckets[i])
+                 for i in sorted(self.buckets)]
+        return _bucket_quantile(pairs, self.count, q,
+                                self.min if self.min is not None else 0,
+                                self.max if self.max is not None else 0)
+
     def value_dict(self):
-        return {".count": self.count, ".sum": self.total,
+        flat = {".count": self.count, ".sum": self.total,
                 ".min": self.min if self.min is not None else 0,
                 ".max": self.max if self.max is not None else 0,
                 ".mean": self.mean}
+        for suffix, q in _QUANTILES:
+            flat[suffix] = self.quantile(q)
+        for index in sorted(self.buckets):
+            bound = _format_bound(BUCKET_BOUNDS[index])
+            flat[f".bucket.{bound}"] = self.buckets[index]
+        return flat
 
     def combine(self, other):
         """Fold another histogram's samples into this one."""
@@ -129,6 +207,8 @@ class Histogram(Stat):
             ours = getattr(self, bound)
             setattr(self, bound,
                     theirs if ours is None else pick(ours, theirs))
+        for index, tally in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + tally
 
 
 class StatsRegistry:
@@ -247,6 +327,38 @@ class StatsRegistry:
     def to_json(self, indent=2):
         return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
 
+    def to_openmetrics(self, prefix="repro"):
+        """OpenMetrics/Prometheus text exposition of the registry.
+
+        Counters become ``<name>_total`` counter families, gauges
+        become gauges, histograms become summaries (count / sum /
+        quantile samples) with ``_min``/``_max`` gauge companions.
+        Dotted stat names are sanitised to the metric-name grammar
+        (``[a-zA-Z_:][a-zA-Z0-9_:]*``); the document ends with the
+        mandatory ``# EOF`` terminator."""
+        lines = []
+        for stat in self._stats.values():
+            base = _om_name(prefix, stat.name)
+            if isinstance(stat, Counter):
+                _om_family(lines, base, "counter", stat.desc)
+                lines.append(f"{base}_total {_om_value(stat.value)}")
+            elif isinstance(stat, Histogram):
+                _om_family(lines, base, "summary", stat.desc)
+                for suffix, q in _QUANTILES:
+                    lines.append(f'{base}{{quantile="{q}"}} '
+                                 f"{_om_value(stat.quantile(q))}")
+                lines.append(f"{base}_count {_om_value(stat.count)}")
+                lines.append(f"{base}_sum {_om_value(stat.total)}")
+                for leg, value in (("min", stat.min), ("max", stat.max)):
+                    _om_family(lines, f"{base}_{leg}", "gauge", "")
+                    lines.append(f"{base}_{leg} "
+                                 f"{_om_value(value or 0)}")
+            else:
+                _om_family(lines, base, "gauge", stat.desc)
+                lines.append(f"{base} {_om_value(stat.value)}")
+        lines.append("# EOF")
+        return "\n".join(lines) + "\n"
+
     def format_text(self):
         """gem5-style ``stats.txt``: aligned name/value/# description."""
         flat = []
@@ -289,6 +401,80 @@ def format_flat(flat):
     return "\n".join(lines)
 
 
+def _om_name(prefix, name):
+    """Sanitise a dotted stat name to the OpenMetrics grammar."""
+    return re.sub(r"[^a-zA-Z0-9_:]", "_",
+                  f"{prefix}_{name}" if prefix else name)
+
+
+def _om_value(value):
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def _om_family(lines, name, kind, desc):
+    lines.append(f"# TYPE {name} {kind}")
+    if desc:
+        escaped = desc.replace("\\", "\\\\").replace("\n", "\\n")
+        lines.append(f"# HELP {name} {escaped}")
+
+
+def openmetrics_flat(flat, prefix="repro"):
+    """OpenMetrics text exposition for an already-flattened
+    ``{name: value}`` document (e.g. ``RunRecord.stats``).
+
+    Histogram expansions are re-grouped into summary families — a base
+    name carrying ``.count``/``.sum``/``.p50`` legs emits quantile
+    samples and labelled ``_bucket`` gauges; every other entry is a
+    plain gauge (flat documents carry no kind information, and gauge
+    is the only kind that is always grammatically valid for them)."""
+    flat = dict(flat)
+    families = {}  # histogram base name -> legs
+    for name in flat:
+        if name.endswith(".count"):
+            base = name[:-len(".count")]
+            if base + ".sum" in flat and base + ".p50" in flat:
+                families[base] = {}
+    lines = []
+    emitted = set()
+    for name, value in flat.items():
+        base = next((b for b in families
+                     if name.startswith(b + ".")), None)
+        if base is None:
+            _om_family(lines, _om_name(prefix, name), "gauge", "")
+            lines.append(f"{_om_name(prefix, name)} {_om_value(value)}")
+            continue
+        if base in emitted:
+            continue
+        emitted.add(base)
+        om = _om_name(prefix, base)
+        _om_family(lines, om, "summary", "")
+        for suffix, q in _QUANTILES:
+            if base + suffix in flat:
+                lines.append(f'{om}{{quantile="{q}"}} '
+                             f"{_om_value(flat[base + suffix])}")
+        lines.append(f"{om}_count {_om_value(flat[base + '.count'])}")
+        lines.append(f"{om}_sum {_om_value(flat[base + '.sum'])}")
+        for leg in ("min", "max", "mean"):
+            if base + "." + leg in flat:
+                _om_family(lines, f"{om}_{leg}", "gauge", "")
+                lines.append(f"{om}_{leg} "
+                             f"{_om_value(flat[base + '.' + leg])}")
+        bucket_prefix = base + ".bucket."
+        tallies = [(key[len(bucket_prefix):], flat[key])
+                   for key in flat if key.startswith(bucket_prefix)]
+        if tallies:
+            _om_family(lines, f"{om}_bucket", "gauge", "")
+            for bound, tally in tallies:
+                lines.append(f'{om}_bucket{{le="{bound}"}} '
+                             f"{_om_value(tally)}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
 def deterministic_view(flat):
     """The byte-comparable projection of a flat stats document: every
     stat except the wall-clock self-profiling gauges (``host.*`` /
@@ -327,8 +513,9 @@ def merge_flat(docs):
                 out[name] = min(out[name], value)
             elif name in _MAX_STATS or name.endswith(".max"):
                 out[name] = max(out[name], value)
-            elif name.endswith(".mean"):
-                pass  # recomputed from .sum/.count below
+            elif name.endswith(".mean") or \
+                    name.endswith(_QUANTILE_SUFFIXES):
+                pass  # recomputed from .sum/.count/.bucket.* below
             else:
                 out[name] = out[name] + value
     for name, (acc, weight) in weighted.items():
@@ -347,6 +534,16 @@ def _recompute_derived(out):
             if base + ".sum" in out and base + ".count" in out:
                 out[name] = ratio(out[base + ".sum"],
                                   out[base + ".count"])
+        elif name.endswith(_QUANTILE_SUFFIXES):
+            base = name[:-len(".p50")]
+            prefix = base + ".bucket."
+            pairs = sorted(
+                (float(key[len(prefix):]), out[key])
+                for key in out if key.startswith(prefix))
+            q = dict((s[1:], q) for s, q in _QUANTILES)[name[-3:]]
+            out[name] = _bucket_quantile(
+                pairs, out.get(base + ".count", 0), q,
+                out.get(base + ".min", 0), out.get(base + ".max", 0))
     cycles = out.get("core.cycles", 0)
     if "core.ipc" in out:
         out["core.ipc"] = ratio(out.get("core.instructions", 0), cycles)

@@ -70,11 +70,15 @@ def resilience_snapshot():
     return resilience().as_dict()
 
 
-def resilience_summary():
+def resilience_summary(extra=None):
     """One-line summary of non-zero counters, or None when quiet.
 
     Campaign CLI commands print this to *stderr* so resilience noise
     can never perturb a byte-identity comparison of campaign stdout.
+    ``extra`` is a list of preformatted ``key=value`` fields appended
+    to the line (the campaign cache-hit ratio and ETA source from
+    :func:`repro.obs.progress.summary_extras`); when given, the line
+    is emitted even if every counter is zero.
     """
     snap = resilience_snapshot()
     parts = [f"{name.split('harness.', 1)[-1]}={int(snap[name])}"
@@ -82,6 +86,8 @@ def resilience_summary():
              if name.startswith("harness.") and snap.get(name)]
     if snap.get(CKPT_BYTES):
         parts.append(f"ckpt_bytes={int(snap[CKPT_BYTES])}")
+    if extra:
+        parts.extend(extra)
     if not parts:
         return None
     return "resilience: " + " ".join(parts)

@@ -161,19 +161,25 @@ def build_specs(seed, count, machines=("diag", "ooo"),
 def run_torture(seed, count, machines=("diag", "ooo"),
                 ff_modes=(True, False), simt_modes=(False, True),
                 ops=40, jobs=None, max_cycles=400_000,
-                journal=None, resume=False):
+                journal=None, resume=False, progress=None):
     """Run a torture campaign; returns a :class:`TortureReport`.
 
     ``journal``/``resume`` enable the crash-safe write-ahead journal —
     a campaign killed mid-flight re-runs only its missing cells and
-    reports byte-identically (docs/RESILIENCE.md)."""
+    reports byte-identically (docs/RESILIENCE.md). ``progress`` (a
+    :class:`repro.obs.progress.ProgressRenderer`) renders the matrix
+    live from the telemetry stream."""
     from repro.harness.parallel import run_specs
+    from repro.obs import telemetry
 
     specs = build_specs(seed, count, machines=machines,
                         ff_modes=ff_modes, simt_modes=simt_modes,
                         ops=ops, max_cycles=max_cycles)
+    telemetry.emit("plan", kind="torture", seed=seed, count=count,
+                   cells=len(specs), machines=list(machines),
+                   ops=ops)
     outcomes = run_specs(specs, jobs=jobs, journal=journal,
-                         resume=resume)
+                         resume=resume, progress=progress)
     return TortureReport(outcomes=list(outcomes))
 
 

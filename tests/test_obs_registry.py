@@ -1,11 +1,18 @@
-"""Stats registry: kinds, idempotent registration, dumps."""
+"""Stats registry: kinds, idempotent registration, dumps, quantiles,
+OpenMetrics exposition."""
 
 import json
 
 import pytest
 
-from repro.obs import StatsRegistry, format_flat
-from repro.obs.registry import Counter, Gauge, Histogram
+from repro.obs import StatsRegistry, format_flat, merge_flat
+from repro.obs.registry import (
+    BUCKET_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    openmetrics_flat,
+)
 
 
 class TestKinds:
@@ -131,6 +138,113 @@ class TestDumps:
 
     def test_format_flat_empty(self):
         assert "no statistics" in format_flat({})
+
+
+class TestQuantiles:
+    def test_bucket_grid_is_sorted_125(self):
+        assert BUCKET_BOUNDS[0] == 0.0
+        assert BUCKET_BOUNDS[-1] == float("inf")
+        assert list(BUCKET_BOUNDS) == sorted(BUCKET_BOUNDS)
+
+    def test_quantiles_expand_in_dump(self):
+        hist = Histogram("lat")
+        for value in range(1, 101):
+            hist.sample(value)
+        flat = hist.value_dict()
+        assert flat[".p50"] == 50.0
+        assert flat[".p95"] == 100.0  # bucket resolution, clamped
+        assert flat[".p99"] == 100.0
+        assert any(key.startswith(".bucket.") for key in flat)
+
+    def test_single_value_histogram_collapses(self):
+        hist = Histogram("lat")
+        hist.sample(7, n=3)
+        for q in (0.5, 0.95, 0.99):
+            assert hist.quantile(q) == 7.0
+
+    def test_empty_histogram_quantiles_zero(self):
+        assert Histogram("lat").quantile(0.5) == 0.0
+
+    def test_quantiles_deterministic_across_sample_order(self):
+        forward, backward = Histogram("a"), Histogram("b")
+        values = [1, 5, 9, 200, 3, 70, 70, 4]
+        for value in values:
+            forward.sample(value)
+        for value in reversed(values):
+            backward.sample(value)
+        for q in (0.5, 0.95, 0.99):
+            assert forward.quantile(q) == backward.quantile(q)
+
+    def test_merge_flat_quantile_parity(self):
+        """Folding two flat dumps must reproduce exactly the quantiles
+        of one histogram that saw both sample sets."""
+        one, two, both = (StatsRegistry() for __ in range(3))
+        for value in (1, 2, 30, 500):
+            one.histogram("mem.lat").sample(value)
+            both.histogram("mem.lat").sample(value)
+        for value in (4, 90, 90, 1200, 7):
+            two.histogram("mem.lat").sample(value)
+            both.histogram("mem.lat").sample(value)
+        merged = merge_flat([one.as_dict(), two.as_dict()])
+        expected = both.as_dict()
+        for suffix in (".p50", ".p95", ".p99", ".count", ".sum",
+                       ".min", ".max", ".mean"):
+            assert merged["mem.lat" + suffix] \
+                == expected["mem.lat" + suffix], suffix
+
+    def test_combine_merges_buckets(self):
+        a, b = Histogram("x"), Histogram("x")
+        a.sample(1)
+        b.sample(1000)
+        a.combine(b)
+        assert a.count == 2
+        assert sum(a.buckets.values()) == 2
+        assert a.quantile(0.99) == 1000.0
+
+
+class TestOpenMetrics:
+    def _populated(self):
+        reg = StatsRegistry()
+        reg.counter("core.cycles", "simulated cycles").inc(100)
+        reg.set("core.ipc", 0.5, desc="retired per cycle")
+        hist = reg.histogram("mem.lat", "load-to-use latency")
+        for value in (2, 4, 12):
+            hist.sample(value)
+        return reg
+
+    def test_registry_exposition(self):
+        text = self._populated().to_openmetrics()
+        assert text.endswith("# EOF\n")
+        assert text.count("# EOF") == 1
+        assert "# TYPE repro_core_cycles counter" in text
+        assert "repro_core_cycles_total 100" in text
+        assert "# TYPE repro_mem_lat summary" in text
+        assert 'repro_mem_lat{quantile="0.5"}' in text
+        assert "repro_mem_lat_count 3" in text
+        assert "# HELP repro_core_cycles simulated cycles" in text
+
+    def test_names_sanitised_to_grammar(self):
+        import re
+
+        reg = StatsRegistry()
+        reg.set("diag.ring0.stall-weird name", 1)
+        text = reg.to_openmetrics()
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            name = line.split("{")[0].split(" ")[0]
+            assert re.fullmatch(r"[a-zA-Z_:][a-zA-Z0-9_:]*", name)
+
+    def test_flat_exposition_groups_histograms(self):
+        flat = self._populated().as_dict()
+        text = openmetrics_flat(flat)
+        assert text.endswith("# EOF\n")
+        assert "# TYPE repro_mem_lat summary" in text
+        assert 'repro_mem_lat{quantile="0.5"}' in text
+        assert 'repro_mem_lat_bucket{le="2"}' in text
+        assert "repro_core_ipc 0.5" in text
+        # every flat entry is represented exactly once
+        assert text.count("repro_mem_lat_count ") == 1
 
 
 class TestStatClasses:

@@ -1,0 +1,483 @@
+"""Fleet telemetry: event bus, campaign progress, OpenMetrics export,
+campaign Chrome trace, and bench-trend history.
+
+Pins down the docs/OBSERVABILITY.md §6 contracts: the event schema and
+its multi-process append discipline, the golden lifecycle sequence a
+serial campaign emits, serial/pooled event-set equality (modulo
+timestamps and pids), ``--resume`` marking journal hits ``replayed``
+rather than ``started``, the exposition-format sanity of
+``repro stats --format openmetrics``, and the rolling-median
+regression gate over ``benchmarks/history.jsonl``.
+"""
+
+import json
+import urllib.request
+from dataclasses import dataclass
+
+import pytest
+
+from repro.harness.parallel import run_specs
+from repro.obs import (
+    CampaignProgress,
+    MetricsServer,
+    campaign_trace,
+    read_events,
+    telemetry,
+)
+from repro.obs.progress import summary_extras
+from repro.obs.resilience import reset_resilience
+
+#: lifecycle kinds whose (ev, run) multiset must not depend on how the
+#: campaign was sharded across processes
+CELL_KINDS = ("scheduled", "replayed", "started", "finished", "failed")
+
+
+@pytest.fixture(autouse=True)
+def fresh_telemetry(monkeypatch):
+    monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0")
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    telemetry.reset()
+    reset_resilience()
+    yield
+    telemetry.reset()
+    reset_resilience()
+
+
+@dataclass(frozen=True)
+class AddSpec:
+    """Cheap deterministic cell (module-level: picklable into pools)."""
+
+    a: int
+    b: int
+
+    @property
+    def workload(self):
+        return f"add-{self.a}-{self.b}"
+
+    def execute(self):
+        return {"workload": self.workload, "sum": self.a + self.b,
+                "status": "ok"}
+
+    def failure_record(self, status, error, failure_class):
+        return {"workload": self.workload, "status": status,
+                "error": error, "failure_class": failure_class}
+
+
+def specs4():
+    return [AddSpec(i, i + 1) for i in range(4)]
+
+
+# ---------------------------------------------------------------------
+# the bus itself
+# ---------------------------------------------------------------------
+
+class TestBus:
+    def test_roundtrip_and_schema(self, tmp_path):
+        bus = telemetry.configure(path=tmp_path / "t.jsonl")
+        assert bus.emit("started", run="abc", span=1, label="nn")
+        assert telemetry.emit("finished", run="abc", span=1,
+                              status="ok")
+        events = read_events(bus.path)
+        assert [ev["ev"] for ev in events] == ["started", "finished"]
+        first = events[0]
+        assert first["schema"] == telemetry.TELEMETRY_SCHEMA
+        assert first["campaign"] == bus.campaign
+        assert first["run"] == "abc" and first["span"] == 1
+        assert isinstance(first["ts"], float)
+        assert isinstance(first["pid"], int)
+
+    def test_emit_is_noop_when_off(self):
+        assert telemetry.active() is None
+        assert telemetry.emit("started", run="x") is False
+
+    def test_vocabulary_is_closed(self):
+        assert "started" in telemetry.EVENTS
+        assert len(telemetry.EVENTS) == 17
+
+    def test_reader_skips_torn_and_foreign_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        bus = telemetry.configure(path=path)
+        bus.emit("started", run="a")
+        with open(path, "a") as handle:
+            handle.write("not json\n")
+            handle.write('{"schema":99,"ev":"started"}\n')
+            handle.write('{"schema":1,"ev":"fini')  # torn tail
+        events = read_events(path)
+        assert len(events) == 1 and events[0]["run"] == "a"
+
+    def test_env_handshake_publishes_stream(self, tmp_path):
+        bus = telemetry.configure(path=tmp_path / "t.jsonl")
+        import os
+        assert os.environ[telemetry.ENV_PATH] == str(bus.path)
+        # simulate a worker: no process-local bus, env still set
+        telemetry._bus = None
+        adopted = telemetry.active()
+        assert adopted is not None
+        assert str(adopted.path) == str(bus.path)
+        assert adopted.campaign == bus.campaign
+
+    def test_unwritable_stream_counts_dropped(self, tmp_path):
+        bus = telemetry.TelemetryBus(tmp_path)  # a directory
+        assert bus.emit("started") is False
+        assert bus.dropped == 1 and bus.emitted == 0
+
+
+# ---------------------------------------------------------------------
+# harness lifecycle events
+# ---------------------------------------------------------------------
+
+class TestCampaignEvents:
+    def test_serial_golden_sequence(self, tmp_path):
+        telemetry.configure(path=tmp_path / "t.jsonl")
+        run_specs(specs4())
+        kinds = [ev["ev"] for ev in read_events(tmp_path / "t.jsonl")]
+        assert kinds == (["campaign_begin"] + ["scheduled"] * 4
+                         + ["started", "finished"] * 4
+                         + ["campaign_end"])
+
+    def test_run_ids_are_stable_spec_hashes(self, tmp_path):
+        telemetry.configure(path=tmp_path / "a.jsonl")
+        run_specs(specs4())
+        telemetry.configure(path=tmp_path / "b.jsonl")
+        run_specs(specs4())
+
+        def ids(path):
+            return sorted(ev["run"]
+                          for ev in read_events(path)
+                          if ev["ev"] == "scheduled")
+
+        first = ids(tmp_path / "a.jsonl")
+        assert first == ids(tmp_path / "b.jsonl")
+        assert len(set(first)) == 4
+
+    def test_serial_equals_pooled_event_set(self, tmp_path):
+        telemetry.configure(path=tmp_path / "serial.jsonl")
+        serial = run_specs(specs4(), jobs=1)
+        telemetry.configure(path=tmp_path / "pooled.jsonl")
+        pooled = run_specs(specs4(), jobs=2)
+        assert serial == pooled
+
+        def cells(path):
+            return sorted((ev["ev"], ev.get("run"))
+                          for ev in read_events(path)
+                          if ev["ev"] in CELL_KINDS)
+
+        assert cells(tmp_path / "serial.jsonl") \
+            == cells(tmp_path / "pooled.jsonl")
+
+    def test_pooled_started_events_carry_worker_pids(self, tmp_path):
+        import os
+        telemetry.configure(path=tmp_path / "t.jsonl")
+        run_specs(specs4(), jobs=2)
+        started = [ev for ev in read_events(tmp_path / "t.jsonl")
+                   if ev["ev"] == "started"]
+        assert len(started) == 4
+        assert all(ev["pid"] != os.getpid() for ev in started)
+
+    def test_resume_emits_replayed_not_started(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        telemetry.configure(path=tmp_path / "first.jsonl")
+        first = run_specs(specs4(), journal=journal)
+        telemetry.configure(path=tmp_path / "resumed.jsonl")
+        resumed = run_specs(specs4(), journal=journal, resume=True)
+        assert resumed == first
+        events = read_events(tmp_path / "resumed.jsonl")
+        kinds = [ev["ev"] for ev in events]
+        assert kinds.count("replayed") == 4
+        assert "started" not in kinds and "scheduled" not in kinds
+        # replayed cells keep the identity of the original attempt
+        original = {ev["run"]
+                    for ev in read_events(tmp_path / "first.jsonl")
+                    if ev["ev"] == "scheduled"}
+        assert {ev["run"] for ev in events
+                if ev["ev"] == "replayed"} == original
+
+    def test_failed_cells_emit_failed(self, tmp_path):
+        @dataclass(frozen=True)
+        class SadSpec:
+            workload: str = "sad"
+
+            def execute(self):
+                return {"workload": "sad", "status": "error"}
+
+        telemetry.configure(path=tmp_path / "t.jsonl")
+        run_specs([SadSpec()])
+        kinds = [ev["ev"] for ev in read_events(tmp_path / "t.jsonl")]
+        assert "failed" in kinds and "finished" not in kinds
+
+
+# ---------------------------------------------------------------------
+# campaign Chrome trace
+# ---------------------------------------------------------------------
+
+class TestCampaignTrace:
+    def test_merges_spans_per_worker(self, tmp_path):
+        telemetry.configure(path=tmp_path / "t.jsonl")
+        run_specs(specs4(), jobs=2)
+        doc = campaign_trace(str(tmp_path / "t.jsonl"))
+        events = doc["traceEvents"]
+        spans = [ev for ev in events if ev["ph"] == "X"]
+        assert len(spans) == 4
+        assert all(ev["pid"] == 0 for ev in spans)
+        assert all(ev["dur"] >= 1 for ev in spans)
+        labels = sorted(ev["name"] for ev in spans)
+        assert labels == sorted(s.workload for s in specs4())
+        # the completed counter track reaches the cell count
+        counters = [ev for ev in events if ev["ph"] == "C"]
+        assert counters and counters[-1]["args"]["completed"] == 4
+
+    def test_open_span_becomes_instant(self):
+        events = [
+            {"schema": 1, "ev": "started", "ts": 1.0, "pid": 9,
+             "campaign": "c", "run": "r1", "span": 1, "label": "x"},
+        ]
+        doc = campaign_trace(events)
+        names = [ev["name"] for ev in doc["traceEvents"]
+                 if ev["ph"] == "i"]
+        assert "started (never finished)" in names
+
+    def test_empty_stream_is_valid_trace(self, tmp_path):
+        doc = campaign_trace(str(tmp_path / "missing.jsonl"))
+        assert doc["traceEvents"] == []
+
+
+# ---------------------------------------------------------------------
+# progress fold + summary extras + metrics server
+# ---------------------------------------------------------------------
+
+class TestProgress:
+    def _fold(self, events):
+        progress = CampaignProgress()
+        for ev in events:
+            progress.observe(ev)
+        return progress
+
+    def test_fold_counts_and_eta(self):
+        events = [
+            {"ev": "campaign_begin", "cells": 4},
+            {"ev": "replayed", "run": "r0"},
+            {"ev": "started", "run": "r1", "pid": 7, "label": "nn",
+             "ts": 10.0},
+            {"ev": "finished", "run": "r1", "pid": 1, "ts": 12.0},
+            {"ev": "started", "run": "r2", "pid": 7, "label": "nn",
+             "ts": 12.0},
+            {"ev": "failed", "run": "r2", "pid": 1, "ts": 14.0},
+            {"ev": "retry", "run": "r3"},
+            {"ev": "cache_hit"}, {"ev": "cache_miss"},
+        ]
+        progress = self._fold(events)
+        assert progress.total == 4
+        assert progress.completed == 3  # 2 fresh + 1 replayed
+        assert progress.failed == 1 and progress.retries == 1
+        assert progress.rate() == pytest.approx(0.5)  # 2 in 4s
+        assert progress.eta_seconds() == pytest.approx(2.0)
+        assert progress.eta_source() == "fresh-rate+resume"
+        assert progress.cache_hit_ratio() == pytest.approx(0.5)
+        line = progress.status_line("torture")
+        assert "3/4" in line and "replayed 1" in line
+        assert "failed 1" in line and "cache 50%" in line
+
+    def test_fold_to_registry(self):
+        progress = self._fold([
+            {"ev": "campaign_begin", "cells": 2},
+            {"ev": "started", "run": "r", "pid": 5, "ts": 1.0},
+            {"ev": "finished", "run": "r", "ts": 2.0},
+        ])
+        flat = progress.to_registry().as_dict()
+        assert flat["campaign.cells.total"] == 2
+        assert flat["campaign.cells.completed"] == 1
+        assert flat["campaign.workers.busy"] == 0
+
+    def test_summary_extras_from_monitor(self):
+        class FakeMonitor:
+            progress = self._fold([
+                {"ev": "campaign_begin", "cells": 2},
+                {"ev": "cache_hit"}, {"ev": "cache_hit"},
+                {"ev": "cache_miss"},
+                {"ev": "started", "run": "r", "ts": 1.0},
+                {"ev": "finished", "run": "r", "ts": 2.0},
+            ])
+
+        extras = summary_extras(FakeMonitor())
+        assert "cache_hits=67% (2/3)" in extras
+        assert "eta_source=fresh-rate" in extras
+
+    def test_summary_extras_without_monitor(self):
+        extras = summary_extras(None)
+        assert any(field.startswith("cache_hits=") for field in extras)
+        assert "eta_source=n/a (run with --progress)" in extras
+
+    def test_metrics_server_serves_openmetrics(self):
+        body = "# TYPE repro_x gauge\nrepro_x 1\n# EOF\n"
+        server = MetricsServer(lambda: body, port=0).start()
+        try:
+            url = f"http://127.0.0.1:{server.port}/metrics"
+            with urllib.request.urlopen(url, timeout=10) as response:
+                assert response.status == 200
+                assert "openmetrics-text" in \
+                    response.headers["Content-Type"]
+                assert response.read().decode() == body
+        finally:
+            server.close()
+
+
+# ---------------------------------------------------------------------
+# CLI surfaces: stats exposition, campaign trace, live progress
+# ---------------------------------------------------------------------
+
+def _check_exposition(text):
+    """OpenMetrics text-format sanity: families declared, samples
+    grammatical, exactly one trailing # EOF."""
+    import re
+
+    lines = text.splitlines()
+    assert lines[-1] == "# EOF"
+    assert sum(1 for line in lines if line == "# EOF") == 1
+    sample = re.compile(
+        r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? \S+$")
+    meta = re.compile(r"^# (TYPE|HELP|UNIT) [a-zA-Z_:][a-zA-Z0-9_:]* ")
+    for line in lines[:-1]:
+        assert sample.match(line) or meta.match(line), line
+
+
+class TestCli:
+    def test_stats_openmetrics_exposition(self, capsys):
+        from repro.cli import main
+
+        rc = main(["stats", "nn", "--machine", "diag", "--config",
+                   "F4C2", "--scale", "0.25", "--format",
+                   "openmetrics"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        _check_exposition(out)
+        assert "repro_diag_core_cycles" in out
+
+    def test_stats_filter_prefix(self, capsys):
+        from repro.cli import main
+
+        rc = main(["stats", "nn", "--machine", "diag", "--config",
+                   "F4C2", "--scale", "0.25", "--format",
+                   "openmetrics", "--filter", "core.stall"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        _check_exposition(out)
+        for line in out.splitlines():
+            if not line.startswith("#"):
+                assert line.startswith("repro_diag_core_stall")
+
+    def test_faults_progress_and_campaign_trace(self, tmp_path,
+                                                capsys):
+        from repro.cli import main
+
+        stream = tmp_path / "telemetry.jsonl"
+        trace = tmp_path / "campaign-trace.json"
+        rc = main(["faults", "nn", "--config", "F4C2", "--scale",
+                   "0.2", "--trials", "2", "--progress",
+                   "--telemetry", str(stream)])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert f"telemetry: {stream}" in captured.err
+        assert "cells/s" in captured.err
+        # the stderr campaign summary carries the §6 extras
+        assert "cache_hits=" in captured.err
+        assert "eta_source=" in captured.err
+        kinds = {ev["ev"] for ev in read_events(stream)}
+        assert {"plan", "campaign_begin", "started", "finished",
+                "campaign_end"} <= kinds
+
+        rc = main(["trace", "--campaign", str(stream), "-o",
+                   str(trace)])
+        assert rc == 0
+        doc = json.loads(trace.read_text())
+        assert any(ev["ph"] == "X" for ev in doc["traceEvents"])
+
+    def test_trace_requires_workload_or_campaign(self, capsys):
+        from repro.cli import main
+
+        assert main(["trace"]) == 2
+        assert "workload" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------
+# bench-trend history
+# ---------------------------------------------------------------------
+
+class TestBenchHistory:
+    def test_bench_name(self):
+        from repro.obs import benchtrend
+
+        assert benchtrend.bench_name("x/BENCH_engine.json") == "engine"
+        assert benchtrend.bench_name("notes.json") is None
+
+    def test_flatten_skips_bulk_subtrees(self):
+        from repro.obs import benchtrend
+
+        doc = {"speedup": 2.0, "ok": True,
+               "merged": {"core.cycles": 9},
+               "cells": {"nn": {"ipc": 1.5}}}
+        assert benchtrend.flatten(doc) == {"speedup": 2.0,
+                                           "cells.nn.ipc": 1.5}
+
+    def _append(self, tmp_path, history, value, sha, ts):
+        from repro.obs import benchtrend
+
+        bench = tmp_path / "BENCH_engine.json"
+        bench.write_text(json.dumps({"speedup": value}))
+        return benchtrend.append_entry(bench, history, sha=sha, ts=ts)
+
+    def test_young_history_skips_never_red(self, tmp_path):
+        from repro.obs import benchtrend
+
+        history = tmp_path / "history.jsonl"
+        entry = self._append(tmp_path, history, 2.0, "s0", 1000.0)
+        assert entry["bench"] == "engine"
+        assert entry["metrics"] == {"speedup": 2.0}
+        report = benchtrend.check(history)
+        assert report["regressions"] == []
+        assert any(item["bench"] == "engine"
+                   for item in report["skipped"])
+
+    def test_rolling_median_gate(self, tmp_path):
+        from repro.obs import benchtrend
+
+        history = tmp_path / "history.jsonl"
+        for step, value in enumerate((2.0, 2.1, 1.9, 2.0)):
+            self._append(tmp_path, history, value, f"s{step}",
+                         1000.0 + step)
+        report = benchtrend.check(history)
+        assert any(item["metric"] == "speedup"
+                   for item in report["checked"])
+        assert not report["regressions"]
+        # a drop below median * (1 - tolerance) is flagged
+        self._append(tmp_path, history, 1.0, "bad", 2000.0)
+        report = benchtrend.check(history)
+        assert len(report["regressions"]) == 1
+        flagged = report["regressions"][0]
+        assert flagged["metric"] == "speedup"
+        assert flagged["sha"] == "bad"
+        assert any("REGRESSION" in line
+                   for line in benchtrend.format_report(report))
+
+    def test_cli_bench_history(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bench = tmp_path / "BENCH_engine.json"
+        bench.write_text(json.dumps({"speedup": 2.0}))
+        history = tmp_path / "history.jsonl"
+        rc = main(["bench", "history", str(bench), "--history",
+                   str(history), "--check", "--sha", "abc123"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "appended engine" in out
+        assert history.exists()
+        # regression drops the exit code to 1
+        for step, value in enumerate((2.0, 2.0, 2.0, 0.5)):
+            bench.write_text(json.dumps({"speedup": value}))
+            assert main(["bench", "history", str(bench), "--history",
+                         str(history), "--sha", f"s{step}"]) == 0
+        capsys.readouterr()
+        rc = main(["bench", "history", "--history", str(history),
+                   "--check"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "REGRESSION" in captured.err

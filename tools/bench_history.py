@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Bench-trend CLI: accumulate BENCH_*.json into benchmarks/history.jsonl
+and gate the tracked headline metrics against their rolling median.
+
+Thin wrapper over :mod:`repro.obs.benchtrend` (also reachable as
+``repro bench history``). Typical uses::
+
+    python tools/bench_history.py BENCH_engine.json    # append
+    python tools/bench_history.py BENCH_*.json --check # append + gate
+    python tools/bench_history.py --check              # gate only (CI)
+
+``--check`` exits 1 when any tracked metric falls outside the
+tolerance band around the rolling median of its prior entries; a
+history with fewer than the minimum prior entries per bench is
+reported as skipped, never red. See docs/OBSERVABILITY.md §6 for the
+history line format and the tracked-metric table.
+
+(``src/`` is put on ``sys.path`` automatically.)
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    os.pardir, "src"))
+
+from repro.obs import benchtrend  # noqa: E402
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="*",
+                        help="BENCH_*.json documents to append")
+    parser.add_argument("--history",
+                        default=str(benchtrend.HISTORY_PATH),
+                        help="history JSONL path (default: "
+                             "benchmarks/history.jsonl)")
+    parser.add_argument("--check", action="store_true",
+                        help="gate tracked metrics against the "
+                             "rolling median (exit 1 on regression)")
+    parser.add_argument("--window", type=int,
+                        default=benchtrend.WINDOW,
+                        help="rolling-median window (default %(default)s)")
+    parser.add_argument("--tolerance", type=float,
+                        default=benchtrend.TOLERANCE,
+                        help="relative tolerance band "
+                             "(default %(default)s)")
+    parser.add_argument("--sha", default=None,
+                        help="override the git sha recorded on "
+                             "appended entries")
+    args = parser.parse_args(argv)
+
+    status = 0
+    for path in args.files:
+        entry = benchtrend.append_entry(path, args.history,
+                                        sha=args.sha)
+        if entry is None:
+            print(f"FAIL: {path}: not a readable BENCH_*.json",
+                  file=sys.stderr)
+            status = 1
+            continue
+        print(f"appended {entry['bench']} "
+              f"({len(entry['metrics'])} metrics, sha "
+              f"{str(entry['sha'])[:12]}) -> {args.history}")
+
+    if args.check:
+        report = benchtrend.check(args.history, window=args.window,
+                                  tolerance=args.tolerance)
+        for line in benchtrend.format_report(report):
+            stream = sys.stderr if line.startswith("REGRESSION") \
+                else sys.stdout
+            print(line, file=stream)
+        if report["regressions"]:
+            status = 1
+    elif not args.files:
+        parser.error("nothing to do: pass BENCH_*.json files, "
+                     "--check, or both")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,11 @@ The resumed stdout must be **byte-identical** to the reference — the
 crash-safety contract of docs/RESILIENCE.md §2 (resilience counters go
 to stderr precisely so they cannot perturb this comparison). The
 resume must also actually *be* a resume: its stderr has to report
-journal hits for every journaled cell.
+journal hits for every journaled cell, and the resumed run's telemetry
+stream (``--telemetry``; docs/OBSERVABILITY.md §6) has to mark the
+journal-replayed prefix with ``replayed`` events — never ``started`` —
+while still forming one coherent campaign (begin/end markers, every
+cell accounted for).
 
 Usage: ``python tools/chaos_smoke.py [--count 8] [--jobs 2]``
 (``src/`` is put on ``sys.path``/``PYTHONPATH`` automatically).
@@ -54,6 +58,44 @@ def journal_lines(path):
         return 0
 
 
+def check_telemetry(path, killed_at):
+    """The resumed run's telemetry must be one coherent campaign with
+    the journal-replayed prefix marked ``replayed``, not ``started``."""
+    from repro.obs.telemetry import read_events
+
+    events = read_events(path)
+    if not events:
+        return [f"resumed run produced no telemetry at {path}"]
+    failures = []
+    kinds = [ev["ev"] for ev in events]
+    for marker in ("campaign_begin", "campaign_end"):
+        if kinds.count(marker) != 1:
+            failures.append(f"resumed telemetry has "
+                            f"{kinds.count(marker)} {marker} events "
+                            f"(want exactly 1)")
+    replayed = {ev.get("run") for ev in events
+                if ev["ev"] == "replayed"}
+    if killed_at and len(replayed) < killed_at:
+        failures.append(f"resumed telemetry marks {len(replayed)} "
+                        f"cells replayed, journal held {killed_at}")
+    started = {ev.get("run") for ev in events
+               if ev["ev"] == "started"}
+    overlap = replayed & started
+    if overlap:
+        failures.append("replayed cells were re-executed: "
+                        + ", ".join(sorted(overlap)))
+    done = {ev.get("run") for ev in events
+            if ev["ev"] in ("finished", "failed")} | replayed
+    begin = next(ev for ev in events if ev["ev"] == "campaign_begin")
+    if begin.get("cells") is not None \
+            and len(done) != begin["cells"]:
+        failures.append(f"resumed telemetry accounts for {len(done)} "
+                        f"of {begin['cells']} cells")
+    print(f"resume telemetry: {len(events)} events, "
+          f"{len(replayed)} replayed, {len(started)} fresh")
+    return failures
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--seed", type=int, default=0)
@@ -63,11 +105,21 @@ def main(argv=None):
     parser.add_argument("--kill-after", type=int, default=1,
                         help="SIGKILL once the journal holds this many "
                              "cells (default 1)")
+    parser.add_argument("--workdir", default=None, metavar="DIR",
+                        help="keep the journal + telemetry streams "
+                             "here (default: a temp dir); CI uploads "
+                             "them as artifacts")
     args = parser.parse_args(argv)
     failures = []
 
-    journal = os.path.join(
-        tempfile.mkdtemp(prefix="repro-chaos-"), "campaign.jsonl")
+    if args.workdir:
+        workdir = args.workdir
+        os.makedirs(workdir, exist_ok=True)
+    else:
+        workdir = tempfile.mkdtemp(prefix="repro-chaos-")
+    journal = os.path.join(workdir, "campaign.jsonl")
+    chaos_telemetry = os.path.join(workdir, "chaos-telemetry.jsonl")
+    resume_telemetry = os.path.join(workdir, "resume-telemetry.jsonl")
 
     # 1. the undisturbed reference
     reference = run(campaign_cmd(args))
@@ -80,7 +132,8 @@ def main(argv=None):
     # 2. chaos: journal on, SIGKILL mid-flight
     env = dict(os.environ, PYTHONPATH=SRC)
     proc = subprocess.Popen(
-        campaign_cmd(args, ("--journal", journal)),
+        campaign_cmd(args, ("--journal", journal,
+                            "--telemetry", chaos_telemetry)),
         stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL, env=env)
     deadline = time.monotonic() + 120
     while journal_lines(journal) < args.kill_after \
@@ -104,8 +157,9 @@ def main(argv=None):
               f"({killed_at} cells journaled)")
 
     # 3. resume and diff
-    resumed = run(campaign_cmd(args, ("--journal", journal,
-                                      "--resume")))
+    resumed = run(campaign_cmd(args, ("--journal", journal, "--resume",
+                                      "--telemetry",
+                                      resume_telemetry)))
     if resumed.returncode != 0:
         failures.append("resumed campaign failed "
                         f"(rc={resumed.returncode})")
@@ -120,6 +174,7 @@ def main(argv=None):
         failures.append(
             f"expected >= {killed_at} journal hits on resume, "
             f"stderr said: {resumed.stderr.strip()!r}")
+    failures.extend(check_telemetry(resume_telemetry, killed_at))
 
     print(f"reference: {reference.stdout.strip().splitlines()[0]}")
     print(f"resume journal hits: "
