@@ -179,7 +179,7 @@ class OoOCore:
     """One out-of-order core running one software thread."""
 
     def __init__(self, config, program, hierarchy=None, arch=None,
-                 core_id=0, load_image=True):
+                 core_id=0, load_image=True, entry_pc=None):
         self.config = config
         self.program = program
         self.core_id = core_id
@@ -200,7 +200,8 @@ class OoOCore:
         self.halted = False
         self.halt_reason = None
 
-        self.fetch_pc = program.entry
+        self.fetch_pc = entry_pc if entry_pc is not None \
+            else program.entry
         self._fetch_stalled_until = 0
         self._fetch_blocked = None  # unresolved indirect jump entry
 
@@ -244,17 +245,26 @@ class OoOCore:
 
     # ---------------------------------------------------------------- run
 
-    def run(self, max_cycles=None):
+    def run(self, max_cycles=None, max_retired=None):
         """Run to the next halt or the cycle budget.
 
         Raises :class:`repro.core.watchdog.SimulationHang` when no
-        instruction retires for ``config.watchdog_window`` cycles."""
+        instruction retires for ``config.watchdog_window`` cycles.
+
+        ``max_retired`` is an *absolute* retired-instruction budget
+        (sampling windows, ``repro.sampling``): the loop pauses at the
+        first cycle boundary with ``stats.retired >= max_retired``;
+        the pause is resumable — call run() again with larger
+        budgets."""
         budget = max_cycles if max_cycles is not None \
             else self.config.max_cycles
         ff = self.ff_setup()
         step = self.step
         check = self.check_watchdog
         while not self.halted and self.cycle < budget:
+            if max_retired is not None \
+                    and self.stats.retired >= max_retired:
+                break
             step()
             check()
             if ff:

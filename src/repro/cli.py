@@ -131,11 +131,56 @@ def _emit_json(doc, dest):
         print(f"wrote {dest}", file=sys.stderr)
 
 
+def _sampling_params(args):
+    """Build validated :class:`SamplingParams` from ``--sample-*``."""
+    from repro.sampling import SamplingParams
+    return SamplingParams(
+        period=args.sample_period, window=args.sample_window,
+        warmup=args.warmup, phase=args.sample_phase,
+        max_windows=args.max_windows,
+        warm_lines=args.warm_lines).validate()
+
+
+def _run_sampled_machines(args):
+    """``repro run --sampled``: sampled execution on the selected
+    machine(s) (ISS fast path + detailed windows, repro.sampling)."""
+    from repro.sampling import run_sampled
+
+    if args.threads != 1:
+        raise SystemExit("--sampled models one hardware thread; "
+                         "drop --threads")
+    params = _sampling_params(args)
+    records = {}
+    if args.machine in ("both", "ooo"):
+        records["ooo"] = run_sampled(args.workload, machine="ooo",
+                                     scale=args.scale, params=params)
+    if args.machine in ("both", "diag"):
+        records["diag"] = run_sampled(
+            args.workload, machine="diag", config=args.config,
+            scale=args.scale, simt=getattr(args, "simt", False),
+            params=params)
+    return records
+
+
+def _sampled_line(record):
+    """The CI-bound estimate line for a sampled record, or None."""
+    windows = record.stat("sampling.windows")
+    if not windows:
+        return None
+    mean = record.stat("sampling.ipc_mean")
+    ci = record.stat("sampling.ipc_ci95")
+    coverage = record.stat("sampling.coverage")
+    return (f"ipc {mean:.3f} ± {ci:.3f} (95% CI, {windows} windows, "
+            f"{100.0 * coverage:.1f}% coverage)")
+
+
 def _run_machines(args, tracer=None):
     """Run the workload on the machine(s) ``args.machine`` selects;
     returns ``{machine_name: RunRecord}`` in run order."""
     from repro.harness import run_baseline, run_diag
 
+    if getattr(args, "sampled", False):
+        return _run_sampled_machines(args)
     no_ff = getattr(args, "no_fast_forward", False)
     records = {}
     if args.machine in ("both", "ooo"):
@@ -162,18 +207,27 @@ def _cmd_run(args):
         return 0 if all(r.verified for r in records.values()) else 1
     base = records.get("ooo")
     diag = records.get("diag")
+    sampled = getattr(args, "sampled", False)
+    mode = " [sampled]" if sampled else ""
     print(f"workload {args.workload} (scale {args.scale}, "
-          f"{args.threads} thread(s)):")
+          f"{args.threads} thread(s)){mode}:")
+
+    def detail(rec):
+        if sampled:
+            line = _sampled_line(rec)
+            if line:
+                print(f"             {line}")
+            return
+        print(f"             {_stall_line(rec)}")
+        print(f"             {_cache_line(rec)}")
+        print(f"             {_host_line(rec)}")
+
     if base is not None:
         print(f"  baseline : {_describe(base)}")
-        print(f"             {_stall_line(base)}")
-        print(f"             {_cache_line(base)}")
-        print(f"             {_host_line(base)}")
+        detail(base)
     if diag is not None:
         print(f"  DiAG {args.config:5s}: {_describe(diag)}")
-        print(f"             {_stall_line(diag)}")
-        print(f"             {_cache_line(diag)}")
-        print(f"             {_host_line(diag)}")
+        detail(diag)
     if base is not None and diag is not None and diag.cycles \
             and not (base.failed or diag.failed):
         print(f"  speedup {base.cycles / diag.cycles:.2f}x   "
@@ -628,6 +682,35 @@ def build_parser():
                        metavar="PATH",
                        help="emit the full stats document as JSON to "
                             "PATH (stdout if omitted)")
+    run_p.add_argument("--sampled", action="store_true",
+                       help="sampled simulation: ISS functional fast "
+                            "path + periodic detailed timing windows; "
+                            "IPC is reported as a point estimate with "
+                            "a 95%% confidence interval "
+                            "(docs/SAMPLING.md)")
+    run_p.add_argument("--sample-period", type=int, default=50_000,
+                       metavar="N",
+                       help="instructions between window starts "
+                            "(default 50000)")
+    run_p.add_argument("--sample-window", type=int, default=2_000,
+                       metavar="N",
+                       help="instructions measured per window "
+                            "(default 2000)")
+    run_p.add_argument("--warmup", type=int, default=1_000, metavar="N",
+                       help="warm-start prefix per window, stats gated "
+                            "off (default 1000)")
+    run_p.add_argument("--sample-phase", type=int, default=0,
+                       metavar="N",
+                       help="offset of the first window (default 0)")
+    run_p.add_argument("--max-windows", type=int, default=0,
+                       metavar="N",
+                       help="stop measuring after N windows "
+                            "(0 = no limit)")
+    run_p.add_argument("--warm-lines", type=int, default=4096,
+                       metavar="N",
+                       help="functional cache warming: prime each "
+                            "window with the last N touched lines "
+                            "(0 disables)")
 
     stats_p = sub.add_parser(
         "stats", help="run and dump the full stats document "
@@ -707,7 +790,8 @@ def build_parser():
 
     sweep_p = sub.add_parser("sweep", help="design-space sweep")
     sweep_p.add_argument("knob", choices=("clusters", "threads",
-                                          "lsu_depth", "flush_penalty"))
+                                          "lsu_depth", "flush_penalty",
+                                          "sample_period"))
     sweep_p.add_argument("workload")
     sweep_p.add_argument("--scale", type=float, default=0.5)
     add_jobs_opt(sweep_p)

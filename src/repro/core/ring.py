@@ -127,17 +127,30 @@ class RingEngine:
 
     # ================================================================ API
 
-    def run(self, max_cycles=None):
+    def run(self, max_cycles=None, max_retired=None):
         """Run to completion (or the cycle budget); returns stats.
 
         Raises :class:`repro.core.watchdog.SimulationHang` when no
-        instruction retires for ``config.watchdog_window`` cycles."""
+        instruction retires for ``config.watchdog_window`` cycles.
+
+        ``max_retired`` is an *absolute* retired-instruction budget
+        (sampling windows, ``repro.sampling``): the loop pauses at the
+        first cycle boundary with ``stats.retired >= max_retired``,
+        but never inside a pipelined SIMT region — ``_enter_simt``
+        credits the whole region's instructions up front while its
+        cycles elapse until ``_simt_until``, so pausing mid-region
+        would pair credited instructions with missing cycles. The
+        pause is resumable: call run() again with larger budgets."""
         budget = max_cycles if max_cycles is not None \
             else self.config.max_cycles
         ff = self.ff_setup()
         step = self.step
         check = self.check_watchdog
         while not self.halted and self.cycle < budget:
+            if max_retired is not None \
+                    and self.stats.retired >= max_retired \
+                    and self._simt_until is None:
+                break
             step()
             check()
             if ff:

@@ -136,25 +136,34 @@ def execute_spec(spec, run_id=None, span=None):
     which worker pid ran what). The authoritative ``finished`` /
     ``failed`` events are emitted by the parent when the record lands —
     a worker that dies mid-spec therefore leaves an open span, exactly
-    what happened."""
+    what happened.
+
+    The whole execution runs inside ``telemetry.run_scope(run_id,
+    span)``: events emitted from deep layers (checkpoint saves,
+    sampling windows, disk-cache probes) inherit this attempt's
+    ``(run, span)`` identity instead of arriving anonymous."""
     if run_id is not None:
         telemetry.emit(
             "started", run=run_id, span=span,
             label=getattr(spec, "workload", type(spec).__name__))
-    execute = getattr(spec, "execute", None)
-    if callable(execute):
-        return execute()
+    with telemetry.run_scope(run_id, span):
+        execute = getattr(spec, "execute", None)
+        if callable(execute):
+            return execute()
 
-    from repro.harness.runner import run_baseline, run_diag
+        from repro.harness.runner import run_baseline, run_diag
 
-    if spec.machine == "diag":
-        return run_diag(spec.workload, config=spec.config or "F4C32",
-                        scale=spec.scale, threads=spec.threads,
-                        simt=spec.simt, num_clusters=spec.num_clusters,
-                        max_cycles=spec.max_cycles,
-                        config_overrides=dict(spec.config_overrides))
-    return run_baseline(spec.workload, scale=spec.scale,
-                        threads=spec.threads, max_cycles=spec.max_cycles)
+        if spec.machine == "diag":
+            return run_diag(spec.workload,
+                            config=spec.config or "F4C32",
+                            scale=spec.scale, threads=spec.threads,
+                            simt=spec.simt,
+                            num_clusters=spec.num_clusters,
+                            max_cycles=spec.max_cycles,
+                            config_overrides=dict(spec.config_overrides))
+        return run_baseline(spec.workload, scale=spec.scale,
+                            threads=spec.threads,
+                            max_cycles=spec.max_cycles)
 
 
 def resolve_jobs(jobs=None):

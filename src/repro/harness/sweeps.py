@@ -127,9 +127,28 @@ def sweep_flush_penalty(workload, scale=0.5,
                   journal, resume, progress)
 
 
+def sweep_sample_period(workload, scale=1.0, machine="diag",
+                        config="F4C2",
+                        periods=(2_000, 5_000, 10_000, 25_000),
+                        window=500, warmup=500, jobs=None,
+                        journal=None, resume=False, progress=None):
+    """Sampled-simulation accuracy vs. speed: sweep the period
+    (:mod:`repro.sampling`). Imported lazily — sampling imports the
+    runner, and this module must stay importable from it."""
+    from repro.sampling import SampledSpec
+    specs = [SampledSpec(workload=workload, machine=machine,
+                         config=config, scale=scale, period=period,
+                         window=min(window, max(1, period - warmup)),
+                         warmup=min(warmup, max(0, period - 1)))
+             for period in periods]
+    return _sweep(workload, "sample_period", periods, specs, jobs,
+                  journal, resume, progress)
+
+
 ALL_SWEEPS = {
     "clusters": sweep_clusters,
     "threads": sweep_threads,
     "lsu_depth": sweep_lsu_depth,
     "flush_penalty": sweep_flush_penalty,
+    "sample_period": sweep_sample_period,
 }

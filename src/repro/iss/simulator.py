@@ -69,6 +69,14 @@ class ISS:
         self.trace = trace
         self._simt_stack = []
         self._pending_interrupt = None
+        #: optional functional-warming recorder (e.g.
+        #: :class:`repro.sampling.WarmTrace`): ``touch(addr)`` is
+        #: called at every data access and ``branch(pc, instr, taken,
+        #: target)`` at every control instruction, so sampled
+        #: simulation can reconstruct cache recency and branch
+        #: predictor state at a window boundary. Plain picklable
+        #: data: checkpoints carry it (unlike the hook attributes).
+        self.warm_trace = None
 
     # ---------------------------------------------------------- registers
 
@@ -92,6 +100,25 @@ class ISS:
             self.halt_reason = None
         while self.halt_reason is None:
             if self.stats.instructions >= max_steps:
+                self.halt_reason = HaltReason.MAX_STEPS
+                break
+            self.step()
+        return self.halt_reason
+
+    def run_to_boundary(self, target_steps):
+        """Run to the first window boundary at/after ``target_steps``.
+
+        Like ``run(max_steps=target_steps)`` but the resumable
+        MAX_STEPS pause is deferred until the SIMT region stack is
+        empty: a timing engine warm-started mid-region would see a
+        ``simt_e`` with no live ``simt_s`` and diverge, so sampling
+        windows (``repro.sampling``) may only open at a SIMT boundary.
+        ``target_steps`` is absolute, matching :meth:`run`."""
+        if self.halt_reason is HaltReason.MAX_STEPS:
+            self.halt_reason = None
+        while self.halt_reason is None:
+            if self.stats.instructions >= target_steps \
+                    and not self._simt_stack:
                 self.halt_reason = HaltReason.MAX_STEPS
                 break
             self.step()
@@ -164,6 +191,8 @@ class ISS:
         result = compute(instr, self.pc, rs1, rs2, rs3)
 
         if result.mem_addr is not None:
+            if self.warm_trace is not None:
+                self.warm_trace.touch(result.mem_addr)
             if result.store_value is not None:
                 self.memory.store(result.mem_addr, result.store_value,
                                   result.mem_size)
@@ -176,6 +205,11 @@ class ISS:
                 self.f[instr.rd] = result.value & MASK32
             else:
                 self.write_x(instr.rd, result.value)
+
+        if self.warm_trace is not None and \
+                (instr.is_branch or mnem in ("jal", "jalr")):
+            self.warm_trace.branch(self.pc, instr, result.taken,
+                                   result.target)
 
         if result.taken:
             if instr.is_branch:

@@ -1,8 +1,9 @@
 """Bench-trend tracking: accumulate ``BENCH_*.json`` into a history.
 
-CI produces five bench documents per commit (``BENCH_obs`` /
+CI produces six bench documents per commit (``BENCH_obs`` /
 ``BENCH_engine`` / ``BENCH_parallel`` / ``BENCH_verify`` /
-``BENCH_resilience``) but used to throw them away after the gating
+``BENCH_resilience`` / ``BENCH_sampling``) but used to throw them
+away after the gating
 thresholds passed — the perf *trajectory* was never recorded.
 :func:`append_entry` flattens a bench document's numeric leaves and
 appends one JSONL line to ``benchmarks/history.jsonl`` keyed by git
@@ -53,6 +54,7 @@ TRACKED = {
     "resilience": (("journal.overhead_ratio", "lower"),),
     "obs": (("nn.diag.sim_cycles_per_sec", "higher"),
             ("hotspot.ooo.sim_cycles_per_sec", "higher")),
+    "sampling": (("speedup", "higher"),),
 }
 
 #: subtrees never flattened into history entries (bulk stats dumps and

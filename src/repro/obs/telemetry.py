@@ -71,6 +71,7 @@ EVENTS = frozenset((
     "checkpoint_save",    # simulator state captured (bytes, ms)
     "checkpoint_restore",  # simulator state reloaded
     "journal_load",       # write-ahead journal scanned (entries)
+    "sample_window",      # one detailed timing window measured
 ))
 
 
@@ -136,6 +137,42 @@ class TelemetryBus:
 
 _bus = None
 
+#: thread-local default (run, span) identity for nested emissions —
+#: see :func:`run_scope`
+_scope = threading.local()
+
+
+class run_scope:
+    """Context manager giving nested emissions a default run identity.
+
+    Deep layers (checkpoint save/restore, sampling windows, the disk
+    cache) emit events without knowing which harness run they serve;
+    before this existed those events carried a campaign but no
+    ``run``/``span``, so campaign tooling could not attribute them.
+    The executor wraps each spec's execution in
+    ``run_scope(run_id, span)`` and :func:`emit` fills in the scoped
+    identity whenever the caller passes ``run=None``. Scopes nest
+    (innermost wins) and are per-thread; pool workers inherit nothing
+    across ``fork()`` because the wrap happens inside the worker.
+    """
+
+    def __init__(self, run, span=None):
+        self.ident = (run, span)
+
+    def __enter__(self):
+        self._prev = getattr(_scope, "ident", None)
+        _scope.ident = self.ident
+        return self
+
+    def __exit__(self, *exc):
+        _scope.ident = self._prev
+        return False
+
+
+def scoped_identity():
+    """The innermost active ``(run, span)`` scope, or None."""
+    return getattr(_scope, "ident", None)
+
 
 def configure(path=None, campaign=None):
     """Activate the process-wide bus and export it to child processes.
@@ -180,10 +217,21 @@ def reset():
 
 
 def emit(event, run=None, span=None, **fields):
-    """Emit onto the active bus; a cheap no-op when telemetry is off."""
+    """Emit onto the active bus; a cheap no-op when telemetry is off.
+
+    When the caller does not name a run, the innermost
+    :class:`run_scope` (if any) supplies the ``(run, span)`` identity,
+    so events from deep layers attribute to the harness run that
+    triggered them."""
     bus = active()
     if bus is None:
         return False
+    if run is None:
+        ident = scoped_identity()
+        if ident is not None:
+            run = ident[0]
+            if span is None:
+                span = ident[1]
     return bus.emit(event, run=run, span=span, **fields)
 
 

@@ -332,3 +332,56 @@ class TestCheckpointProperty:
         assert result.cycles == full.cycles
         assert result.halted
         assert restored.engine.arch.x == restored.iss.x
+
+
+# ---------------------------------------------------------------------
+# property: the checkpoint round-trip composes with commit_hook
+# reattach across the ISS -> engine state transfer sampling performs
+# ---------------------------------------------------------------------
+
+class TestWarmStartLockstepProperty:
+    """The sampled-simulation handoff (repro.sampling): fast-forward
+    the ISS, clone it through save_state/restore_state, warm-start a
+    timing engine from the clone — then prove the transfer was exact by
+    attaching a fresh lockstep oracle (a second clone, rebased to the
+    engine's frame) and letting every commit be checked. Any state the
+    transfer dropped or mangled would surface as a Divergence within
+    the first few commits."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=3),
+           machine=st.sampled_from(["diag", "ooo"]),
+           cut=st.integers(min_value=1, max_value=48),
+           window=st.integers(min_value=1, max_value=64))
+    def test_warm_started_engine_is_lockstep_clean(self, seed, machine,
+                                                   cut, window):
+        from repro.sampling import clone_iss, warm_engine
+        from repro.verify.lockstep import _Oracle, _StoreRecorder
+
+        program = torture_program(seed, ops=32)
+        iss = ISS(program)
+        if iss.run_to_boundary(cut) is not HaltReason.MAX_STEPS:
+            return  # program ended before the cut: nothing to window
+        clone = clone_iss(iss)
+        assert clone.pc == iss.pc and clone.x == iss.x
+
+        cfg = CONFIG_PRESETS["F4C2"] if machine == "diag" \
+            else OoOConfig()
+        engine, hierarchy = warm_engine(machine, cfg, program, clone)
+
+        # reattach recipe: the oracle ISS is another clone, un-paused
+        # and with its instruction counter rebased to the engine's
+        # frame (the count invariant is engine-relative: at each commit
+        # iss.instructions == engine.retired + 1)
+        oracle_iss = clone_iss(iss)
+        oracle_iss.halt_reason = None
+        oracle_iss.stats.instructions = 0
+        engine_rec = _StoreRecorder(hierarchy.memory)
+        iss_rec = _StoreRecorder(oracle_iss.memory)
+        oracle = _Oracle(machine, oracle_iss, engine.arch,
+                         engine.stats, engine_rec, iss_rec)
+        engine.commit_hook = oracle
+
+        engine.run(max_cycles=cfg.max_cycles, max_retired=window)
+        assert engine.stats.retired >= 1
+        assert engine.arch.x[1:] == oracle_iss.x[1:]

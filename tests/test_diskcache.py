@@ -376,3 +376,106 @@ class TestProgramBytesKey:
         _register(SRC_V2)
         v2 = run_diag("_editable", config="F4C2", scale=1.0)
         assert v1.instructions != v2.instructions
+
+
+# =====================================================================
+# verify --repair across the whole damage matrix (ISSUE satellite)
+# =====================================================================
+
+class TestVerifyRepairMatrix:
+    """Every corruption kind the damage matrix knows must be detected
+    by the audit, left in place without ``repair``, removed with it,
+    and never take a healthy neighbour down with it."""
+
+    @pytest.mark.parametrize("kind", sorted(DAMAGES))
+    def test_each_damage_kind_repaired(self, tmp_path, kind):
+        cache = DiskCache(tmp_path)
+        cache.put("a" * 64, make_record())
+        cache.put("b" * 64, make_record(cycles=999))
+        path = tmp_path / ("b" * 64 + ".json")
+        path.write_text(DAMAGES[kind](path.read_text()))
+        audit = cache.verify()
+        assert audit == {"checked": 2, "ok": 1, "corrupt": 1,
+                         "removed": 0}
+        assert path.exists()  # audit alone never mutates
+        repaired = cache.verify(repair=True)
+        assert repaired == {"checked": 2, "ok": 1, "corrupt": 1,
+                            "removed": 1}
+        assert not path.exists()
+        assert cache.get("a" * 64) is not None
+        assert cache.stats()["repaired"] == 1
+        assert cache.verify(repair=True) == {
+            "checked": 1, "ok": 1, "corrupt": 0, "removed": 0}
+
+    def test_cli_verify_repair_roundtrip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache = DiskCache(tmp_path)
+        cache.put("a" * 64, make_record())
+        cache.put("b" * 64, make_record(cycles=7))
+        path = tmp_path / ("a" * 64 + ".json")
+        path.write_text("junk")
+        assert main(["cache", "verify", "--dir", str(tmp_path)]) == 1
+        assert path.exists()  # report-only
+        assert main(["cache", "verify", "--dir", str(tmp_path),
+                     "--repair"]) == 1
+        assert not path.exists()
+        assert main(["cache", "verify", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 corrupt" in out
+
+
+# =====================================================================
+# sampled-run keying: sampling params are run identity (ISSUE satellite)
+# =====================================================================
+
+class TestSampledCacheKey:
+    """Two sampled runs differing only in schedule must never alias in
+    either cache tier; an identical re-request must hit; and sampled
+    vs. full-detail identities stay disjoint."""
+
+    PARAMS = dict(period=1_500, window=300, warmup=200)
+
+    def _run(self, tweak=None):
+        from repro.sampling import SamplingParams, run_sampled
+
+        params = dict(self.PARAMS)
+        params.update(tweak or {})
+        return run_sampled("nn", machine="diag", config="F4C2",
+                           scale=1.0, params=SamplingParams(**params))
+
+    def test_every_sampling_param_changes_the_key(self, tmp_path):
+        cache = diskcache.configure(tmp_path)
+        base = self._run()
+        assert base.status == "ok"
+        assert cache.stats()["writes"] == 1
+        tweaks = ({"period": 1_600}, {"window": 350},
+                  {"warmup": 150}, {"phase": 40},
+                  {"max_windows": 2}, {"ci_floor_rel": 0.05},
+                  {"warm_lines": 512})
+        for count, tweak in enumerate(tweaks, start=2):
+            rec = self._run(tweak=tweak)
+            assert rec.status == "ok"
+            assert cache.stats()["writes"] == count, \
+                f"{tweak} aliased an earlier sampled run"
+
+    def test_sampled_record_roundtrips_through_disk(self, tmp_path):
+        cache = diskcache.configure(tmp_path)
+        fresh = self._run()
+        assert fresh.status == "ok"
+        clear_cache()  # memory tier gone; disk must answer
+        again = self._run()
+        assert cache.stats()["hits"] == 1
+        assert again is not fresh
+        assert again.cycles == fresh.cycles
+        assert again.extra["windows"] == fresh.extra["windows"]
+        assert deterministic_view(again.stats) \
+            == deterministic_view(fresh.stats)
+
+    def test_sampled_and_full_identities_are_disjoint(self, tmp_path):
+        cache = diskcache.configure(tmp_path)
+        sampled = self._run()
+        full = run_diag("nn", config="F4C2", scale=1.0)
+        assert sampled.status == full.status == "ok"
+        assert cache.stats()["writes"] == 2
+        assert sampled.cycles != 0 and full.cycles != 0

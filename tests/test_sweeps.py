@@ -80,4 +80,4 @@ class TestSweepResult:
 
     def test_registry(self):
         assert set(ALL_SWEEPS) == {"clusters", "threads", "lsu_depth",
-                                   "flush_penalty"}
+                                   "flush_penalty", "sample_period"}

@@ -92,7 +92,23 @@ class TestBus:
 
     def test_vocabulary_is_closed(self):
         assert "started" in telemetry.EVENTS
-        assert len(telemetry.EVENTS) == 17
+        assert "sample_window" in telemetry.EVENTS
+        assert len(telemetry.EVENTS) == 18
+
+    def test_run_scope_supplies_identity(self, tmp_path):
+        bus = telemetry.configure(path=tmp_path / "t.jsonl")
+        with telemetry.run_scope("r1", 2):
+            telemetry.emit("cache_hit", tier="mem")
+            with telemetry.run_scope("r2"):
+                telemetry.emit("cache_miss")
+            # explicit identity always wins over the scope
+            telemetry.emit("cache_hit", run="r3", span=9, tier="disk")
+        telemetry.emit("journal_load", entries=0)  # outside any scope
+        events = read_events(bus.path)
+        idents = [(ev.get("run"), ev.get("span")) for ev in events]
+        assert idents == [("r1", 2), ("r2", None), ("r3", 9),
+                          (None, None)]
+        assert telemetry.scoped_identity() is None
 
     def test_reader_skips_torn_and_foreign_lines(self, tmp_path):
         path = tmp_path / "t.jsonl"
@@ -204,6 +220,33 @@ class TestCampaignEvents:
         run_specs([SadSpec()])
         kinds = [ev["ev"] for ev in read_events(tmp_path / "t.jsonl")]
         assert "failed" in kinds and "finished" not in kinds
+
+    def test_sample_window_events_carry_parent_run(self, tmp_path):
+        """Regression: windows measured deep inside run_sampled must
+        attribute to the harness run that triggered them — without the
+        executor's run_scope they would carry a campaign but no
+        (run, span), orphaning them from campaign tooling."""
+        from repro.harness.runner import clear_cache
+        from repro.sampling import SampledSpec
+
+        telemetry.configure(path=tmp_path / "t.jsonl")
+        clear_cache()
+        spec = SampledSpec(workload="nn", machine="diag",
+                           config="F4C2", period=1_500, window=300,
+                           warmup=200, phase=11)
+        records = run_specs([spec])
+        assert records[0].status == "ok"
+        events = read_events(tmp_path / "t.jsonl")
+        started = [ev for ev in events if ev["ev"] == "started"]
+        ident = (started[0]["run"], started[0]["span"])
+        assert ident[0] is not None
+        windows = [ev for ev in events if ev["ev"] == "sample_window"]
+        assert windows, "sampled run emitted no window events"
+        assert all((ev.get("run"), ev.get("span")) == ident
+                   for ev in windows)
+        # the checkpoint clones each window takes inherit it too
+        saves = [ev for ev in events if ev["ev"] == "checkpoint_save"]
+        assert saves and all(ev.get("run") == ident[0] for ev in saves)
 
 
 # ---------------------------------------------------------------------
