@@ -32,6 +32,17 @@ class Program:
     #: instruction listing for debugging: addr -> Instruction
     listing: dict = field(default_factory=dict)
 
+    def __getstate__(self):
+        # The ISS superblock compiler caches generated factories on
+        # the program (repro.iss.superblock); code objects don't
+        # pickle, and the cache rebuilds lazily, so private attrs are
+        # stripped — mirroring Instruction.__getstate__.
+        return {key: value for key, value in self.__dict__.items()
+                if not key.startswith("_")}
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
     def add_segment(self, base, data):
         self.segments.append(Segment(base, bytearray(data)))
 

@@ -74,8 +74,12 @@ def _describe(record):
 def _host_line(record):
     """Host-side simulator throughput (``sim.host.*`` gauges)."""
     kips = record.stat("sim.host.kips")
-    return (f"host: {kips:8.1f} KIPS  "
+    line = (f"host: {kips:8.1f} KIPS  "
             f"({record.stat('sim.host.run_seconds'):.2f}s in engine)")
+    iss_kips = record.stat("iss.host.kips", None)
+    if iss_kips is not None:
+        line += f"  iss: {iss_kips:.1f} KIPS"
+    return line
 
 
 def _stall_line(record):
@@ -217,6 +221,11 @@ def _cmd_run(args):
             line = _sampled_line(rec)
             if line:
                 print(f"             {line}")
+            iss_kips = rec.stat("iss.host.kips", None)
+            if iss_kips is not None:
+                print(f"             iss: {iss_kips:8.1f} KIPS  "
+                      f"({rec.stat('iss.host.run_seconds', 0.0):.2f}s "
+                      f"functional)")
             return
         print(f"             {_stall_line(rec)}")
         print(f"             {_cache_line(rec)}")
@@ -547,6 +556,14 @@ def _verify_torture(args):
                              resume=args.resume, progress=monitor)
     finally:
         _finish_monitor(monitor, server)
+    if report.prescreen is not None:
+        pre = report.prescreen
+        # stderr: the wall-clock KIPS figure must never perturb the
+        # byte-identical stdout contract of journaled resume
+        print(f"iss prescreen: {pre.programs} programs, "
+              f"{pre.instructions} instructions, "
+              f"{pre.kips:.1f} KIPS, "
+              f"{len(pre.anomalies)} anomalies", file=sys.stderr)
     print(f"torture seed={args.seed}: {report.summary()}")
     _emit_resilience(monitor)
     for outcome in report.failures[:10]:

@@ -157,10 +157,25 @@ def _execute(machine, config, program, inst, injector, max_cycles):
 
 
 def _golden(program, inst):
-    """Run the ISS to completion; returns (x, f) register lists."""
+    """Run the ISS to completion; returns (x, f) register lists.
+
+    Executes through the superblock fast path (``ISS.run``), so the
+    per-campaign golden reference costs milliseconds even for full
+    workloads; throughput is emitted as ``golden_run`` telemetry."""
+    import time as _time
+
+    from repro.obs import telemetry
+
     iss = ISS(program)
     inst.setup(iss.memory)
+    start = _time.perf_counter()
     iss.run()
+    elapsed = _time.perf_counter() - start
+    telemetry.emit(
+        "golden_run", kind="faults",
+        instructions=iss.stats.instructions,
+        kips=round(iss.stats.instructions / elapsed / 1000.0, 1)
+        if elapsed > 0 else 0.0)
     if not inst.verify(iss.memory):
         raise CampaignError("ISS reference run failed verification")
     return list(iss.x), list(iss.f)

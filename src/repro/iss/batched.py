@@ -1,0 +1,159 @@
+"""Batched lockstep-SIMD execution of independent ISS lanes.
+
+:class:`BatchedISS` steps N independent programs — torture cells,
+fault trials, sampling warm-up legs — inside one process, amortizing
+interpreter overhead across the whole batch. The at-rest architectural
+state is held in numpy planes: ``x``/``f`` register files of shape
+``(N, 32)`` (uint32), plus per-lane ``pc``/``instructions`` vectors
+and an ``active`` divergence mask. Execution itself runs each lane's
+superblock engine for a bounded *quantum* of instructions and then
+re-syncs that lane's row of the planes: RISC-V semantics (``mulh``
+64-bit intermediates, signed division, softfloat) are exact in Python
+integer arithmetic but not in vectorized uint32 arithmetic, so the
+planes are the batched *state representation* while the per-lane
+superblock thunks remain the executors — bit-exactness over raw
+vector math.
+
+Lane scheduling is round-robin over the active mask: a lane retires
+(its mask bit drops) when it reaches a final ebreak/ecall halt or the
+run's step bound. Because :meth:`repro.iss.simulator.ISS.run` treats
+``max_steps`` as an absolute, resumable pause, quantum-sliced
+execution is *exactly* equivalent to running each lane to completion
+in isolation — the property tests/test_iss_batched.py enforces with
+Hypothesis across torture seeds × SIMT regions × quantum sizes.
+"""
+
+import numpy as np
+
+from repro.iss.simulator import ISS, HaltReason
+
+#: default per-lane instruction quantum between plane re-syncs
+DEFAULT_QUANTUM = 8192
+
+DEFAULT_MAX_STEPS = 5_000_000
+
+
+class BatchedISS:
+    """N independent ISS lanes with numpy-backed register planes."""
+
+    def __init__(self, programs=(), lanes=None, quantum=DEFAULT_QUANTUM,
+                 load_image=True):
+        if lanes is None:
+            lanes = [ISS(program, load_image=load_image)
+                     for program in programs]
+        self.lanes = list(lanes)
+        self.quantum = int(quantum)
+        if self.quantum <= 0:
+            raise ValueError("quantum must be positive")
+        n = len(self.lanes)
+        self.x = np.zeros((n, 32), dtype=np.uint32)
+        self.f = np.zeros((n, 32), dtype=np.uint32)
+        self.pc = np.zeros(n, dtype=np.int64)
+        self.instructions = np.zeros(n, dtype=np.int64)
+        #: divergence mask: True while a lane can still execute (no
+        #: final halt and, during run(), budget remaining)
+        self.active = np.zeros(n, dtype=bool)
+        for index in range(n):
+            self._sync(index)
+
+    def __len__(self):
+        return len(self.lanes)
+
+    # ------------------------------------------------------------ state
+
+    def _sync(self, index):
+        """Refresh lane ``index``'s rows of the batched planes."""
+        lane = self.lanes[index]
+        self.x[index] = lane.x
+        self.f[index] = lane.f
+        self.pc[index] = lane.pc
+        self.instructions[index] = lane.stats.instructions
+        self.active[index] = lane.halt_reason in (None,
+                                                  HaltReason.MAX_STEPS)
+
+    @property
+    def retired(self):
+        """Boolean mask of lanes that reached a final halt."""
+        return ~self.active
+
+    @property
+    def cycle(self):
+        """Total instructions across lanes (checkpoint progress key)."""
+        return int(self.instructions.sum())
+
+    def halt_reasons(self):
+        return [lane.halt_reason for lane in self.lanes]
+
+    def aggregate_stats(self):
+        """Vectorized fold of per-lane stats into one totals dict."""
+        lanes = self.lanes
+        totals = {
+            "lanes": len(lanes),
+            "instructions": int(self.instructions.sum()),
+        }
+        for name in ("loads", "stores", "branches", "taken_branches",
+                     "fp_ops", "simt_iterations"):
+            totals[name] = int(sum(getattr(lane.stats, name)
+                                   for lane in lanes))
+        if lanes:
+            mn_plane = np.array([lane.stats.mn_counts for lane in lanes],
+                                dtype=np.int64)
+            folded = mn_plane.sum(axis=0)
+            from repro.iss.simulator import SLOT_MNEMONICS
+            totals["mnemonic_counts"] = {
+                SLOT_MNEMONICS[slot]: int(count)
+                for slot, count in enumerate(folded) if count}
+        else:
+            totals["mnemonic_counts"] = {}
+        return totals
+
+    # ---------------------------------------------------------- running
+
+    def run(self, max_steps=DEFAULT_MAX_STEPS):
+        """Advance every lane to a final halt or ``max_steps``.
+
+        Per lane this is exactly ``lane.run(max_steps)`` — absolute
+        step bound, MAX_STEPS as a resumable pause — executed in
+        round-robin quanta so the planes interleave in lockstep-SIMD
+        fashion. Returns the per-lane halt reasons."""
+        quantum = self.quantum
+        lanes = self.lanes
+        live = [index for index in range(len(lanes))
+                if lanes[index].halt_reason
+                in (None, HaltReason.MAX_STEPS)]
+        while live:
+            still = []
+            for index in live:
+                lane = lanes[index]
+                bound = min(lane.stats.instructions + quantum, max_steps)
+                reason = lane.run(max_steps=bound)
+                self._sync(index)
+                if reason is HaltReason.MAX_STEPS \
+                        and lane.stats.instructions < max_steps:
+                    still.append(index)  # paused mid-flight: keep going
+                else:
+                    self.active[index] = False  # retired this run
+            live = still
+        return self.halt_reasons()
+
+    def run_to_boundary(self, target_steps):
+        """Per-lane :meth:`ISS.run_to_boundary` over the batch (used by
+        sampling warm-up legs); returns the per-lane halt reasons."""
+        for index, lane in enumerate(self.lanes):
+            lane.run_to_boundary(target_steps)
+            self._sync(index)
+        return self.halt_reasons()
+
+    # ---------------------------------------------------- checkpointing
+
+    def save_state(self, meta=None):
+        """Snapshot the whole batch (planes + every lane) into one
+        :class:`repro.checkpoint.Checkpoint`. Lane superblock caches
+        are stripped by ``ISS.__getstate__`` and rebuilt lazily."""
+        from repro import checkpoint
+        return checkpoint.save_state(self, meta=meta)
+
+    @classmethod
+    def restore_state(cls, ckpt):
+        from repro import checkpoint
+        return checkpoint.restore_state(ckpt, expect=cls.__name__)

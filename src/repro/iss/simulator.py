@@ -4,15 +4,38 @@ Runs a :class:`repro.asm.Program` to completion, executing the DiAG
 ``simt_s``/``simt_e`` extensions with their sequential (non-pipelined)
 semantics so the same binary produces identical architectural results
 on the ISS, the OoO baseline, and the DiAG core.
+
+Two execution paths share one set of semantics (docs/PERFORMANCE.md
+§"ISS fast path"):
+
+* :meth:`ISS.step` — one instruction at a time, dispatched through a
+  computed table bound onto each ``Instruction`` at first execution
+  (no mnemonic ``if``-chain). The lockstep oracle drives this path,
+  one step per engine retirement.
+* :meth:`ISS.run` / :meth:`ISS.run_to_boundary` — superblock
+  execution: straight-line runs of the program are compiled once into
+  blocks of pre-resolved execute thunks
+  (:mod:`repro.iss.superblock`) and the hot loop dispatches once per
+  block. Both paths are bit-exact for architectural state, stats and
+  the ``warm_trace`` stream; blocks that would overrun a step budget
+  fall back to scalar stepping so pause boundaries land exactly.
 """
 
 import enum
 from dataclasses import dataclass, field
 
+from repro.isa.instructions import MNEMONICS
 from repro.iss.semantics import compute, finish_load
 from repro.memory.main_memory import MainMemory
 
 MASK32 = 0xFFFFFFFF
+
+#: decode-indexed mnemonic slots: the mnemonic table is fixed at import
+#: time, so per-ISS mnemonic tallies live in a flat list indexed by
+#: slot instead of a per-step dict (``ISSStats.mnemonic_counts`` folds
+#: the array back into a dict lazily).
+SLOT_MNEMONICS = tuple(sorted(MNEMONICS))
+MN_SLOTS = {mnemonic: slot for slot, mnemonic in enumerate(SLOT_MNEMONICS)}
 
 
 class SimError(Exception):
@@ -45,7 +68,15 @@ class ISSStats:
     taken_branches: int = 0
     fp_ops: int = 0
     simt_iterations: int = 0
-    mnemonic_counts: dict = field(default_factory=dict)
+    #: per-mnemonic tallies, indexed by :data:`MN_SLOTS`
+    mn_counts: list = field(
+        default_factory=lambda: [0] * len(SLOT_MNEMONICS))
+
+    @property
+    def mnemonic_counts(self):
+        """The slot array folded into {mnemonic: count} (non-zero only)."""
+        return {SLOT_MNEMONICS[slot]: count
+                for slot, count in enumerate(self.mn_counts) if count}
 
 
 class ISS:
@@ -77,6 +108,29 @@ class ISS:
         #: predictor state at a window boundary. Plain picklable
         #: data: checkpoints carry it (unlike the hook attributes).
         self.warm_trace = None
+        #: superblock cache: pc -> compiled block for the *current*
+        #: hook configuration. Closures capture the hooks, so the
+        #: cache is invalidated whenever a hook identity changes and
+        #: is never pickled (rebuilt lazily after restore).
+        self._sb_cache = {}
+        self._sb_warm = None
+
+    # ----------------------------------------------------------- pickling
+
+    def __getstate__(self):
+        # Superblock thunks are closures over live objects (memory,
+        # register files, hooks) — strip them; the cache rebuilds
+        # lazily on the next run() and execution is bit-exact either
+        # way, so checkpoints stay deterministic.
+        state = self.__dict__.copy()
+        state.pop("_sb_cache", None)
+        state.pop("_sb_warm", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._sb_cache = {}
+        self._sb_warm = None
 
     # ---------------------------------------------------------- registers
 
@@ -98,12 +152,9 @@ class ISS:
         ebreak/ecall halts are final."""
         if self.halt_reason is HaltReason.MAX_STEPS:
             self.halt_reason = None
-        while self.halt_reason is None:
-            if self.stats.instructions >= max_steps:
-                self.halt_reason = HaltReason.MAX_STEPS
-                break
-            self.step()
-        return self.halt_reason
+        if self.trace is not None:
+            return self._run_scalar(max_steps, boundary=False)
+        return self._run_blocks(max_steps, boundary=False)
 
     def run_to_boundary(self, target_steps):
         """Run to the first window boundary at/after ``target_steps``.
@@ -113,16 +164,119 @@ class ISS:
         empty: a timing engine warm-started mid-region would see a
         ``simt_e`` with no live ``simt_s`` and diverge, so sampling
         windows (``repro.sampling``) may only open at a SIMT boundary.
-        ``target_steps`` is absolute, matching :meth:`run`."""
+        ``target_steps`` is absolute, matching :meth:`run`. A final
+        ebreak/ecall halt is always re-checked before the step-count
+        comparison: a program halting exactly on the boundary step
+        reports its real halt reason, never MAX_STEPS."""
         if self.halt_reason is HaltReason.MAX_STEPS:
             self.halt_reason = None
+        if self.trace is not None:
+            return self._run_scalar(target_steps, boundary=True)
+        return self._run_blocks(target_steps, boundary=True)
+
+    def _run_scalar(self, max_steps, boundary):
+        """Instruction-at-a-time loop (trace hook attached, or
+
+        reference semantics for the superblock equivalence tests).
+        Hook presence is resolved once here, not per step."""
+        step = self.step
+        stats = self.stats
+        simt_stack = self._simt_stack
         while self.halt_reason is None:
-            if self.stats.instructions >= target_steps \
-                    and not self._simt_stack:
+            if stats.instructions >= max_steps \
+                    and not (boundary and simt_stack):
                 self.halt_reason = HaltReason.MAX_STEPS
                 break
-            self.step()
+            step()
         return self.halt_reason
+
+    def _run_blocks(self, max_steps, boundary):
+        """Superblock hot loop: dispatch once per straight-line block.
+
+        Exactness contract: a block executes only when it fits the
+        remaining step budget entirely (inside an open SIMT region the
+        boundary pause is deferred, so the budget check is waived);
+        otherwise execution falls back to scalar :meth:`step` so the
+        MAX_STEPS pause lands on exactly the same instruction as the
+        scalar loop. ``halt_reason`` is re-checked at the loop head —
+        before the step-count comparison — so a halt on the boundary
+        step is reported as the halt, not the pause (see
+        :meth:`run_to_boundary`)."""
+        stats = self.stats
+        simt_stack = self._simt_stack
+        step = self.step
+        cache = self._blocks()
+        cache_get = cache.get
+        while self.halt_reason is None:
+            if stats.instructions >= max_steps \
+                    and not (boundary and simt_stack):
+                self.halt_reason = HaltReason.MAX_STEPS
+                break
+            if self._pending_interrupt is not None:
+                step()
+                continue
+            block = cache_get(self.pc)
+            if block is None:
+                block = self._compile(self.pc)
+            run = block.run
+            if run is None:  # scalar-only instruction (simt/csr/...)
+                step()
+                continue
+            if not (boundary and simt_stack) \
+                    and block.length > max_steps - stats.instructions:
+                step()  # partial block: finish the budget scalar-exact
+                continue
+            self.pc = run()
+        return self.halt_reason
+
+    def run_until_pc(self, target_pc, max_steps):
+        """Execute until ``pc == target_pc``, a halt, or ``max_steps``
+        further instructions — the lockstep oracle's SIMT catch-up
+        fast path. Unlike :meth:`run` this never sets a MAX_STEPS
+        pause: the caller inspects ``pc``/``halt_reason`` afterwards.
+        A block runs only when the target pc cannot fall inside it, so
+        the stop lands on exactly the same instruction as stepping."""
+        stats = self.stats
+        step = self.step
+        limit = stats.instructions + max_steps
+        if self.trace is not None:
+            while self.halt_reason is None and self.pc != target_pc \
+                    and stats.instructions < limit:
+                step()
+            return
+        cache = self._blocks()
+        cache_get = cache.get
+        while self.halt_reason is None and stats.instructions < limit:
+            pc = self.pc
+            if pc == target_pc:
+                return
+            if self._pending_interrupt is not None:
+                step()
+                continue
+            block = cache_get(pc)
+            if block is None:
+                block = self._compile(pc)
+            if block.run is None \
+                    or block.length > limit - stats.instructions \
+                    or pc < target_pc <= pc + 4 * (block.length - 1):
+                step()
+                continue
+            self.pc = block.run()
+
+    # ------------------------------------------------------- superblocks
+
+    def _blocks(self):
+        """The superblock cache for the current hook configuration."""
+        if self._sb_warm is not self.warm_trace:
+            self._sb_cache = {}
+            self._sb_warm = self.warm_trace
+        return self._sb_cache
+
+    def _compile(self, pc):
+        from repro.iss.superblock import compile_block
+        block = compile_block(self, pc, self.warm_trace)
+        self._sb_cache[pc] = block
+        return block
 
     # ----------------------------------------------------- checkpointing
 
@@ -163,23 +317,16 @@ class ISS:
         if self.trace is not None:
             self.trace(self.pc, instr)
         self._count(instr)
-        mnem = instr.mnemonic
-        if mnem == "ebreak":
-            self.halt_reason = HaltReason.EBREAK
-            return
-        if mnem == "ecall":
-            self.halt_reason = HaltReason.ECALL
-            return
-        if mnem == "simt_s":
-            self._simt_start(instr)
-            self.pc += 4
-            return
-        if mnem == "simt_e":
-            self._simt_end(instr)
-            return
-        if mnem.startswith("csr"):
-            self._csr_op(instr)
-            self.pc += 4
+        # Computed dispatch: system/SIMT/CSR instructions bind their
+        # handler method onto the Instruction once; everything else
+        # takes the dataflow path below.
+        try:
+            special = instr._iss_special
+        except AttributeError:
+            special = _SPECIAL_OPS.get(instr.mnemonic)
+            instr._iss_special = special
+        if special is not None:
+            special(self, instr)
             return
 
         info = instr.info
@@ -207,7 +354,7 @@ class ISS:
                 self.write_x(instr.rd, result.value)
 
         if self.warm_trace is not None and \
-                (instr.is_branch or mnem in ("jal", "jalr")):
+                (instr.is_branch or instr.mnemonic in ("jal", "jalr")):
             self.warm_trace.branch(self.pc, instr, result.taken,
                                    result.target)
 
@@ -217,6 +364,25 @@ class ISS:
             self.pc = result.target
         else:
             self.pc += 4
+
+    # ------------------------------------------- special-op dispatch
+
+    def _op_ebreak(self, instr):
+        self.halt_reason = HaltReason.EBREAK
+
+    def _op_ecall(self, instr):
+        self.halt_reason = HaltReason.ECALL
+
+    def _op_simt_s(self, instr):
+        self._simt_start(instr)
+        self.pc += 4
+
+    def _op_simt_e(self, instr):
+        self._simt_end(instr)
+
+    def _op_csr(self, instr):
+        self._csr_op(instr)
+        self.pc += 4
 
     # -------------------------------------------------------------- simt
 
@@ -296,5 +462,25 @@ class ISS:
             stats.branches += 1
         if instr.is_fp:
             stats.fp_ops += 1
-        counts = stats.mnemonic_counts
-        counts[instr.mnemonic] = counts.get(instr.mnemonic, 0) + 1
+        try:
+            slot = instr._mn_slot
+        except AttributeError:
+            slot = MN_SLOTS[instr.mnemonic]
+            instr._mn_slot = slot
+        stats.mn_counts[slot] += 1
+
+
+#: computed-dispatch table for instructions that touch simulator state
+#: beyond the dataflow path; bound per-Instruction on first execution.
+_SPECIAL_OPS = {
+    "ebreak": ISS._op_ebreak,
+    "ecall": ISS._op_ecall,
+    "simt_s": ISS._op_simt_s,
+    "simt_e": ISS._op_simt_e,
+    "csrrw": ISS._op_csr,
+    "csrrs": ISS._op_csr,
+    "csrrc": ISS._op_csr,
+    "csrrwi": ISS._op_csr,
+    "csrrsi": ISS._op_csr,
+    "csrrci": ISS._op_csr,
+}

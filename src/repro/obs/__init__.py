@@ -30,7 +30,8 @@ from repro.obs.bridge import (
     collect_ooo,
 )
 from repro.obs.events import EVENT_NAMES, EventTracer
-from repro.obs.profile import PhaseProfiler, export_throughput
+from repro.obs.profile import (PhaseProfiler, export_iss_throughput,
+                               export_throughput)
 from repro.obs.progress import (
     CampaignProgress,
     MetricsServer,
@@ -84,6 +85,7 @@ __all__ = [
     "collect_hierarchy",
     "collect_iss",
     "collect_ooo",
+    "export_iss_throughput",
     "export_throughput",
     "format_flat",
     "reset_resilience",

@@ -50,7 +50,8 @@ TRACKED = {
     "engine": (("speedup", "higher"),),
     "parallel": (("parallel_speedup", "higher"),
                  ("cache_speedup", "higher")),
-    "verify": (("torture.cells_per_second", "higher"),),
+    "verify": (("torture.cells_per_second", "higher"),
+               ("iss.kips", "higher")),
     "resilience": (("journal.overhead_ratio", "lower"),),
     "obs": (("nn.diag.sim_cycles_per_sec", "higher"),
             ("hotspot.ooo.sim_cycles_per_sec", "higher")),

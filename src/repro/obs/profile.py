@@ -66,3 +66,17 @@ def export_throughput(registry, cycles, instructions, run_seconds,
                  desc="fast-forward jumps taken")
     registry.set("sim.host.ff_skipped_cycles", ff_skipped_cycles,
                  desc="simulated cycles covered by fast-forward jumps")
+
+
+def export_iss_throughput(registry, instructions, seconds):
+    """Register the functional fast-path gauges under ``iss.host``.
+
+    Instructions executed by the ISS (fast-forward legs, sampling
+    warmup) never appear in ``sim.host.*``, so the batched/superblock
+    engine gets its own namespace. Like ``sim.host.*`` it is stripped
+    from the deterministic view — wall-clock never affects results."""
+    registry.set("iss.host.run_seconds", seconds,
+                 desc="wall-clock seconds inside the ISS fast path")
+    rate = 1.0 / seconds if seconds > 0 else 0.0
+    registry.set("iss.host.kips", instructions * rate / 1000.0,
+                 desc="ISS kilo-instructions per host second")

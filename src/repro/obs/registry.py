@@ -39,7 +39,8 @@ from bisect import bisect_left
 #: requeues, checkpoint I/O; see repro.obs.resilience) whose values
 #: depend on host behaviour, not on what the simulation computed —
 #: and are therefore excluded from byte-identity comparisons
-HOST_STAT_PREFIXES = ("host.", "sim.host.", "harness.", "ckpt.")
+HOST_STAT_PREFIXES = ("host.", "sim.host.", "iss.host.", "harness.",
+                      "ckpt.")
 
 #: flat stats merged by min()/max() rather than summed
 _MIN_STATS = frozenset(("sim.halted",))

@@ -62,6 +62,7 @@ from repro.obs import (
     PhaseProfiler,
     StatsRegistry,
     collect_iss,
+    export_iss_throughput,
     telemetry,
 )
 from repro.workloads import get_workload
@@ -556,6 +557,8 @@ def run_sampled(workload, machine="diag", config=None, scale=1.0,
                 hist.sample(w.ipc)
             collect_iss(iss, registry=registry)
             profiler.export(registry)
+            export_iss_throughput(registry, iss.stats.instructions,
+                                  profiler.seconds("ff"))
             record.stats = registry.as_dict()
         except SimulationHang as exc:
             record.status = "hang"

@@ -9,6 +9,7 @@ pool (worker watchdogs, graceful serial degradation, ``--jobs`` /
 ``REPRO_JOBS`` resolution) unchanged.
 """
 
+import time
 from dataclasses import dataclass, field
 
 from repro.asm.assembler import assemble
@@ -114,10 +115,73 @@ class TortureOutcome:
 
 
 @dataclass
+class PrescreenReport:
+    """Batched-ISS functional prescreen of a campaign's programs.
+
+    Every distinct (program seed, simt) program runs to completion as
+    one :class:`repro.iss.batched.BatchedISS` lane before the lockstep
+    matrix launches, so assembler errors and non-terminating programs
+    surface in milliseconds instead of occupying a pool worker — and
+    the batch doubles as the campaign's ISS throughput probe
+    (``iss.host.kips``). Purely additive: cell outcomes and the
+    journaled report are untouched."""
+
+    programs: int = 0
+    instructions: int = 0
+    seconds: float = 0.0
+    #: (index, simt, status) for lanes that did not reach ebreak/ecall
+    anomalies: list = field(default_factory=list)
+
+    @property
+    def kips(self):
+        """Aggregate batch throughput in kilo-instructions/second."""
+        if self.seconds <= 0:
+            return 0.0
+        return self.instructions / self.seconds / 1000.0
+
+
+def prescreen_programs(seed, count, simt_modes=(False, True), ops=40,
+                       max_steps=2_000_000):
+    """Run the campaign's program set through one batched ISS.
+
+    Returns a :class:`PrescreenReport`; deterministic except for the
+    wall-clock fields, which never reach stdout or the journal."""
+    from repro.iss.batched import BatchedISS
+    from repro.iss.simulator import ISS, HaltReason
+
+    lanes, labels, anomalies = [], [], []
+    for index in range(count):
+        for simt in simt_modes:
+            spec_seed = seed * SEED_STRIDE + index
+            try:
+                assembled = assemble(
+                    generate(spec_seed, ops=ops, simt=simt).source)
+            except Exception as exc:
+                anomalies.append((index, simt, f"asm-error: {exc}"))
+                continue
+            lanes.append(ISS(assembled))
+            labels.append((index, simt))
+    batch = BatchedISS(lanes=lanes)
+    start = time.perf_counter()
+    reasons = batch.run(max_steps=max_steps)
+    elapsed = time.perf_counter() - start
+    for (index, simt), reason in zip(labels, reasons):
+        if reason not in (HaltReason.EBREAK, HaltReason.ECALL):
+            anomalies.append((index, simt, f"no-halt: {reason}"))
+    return PrescreenReport(
+        programs=len(lanes) + len(anomalies),
+        instructions=int(batch.instructions.sum()),
+        seconds=elapsed, anomalies=anomalies)
+
+
+@dataclass
 class TortureReport:
     """Aggregate of one campaign."""
 
     outcomes: list = field(default_factory=list)
+    #: batched-ISS prescreen (None when disabled); excluded from
+    #: summary() so journaled resume stays byte-identical
+    prescreen: PrescreenReport = None
 
     @property
     def failures(self):
@@ -161,14 +225,16 @@ def build_specs(seed, count, machines=("diag", "ooo"),
 def run_torture(seed, count, machines=("diag", "ooo"),
                 ff_modes=(True, False), simt_modes=(False, True),
                 ops=40, jobs=None, max_cycles=400_000,
-                journal=None, resume=False, progress=None):
+                journal=None, resume=False, progress=None,
+                prescreen=True):
     """Run a torture campaign; returns a :class:`TortureReport`.
 
     ``journal``/``resume`` enable the crash-safe write-ahead journal —
     a campaign killed mid-flight re-runs only its missing cells and
     reports byte-identically (docs/RESILIENCE.md). ``progress`` (a
     :class:`repro.obs.progress.ProgressRenderer`) renders the matrix
-    live from the telemetry stream."""
+    live from the telemetry stream. ``prescreen`` runs every program
+    through one batched ISS first (see :func:`prescreen_programs`)."""
     from repro.harness.parallel import run_specs
     from repro.obs import telemetry
 
@@ -178,9 +244,18 @@ def run_torture(seed, count, machines=("diag", "ooo"),
     telemetry.emit("plan", kind="torture", seed=seed, count=count,
                    cells=len(specs), machines=list(machines),
                    ops=ops)
+    pre = None
+    if prescreen:
+        pre = prescreen_programs(seed, count, simt_modes=simt_modes,
+                                 ops=ops)
+        telemetry.emit("prescreen", kind="torture",
+                       programs=pre.programs,
+                       instructions=pre.instructions,
+                       kips=round(pre.kips, 1),
+                       anomalies=len(pre.anomalies))
     outcomes = run_specs(specs, jobs=jobs, journal=journal,
                          resume=resume, progress=progress)
-    return TortureReport(outcomes=list(outcomes))
+    return TortureReport(outcomes=list(outcomes), prescreen=pre)
 
 
 def shrink_failures(report, out_dir=None, max_shrinks=4):

@@ -210,16 +210,24 @@ class _Oracle:
             self._raise("iss-error", str(exc), entry)
 
     def _run_iss_until(self, addr, entry):
-        """Sequentially execute the SIMT region the ring pipelined."""
+        """Sequentially execute the SIMT region the ring pipelined.
+
+        Routed through the ISS superblock engine
+        (:meth:`ISS.run_until_pc`): the catch-up is the only place the
+        oracle executes more than one ISS instruction per commit, so
+        pipelined-SIMT torture cells get the fast path while the
+        per-commit stepping stays scalar-exact."""
         iss = self.iss
-        for _ in range(CATCH_UP_LIMIT):
-            if iss.pc == addr:
-                return
-            if iss.halt_reason is not None:
-                self._raise(
-                    "halt", f"ISS halted ({iss.halt_reason}) during SIMT "
-                    f"catch-up toward {addr:#x}", entry)
-            self._iss_step(entry)
+        try:
+            iss.run_until_pc(addr, CATCH_UP_LIMIT)
+        except SimError as exc:
+            self._raise("iss-error", str(exc), entry)
+        if iss.pc == addr:
+            return
+        if iss.halt_reason is not None:
+            self._raise(
+                "halt", f"ISS halted ({iss.halt_reason}) during SIMT "
+                f"catch-up toward {addr:#x}", entry)
         self._raise("pc", f"ISS never reached {addr:#x} within "
                     f"{CATCH_UP_LIMIT} catch-up steps", entry)
 

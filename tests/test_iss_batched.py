@@ -1,0 +1,203 @@
+"""BatchedISS == N independent scalar ISS runs, lane for lane.
+
+The batched engine holds register state in numpy planes and advances
+lanes in round-robin quanta, but the architectural contract is strict:
+every lane must finish in exactly the state an isolated ``ISS`` run of
+the same program produces — pc, x/f files, halt reason, stats, and the
+ordered memory-write stream. Hypothesis drives the property across
+torture seeds × SIMT modes × quantum sizes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asm import assemble
+from repro.iss import BatchedISS, ISS
+from repro.iss.simulator import HaltReason
+from repro.verify.torture import generate
+
+
+class _StoreRecorder:
+    def __init__(self, memory):
+        self._memory = memory
+        self.writes = []
+
+    def load(self, addr, size):
+        return self._memory.load(addr, size)
+
+    def store(self, addr, value, size):
+        self.writes.append((addr, value, size))
+        self._memory.store(addr, value, size)
+
+    def __getattr__(self, name):
+        return getattr(self._memory, name)
+
+
+def _snap(iss):
+    stats = iss.stats
+    return (iss.pc, list(iss.x), list(iss.f), iss.halt_reason,
+            stats.instructions, stats.loads, stats.stores,
+            stats.branches, stats.taken_branches, stats.fp_ops,
+            stats.simt_iterations, stats.mnemonic_counts)
+
+
+def _torture(seed, simt, ops=40):
+    return assemble(generate(seed, ops=ops, simt=simt).source)
+
+
+def _programs(base_seed, count=4):
+    return [_torture(base_seed + i, simt)
+            for i in range(count) for simt in (False, True)]
+
+
+# ---------------------------------------------------------------------
+# the core property
+# ---------------------------------------------------------------------
+
+@given(base_seed=st.integers(min_value=0, max_value=400),
+       quantum=st.integers(min_value=1, max_value=5000))
+@settings(max_examples=15, deadline=None)
+def test_batched_lanes_match_isolated_runs(base_seed, quantum):
+    programs = _programs(base_seed, count=2)
+    refs = []
+    for program in programs:
+        ref = ISS(program)
+        ref.memory = _StoreRecorder(ref.memory)
+        ref.run()
+        refs.append(ref)
+    lanes = []
+    for program in programs:
+        lane = ISS(program)
+        lane.memory = _StoreRecorder(lane.memory)
+        lanes.append(lane)
+    batch = BatchedISS(lanes=lanes, quantum=quantum)
+    reasons = batch.run()
+    for index, (lane, ref) in enumerate(zip(lanes, refs)):
+        assert _snap(lane) == _snap(ref)
+        assert lane.memory.writes == ref.memory.writes
+        assert reasons[index] is ref.halt_reason
+        # the numpy planes mirror the lane state exactly
+        assert list(batch.x[index]) == lane.x
+        assert list(batch.f[index]) == lane.f
+        assert batch.pc[index] == lane.pc
+        assert batch.instructions[index] == lane.stats.instructions
+
+
+def test_quantum_does_not_change_results():
+    programs = _programs(7, count=3)
+    finals = []
+    for quantum in (1, 13, 512, 1 << 20):
+        batch = BatchedISS(programs=programs, quantum=quantum)
+        batch.run()
+        finals.append([_snap(lane) for lane in batch.lanes])
+    assert all(state == finals[0] for state in finals[1:])
+
+
+# ---------------------------------------------------------------------
+# pause / resume and retirement
+# ---------------------------------------------------------------------
+
+def test_max_steps_pause_and_resume():
+    programs = _programs(11, count=2)
+    one_shot = BatchedISS(programs=programs)
+    one_shot.run()
+    paused = BatchedISS(programs=programs)
+    reasons = paused.run(max_steps=60)
+    for index, reason in enumerate(reasons):
+        if reason is HaltReason.MAX_STEPS:
+            assert paused.instructions[index] == 60
+            assert paused.retired[index]  # retired *for this run*
+    paused.run()
+    assert [_snap(l) for l in paused.lanes] == \
+        [_snap(l) for l in one_shot.lanes]
+
+
+def test_retirement_mask_tracks_halts():
+    programs = _programs(3, count=2)
+    batch = BatchedISS(programs=programs)
+    assert not batch.retired.any()
+    batch.run()
+    assert batch.retired.all()
+    assert all(reason in (HaltReason.EBREAK, HaltReason.ECALL)
+               for reason in batch.halt_reasons())
+
+
+def test_divergent_lane_lengths_retire_independently():
+    """Lanes of very different lengths: short ones retire while long
+    ones keep executing — the round-robin must not stall on either."""
+    short = assemble("""
+        .text
+    main:
+        addi x5, x0, 7
+        ebreak
+    """)
+    long = assemble("""
+        .text
+    main:
+        li   x5, 0
+        li   x6, 3000
+    loop:
+        addi x5, x5, 1
+        bne  x5, x6, loop
+        ebreak
+    """)
+    batch = BatchedISS(lanes=[ISS(short), ISS(long), ISS(short)],
+                       quantum=64)
+    reasons = batch.run()
+    assert all(r is HaltReason.EBREAK for r in reasons)
+    assert batch.instructions[0] == batch.instructions[2] == 2
+    assert batch.instructions[1] > 6000
+    assert batch.cycle == int(batch.instructions.sum())
+
+
+# ---------------------------------------------------------------------
+# aggregate stats and checkpointing
+# ---------------------------------------------------------------------
+
+def test_aggregate_stats_fold():
+    programs = _programs(19, count=2)
+    batch = BatchedISS(programs=programs)
+    batch.run()
+    totals = batch.aggregate_stats()
+    assert totals["lanes"] == len(programs)
+    assert totals["instructions"] == \
+        sum(l.stats.instructions for l in batch.lanes)
+    merged = {}
+    for lane in batch.lanes:
+        for mnemonic, count in lane.stats.mnemonic_counts.items():
+            merged[mnemonic] = merged.get(mnemonic, 0) + count
+    assert totals["mnemonic_counts"] == merged
+
+
+def test_batch_checkpoint_roundtrip():
+    programs = _programs(23, count=2)
+    one_shot = BatchedISS(programs=programs)
+    one_shot.run()
+    batch = BatchedISS(programs=programs)
+    batch.run(max_steps=50)
+    restored = BatchedISS.restore_state(batch.save_state())
+    assert isinstance(restored.x, np.ndarray)
+    restored.run()
+    assert [_snap(l) for l in restored.lanes] == \
+        [_snap(l) for l in one_shot.lanes]
+
+
+def test_run_to_boundary_over_batch():
+    programs = [_torture(s, True, ops=60) for s in (31, 32)]
+    refs = []
+    for program in programs:
+        ref = ISS(program)
+        ref.run_to_boundary(100)
+        refs.append(ref)
+    batch = BatchedISS(programs=programs)
+    reasons = batch.run_to_boundary(100)
+    for lane, ref, reason in zip(batch.lanes, refs, reasons):
+        assert _snap(lane) == _snap(ref)
+        assert reason is ref.halt_reason
+
+
+def test_rejects_nonpositive_quantum():
+    with pytest.raises(ValueError):
+        BatchedISS(programs=(), quantum=0)

@@ -1,0 +1,297 @@
+"""Superblock fast path == scalar interpretation, bit for bit.
+
+The ISS compiles straight-line runs into generated-code superblocks
+(``repro.iss.superblock``) and dispatches once per block instead of
+once per instruction. Nothing architectural may change: every test
+here drives the same program through the scalar ``step()`` loop and
+the block engine and requires identical register files, PCs, halt
+reasons, stats (including the per-mnemonic histogram), and the
+*ordered* stream of memory writes.
+"""
+
+import os
+
+import pytest
+
+from repro.asm import assemble
+from repro.iss.simulator import ISS, HaltReason
+from repro.iss.superblock import MAX_BLOCK, block_source
+from repro.verify.shrink import corpus_files
+from repro.verify.torture import generate
+
+CORPUS = os.path.join(os.path.dirname(__file__), "regressions")
+
+TORTURE_CASES = [(seed, simt) for seed in range(8)
+                 for simt in (False, True)]
+
+
+class _StoreRecorder:
+    """Wraps a memory object, logging every store in program order."""
+
+    def __init__(self, memory):
+        self._memory = memory
+        self.writes = []
+
+    def load(self, addr, size):
+        return self._memory.load(addr, size)
+
+    def store(self, addr, value, size):
+        self.writes.append((addr, value, size))
+        self._memory.store(addr, value, size)
+
+    def __getattr__(self, name):
+        return getattr(self._memory, name)
+
+
+def _snap(iss):
+    stats = iss.stats
+    return (iss.pc, list(iss.x), list(iss.f), iss.halt_reason,
+            stats.instructions, stats.loads, stats.stores,
+            stats.branches, stats.taken_branches, stats.fp_ops,
+            stats.simt_iterations, stats.mnemonic_counts)
+
+
+def _recorded(program):
+    iss = ISS(program)
+    iss.memory = _StoreRecorder(iss.memory)
+    return iss
+
+
+def _scalar_run(iss, max_steps=5_000_000):
+    """The pure per-instruction reference loop (no superblocks)."""
+    if iss.halt_reason is HaltReason.MAX_STEPS:
+        iss.halt_reason = None
+    while iss.halt_reason is None:
+        if iss.stats.instructions >= max_steps:
+            iss.halt_reason = HaltReason.MAX_STEPS
+            break
+        iss.step()
+    return iss.halt_reason
+
+
+def _torture(seed, simt):
+    return assemble(generate(seed, ops=60, simt=simt).source)
+
+
+# ---------------------------------------------------------------------
+# scalar <-> superblock equivalence
+# ---------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed,simt", TORTURE_CASES,
+                         ids=lambda c: str(c))
+def test_superblock_matches_scalar(seed, simt):
+    program = _torture(seed, simt)
+    ref = _recorded(program)
+    _scalar_run(ref)
+    sut = _recorded(program)
+    sut.run()
+    assert _snap(sut) == _snap(ref)
+    assert sut.memory.writes == ref.memory.writes
+
+
+@pytest.mark.parametrize("path", corpus_files(CORPUS),
+                         ids=lambda p: os.path.basename(p))
+def test_corpus_replays_identically(path):
+    """Every shrunk reproducer (each one a program that once exposed
+    an engine bug) runs bit-identically through the block path."""
+    with open(path) as fh:
+        source = fh.read()
+    ref = _recorded(assemble(source))
+    _scalar_run(ref)
+    sut = _recorded(assemble(source))
+    sut.run()
+    assert _snap(sut) == _snap(ref)
+    assert sut.memory.writes == ref.memory.writes
+
+
+def test_csr_mid_program_matches_scalar():
+    source = """
+        .text
+    main:
+        li    x5, 0
+        li    x6, 50
+    loop:
+        addi  x5, x5, 1
+        csrrs x7, instret, x0
+        csrrw x8, 0x001, x5
+        bne   x5, x6, loop
+        csrrs x9, 0x001, x0
+        ebreak
+    """
+    ref = ISS(assemble(source))
+    _scalar_run(ref)
+    sut = ISS(assemble(source))
+    sut.run()
+    assert _snap(sut) == _snap(ref)
+    assert sut.csrs == ref.csrs
+
+
+def test_warm_trace_sees_identical_streams():
+    class _Warm:
+        def __init__(self):
+            self.events = []
+
+        def touch(self, addr):
+            self.events.append(("touch", addr))
+
+        def branch(self, pc, instr, taken, target):
+            self.events.append(("branch", pc, instr.mnemonic,
+                                taken, target))
+
+    program = _torture(3, True)
+    ref, sut = ISS(program), ISS(program)
+    ref.warm_trace, sut.warm_trace = _Warm(), _Warm()
+    _scalar_run(ref)
+    sut.run()
+    assert _snap(sut) == _snap(ref)
+    assert sut.warm_trace.events == ref.warm_trace.events
+
+
+def test_trace_hook_forces_scalar_and_matches():
+    program = _torture(1, False)
+    ref, sut = ISS(program), ISS(program)
+    seen = []
+    sut.trace = lambda pc, instr: seen.append(pc)
+    _scalar_run(ref)
+    sut.run()
+    assert _snap(sut) == _snap(ref)
+    assert len(seen) == sut.stats.instructions
+
+
+# ---------------------------------------------------------------------
+# resumability and pause boundaries
+# ---------------------------------------------------------------------
+
+@pytest.mark.parametrize("simt", (False, True), ids=("plain", "simt"))
+def test_run_is_resumable_at_any_split(simt):
+    """run(100) -> run(250) -> run() == one uninterrupted run()."""
+    program = _torture(5, simt)
+    ref = ISS(program)
+    ref.run()
+    total = ref.stats.instructions
+    assert total > 10, "torture program too short to split"
+    first, second = total // 3, 2 * total // 3
+    sut = ISS(program)
+    assert sut.run(max_steps=first) is HaltReason.MAX_STEPS
+    assert sut.stats.instructions == first
+    assert sut.run(max_steps=second) is HaltReason.MAX_STEPS
+    assert sut.stats.instructions == second
+    sut.run()
+    assert _snap(sut) == _snap(ref)
+
+
+def test_pause_is_exact_even_mid_block():
+    """MAX_STEPS pauses on the precise instruction even when it falls
+    inside a superblock (the block engine must fall back to scalar
+    steps rather than overshoot)."""
+    program = _torture(2, False)
+    for bound in (1, 7, 33, 100, 101):
+        iss = ISS(program)
+        reason = iss.run(max_steps=bound)
+        assert reason is HaltReason.MAX_STEPS
+        assert iss.stats.instructions == bound
+
+
+def test_halt_exactly_on_boundary_step_reports_ebreak():
+    """Regression: a program that halts on precisely the boundary
+    instruction must report EBREAK/ECALL, never MAX_STEPS — the halt
+    check comes before the step-count comparison."""
+    source = """
+        .text
+    main:
+        addi x5, x0, 1
+        addi x6, x0, 2
+        addi x7, x0, 3
+        ebreak
+    """
+    program = assemble(source)
+    probe = ISS(program)
+    probe.run()
+    total = probe.stats.instructions  # 4: ebreak is the final step
+    for runner in ("run", "run_to_boundary"):
+        iss = ISS(program)
+        reason = getattr(iss, runner)(total)
+        assert reason is HaltReason.EBREAK, runner
+        assert iss.stats.instructions == total
+    # one short of the halt still pauses
+    iss = ISS(program)
+    assert iss.run(max_steps=total - 1) is HaltReason.MAX_STEPS
+    assert iss.run() is HaltReason.EBREAK
+
+
+def test_run_to_boundary_defers_pause_inside_simt():
+    program = _torture(4, True)
+    ref = ISS(program)
+    while ref.halt_reason is None:
+        if ref.stats.instructions >= 200 and not ref._simt_stack:
+            ref.halt_reason = HaltReason.MAX_STEPS
+            break
+        ref.step()
+    sut = ISS(program)
+    sut.run_to_boundary(200)
+    assert _snap(sut) == _snap(ref)
+    assert not sut._simt_stack or sut.halt_reason is not \
+        HaltReason.MAX_STEPS
+
+
+def test_run_until_pc_stops_on_target():
+    source = """
+        .text
+    main:
+        li   x5, 0
+        li   x6, 20
+    loop:
+        addi x5, x5, 1
+    target:
+        addi x7, x5, 0
+        bne  x5, x6, loop
+        ebreak
+    """
+    program = assemble(source)
+    target = program.symbol("target")
+    ref = ISS(program)
+    steps = 0
+    while ref.pc != target and ref.halt_reason is None and steps < 1000:
+        ref.step()
+        steps += 1
+    sut = ISS(program)
+    sut.run_until_pc(target, 1000)
+    assert sut.pc == target
+    assert _snap(sut) == _snap(ref)
+
+
+# ---------------------------------------------------------------------
+# checkpoints and caches
+# ---------------------------------------------------------------------
+
+def test_checkpoint_mid_run_through_block_path():
+    program = _torture(6, True)
+    ref = ISS(program)
+    ref.run()
+    sut = ISS(program)
+    sut.run(max_steps=150)
+    restored = ISS.restore_state(sut.save_state())
+    restored.run()
+    assert _snap(restored) == _snap(ref)
+
+
+def test_program_pickles_with_factory_cache(tmp_path):
+    import pickle
+
+    program = _torture(0, False)
+    iss = ISS(program)
+    iss.run(max_steps=50)  # populates program._sb_factories
+    clone = pickle.loads(pickle.dumps(program))
+    fresh = ISS(clone)
+    fresh.run()
+    ref = ISS(_torture(0, False))
+    ref.run()
+    assert _snap(fresh) == _snap(ref)
+
+
+def test_block_source_is_debuggable():
+    program = _torture(0, False)
+    source = block_source(program, program.entry)
+    assert source is not None
+    assert "stats.instructions" in source
+    assert MAX_BLOCK >= 1
