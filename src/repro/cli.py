@@ -11,6 +11,7 @@ Commands:
 * ``sweep <knob> <workload>``   — design-space sensitivity sweep
 * ``faults [workload]``         — transient fault-injection campaign
 * ``cache stats|clear|verify``  — administer the on-disk run cache
+* ``serve``                     — HTTP/JSON run service (docs/SERVICE.md)
 * ``verify lockstep|torture|shrink|corpus`` — differential lockstep
   verification against the ISS golden model (docs/VERIFICATION.md)
 * ``bench history``             — bench-trend history / regression gate
@@ -468,6 +469,47 @@ def _cmd_cache(args):
     return 0
 
 
+def _cmd_serve(args):
+    """``repro serve``: the asyncio HTTP/JSON run service — run specs
+    in, deduped + cached + fair-queued execution out, progress
+    streamed as chunked JSON lines (docs/SERVICE.md)."""
+    import asyncio
+
+    from repro.harness import diskcache
+    from repro.service.app import Service
+
+    cache = None
+    if args.cache is not None:
+        cache = diskcache.DiskCache(args.cache, remote=args.remote)
+    elif args.remote is not None:
+        root = diskcache._resolve_root() or diskcache.default_root()
+        cache = diskcache.DiskCache(root, remote=args.remote)
+
+    async def _main():
+        service = Service(
+            host=args.host, port=args.port, workers=args.jobs or 2,
+            cache=cache, rate=args.rate, burst=args.burst,
+            queue_depth=args.queue_depth, timeout=args.timeout,
+            retries=args.retries, telemetry_path=args.telemetry
+            if args.telemetry not in (None, True) else None)
+        await service.start()
+        print(f"repro service: http://{args.host}:{service.port}  "
+              f"(workers={service.scheduler.workers}, "
+              f"cache={'on' if service.cache else 'off'})",
+              file=sys.stderr)
+        print(f"telemetry: {service.bus.path}", file=sys.stderr)
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await service.aclose()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _cmd_faults(args):
     from repro.faults import CampaignError, run_campaign
     from repro.workloads import all_workloads
@@ -839,6 +881,44 @@ def build_parser():
                          help="verify only: remove corrupt entries "
                               "instead of just reporting them")
 
+    serve_p = sub.add_parser(
+        "serve", help="HTTP/JSON run service: dedup, cache, fair "
+                      "queuing, streamed progress (docs/SERVICE.md)")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8321,
+                         help="listen port (0 picks a free port; "
+                              "default 8321)")
+    serve_p.add_argument("--jobs", type=int, default=None, metavar="N",
+                         help="worker processes (default 2)")
+    serve_p.add_argument("--cache", default=None, metavar="DIR",
+                         help="disk-cache directory (default: the "
+                              "active REPRO_DISK_CACHE location)")
+    serve_p.add_argument("--remote", default=None, metavar="URL",
+                         help="peer service for the read-through "
+                              "remote cache tier (its /v1/cache)")
+    serve_p.add_argument("--rate", type=float, default=None,
+                         metavar="R",
+                         help="per-tenant admission rate (runs/s; "
+                              "default unlimited)")
+    serve_p.add_argument("--burst", type=float, default=None,
+                         metavar="B",
+                         help="per-tenant token-bucket burst "
+                              "(default max(2*rate, 4))")
+    serve_p.add_argument("--queue-depth", type=int, default=64,
+                         metavar="N",
+                         help="per-tenant pending-job bound "
+                              "(default 64)")
+    serve_p.add_argument("--timeout", type=float, default=None,
+                         metavar="S",
+                         help="per-run watchdog (default "
+                              "REPRO_WORKER_TIMEOUT / 900s)")
+    serve_p.add_argument("--retries", type=int, default=1, metavar="N",
+                         help="pool resubmissions per run (default 1)")
+    serve_p.add_argument("--telemetry", default=None, metavar="PATH",
+                         help="telemetry JSONL stream path "
+                              "(auto-named under .repro_telemetry/ "
+                              "if omitted)")
+
     verify_p = sub.add_parser(
         "verify", help="differential lockstep verification against the "
                        "ISS golden model (docs/VERIFICATION.md)")
@@ -932,6 +1012,7 @@ def main(argv=None):
         "sweep": _cmd_sweep,
         "faults": _cmd_faults,
         "cache": _cmd_cache,
+        "serve": _cmd_serve,
         "verify": _cmd_verify,
         "bench": _cmd_bench,
     }[args.command]

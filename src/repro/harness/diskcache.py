@@ -18,11 +18,24 @@ Design constraints (enforced by ``tests/test_diskcache.py``):
   schema-mismatched entry file is dropped and treated as a miss.
 * **LRU size bound** — reads touch the entry's mtime; writes evict the
   oldest entries beyond ``max_entries``.
+* **Sharded layout** — entries live under 256 first-byte fan-out
+  subdirectories (``<root>/<key[:2]>/<key>.json``), so a large cache
+  never forces a reader or evictor to scan one flat directory. Legacy
+  flat entries are migrated into their shard on open (and lazily on
+  access), which keeps pre-shard caches warm across the upgrade.
+* **Remote read-through tier** — an optional peer URL (the
+  ``/v1/cache/<key>`` endpoint of a ``repro serve`` instance, see
+  docs/SERVICE.md); a local miss consults the peer, revalidates the
+  entry (same decode path as local reads) and persists it locally, so
+  many hosts share warm results. Peer failures of any kind degrade to
+  an ordinary miss.
 
 The cache is *off by default*. Enable it with the ``REPRO_DISK_CACHE``
 environment variable (``1``/``on`` for the default user-cache location,
 any other value is taken as a directory path) or programmatically via
-:func:`configure`. ``repro cache stats|clear|verify`` administers it.
+:func:`configure`; ``REPRO_CACHE_REMOTE`` (or ``configure(...,
+remote=)``) names the peer tier. ``repro cache stats|clear|verify``
+administers it.
 """
 
 import hashlib
@@ -43,6 +56,12 @@ CACHE_SCHEMA = 2
 MAX_ENTRIES = 4096
 
 _ENTRY_SUFFIX = ".json"
+
+#: shard directory names: 256-way first-byte fan-out over the hex key
+_SHARD_CHARS = 2
+
+#: wall-clock budget for one remote-tier probe (seconds)
+REMOTE_TIMEOUT = 2.0
 
 _code_version_cache = None
 
@@ -125,56 +144,150 @@ def program_digest(program):
 
 
 class DiskCache:
-    """One cache directory of ``<key>.json`` entry files."""
+    """One sharded cache directory of ``<key[:2]>/<key>.json`` entry
+    files (plus any legacy flat entries awaiting migration)."""
 
-    def __init__(self, root, max_entries=MAX_ENTRIES):
+    def __init__(self, root, max_entries=MAX_ENTRIES, remote=None,
+                 remote_timeout=REMOTE_TIMEOUT):
         self.root = Path(root)
         self.max_entries = max_entries
+        self.remote = remote.rstrip("/") if remote else None
+        self.remote_timeout = remote_timeout
         self.hits = 0
         self.misses = 0
         self.writes = 0
-        self.dropped = 0   # corrupt entries removed on read/verify
+        self.dropped = 0   # corrupt/unencodable entries dropped
         self.repaired = 0  # corrupt entries removed by verify(repair=True)
+        self.migrated = 0  # flat pre-shard entries moved into shards
+        self.remote_hits = 0    # misses satisfied by the peer tier
+        self.remote_errors = 0  # peer probes that failed/decoded corrupt
+        self._migrate()
 
     # ------------------------------------------------------------ paths
 
     def _path(self, key):
+        return self.root / key[:_SHARD_CHARS] / (key + _ENTRY_SUFFIX)
+
+    def _flat_path(self, key):
+        """Pre-shard location of ``key`` (read fallback only)."""
         return self.root / (key + _ENTRY_SUFFIX)
 
     def _entries(self):
+        """Every entry file: shard subdirectories plus any flat
+        stragglers an old writer may still produce."""
+        entries = []
         try:
-            return [p for p in self.root.iterdir()
-                    if p.suffix == _ENTRY_SUFFIX]
+            children = list(self.root.iterdir())
         except OSError:
-            return []
+            return entries
+        for child in children:
+            if child.is_dir() and len(child.name) == _SHARD_CHARS:
+                try:
+                    entries.extend(p for p in child.iterdir()
+                                   if p.suffix == _ENTRY_SUFFIX)
+                except OSError:
+                    continue
+            elif child.suffix == _ENTRY_SUFFIX:
+                entries.append(child)
+        return entries
+
+    def _migrate(self):
+        """Move flat ``<key>.json`` entries into their shard (one-time
+        layout upgrade, done on open so pre-shard caches stay warm).
+        Races between concurrent openers are benign: ``os.replace``
+        is atomic and a loser's missing source is ignored."""
+        try:
+            children = list(self.root.iterdir())
+        except OSError:
+            return
+        for child in children:
+            if child.is_dir() or child.suffix != _ENTRY_SUFFIX:
+                continue
+            if self._migrate_one(child.stem):
+                self.migrated += 1
+
+    def _migrate_one(self, key):
+        """Move one flat entry into its shard; False if nothing moved."""
+        target = self._path(key)
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(self._flat_path(key), target)
+        except OSError:
+            return False
+        return True
 
     # ------------------------------------------------------------- read
+
+    def _read_raw(self, key):
+        """Raw entry text for ``key`` (sharded, falling back to a flat
+        legacy entry — which is migrated on touch), or None."""
+        try:
+            return self._path(key).read_text()
+        except OSError:
+            pass
+        self._migrate_one(key)
+        try:
+            return self._path(key).read_text()
+        except OSError:
+            return None
 
     def get(self, key):
         """The cached :class:`RunRecord` for ``key``, or None. Any
         kind of damage — missing, truncated, garbage, wrong schema,
-        mismatched key — is a miss; damaged files are removed."""
+        mismatched key — is a miss; damaged files are removed. A local
+        miss consults the remote tier (when configured) before being
+        reported as a miss."""
         path = self._path(key)
+        raw = self._read_raw(key)
+        if raw is not None:
+            record = self._decode(raw, key)
+            if record is not None:
+                self.hits += 1
+                telemetry.emit("cache_hit", run=key[:12], tier="disk")
+                try:  # LRU touch
+                    os.utime(path)
+                except OSError:
+                    pass
+                return record
+            self.dropped += 1
+            self._remove(path)
+        record = self._remote_get(key)
+        if record is not None:
+            self.hits += 1
+            self.remote_hits += 1
+            telemetry.emit("cache_hit", run=key[:12], tier="remote")
+            return record
+        self.misses += 1
+        telemetry.emit("cache_miss", run=key[:12], tier="disk")
+        return None
+
+    def raw_entry(self, key):
+        """The verbatim entry text for ``key`` — what the service's
+        ``/v1/cache/<key>`` remote-tier endpoint serves — or None.
+        The text is *not* validated here; peers revalidate through
+        :meth:`_decode` on their side."""
+        return self._read_raw(key)
+
+    def _remote_get(self, key):
+        """Probe the peer tier for ``key``; a validated entry is
+        persisted locally (read-through). Never raises — any transport
+        or decode problem is counted and degrades to a miss."""
+        if not self.remote:
+            return None
+        import urllib.request
+        url = f"{self.remote}/v1/cache/{key}"
         try:
-            raw = path.read_text()
-        except OSError:
-            self.misses += 1
-            telemetry.emit("cache_miss", run=key[:12], tier="disk")
+            with urllib.request.urlopen(
+                    url, timeout=self.remote_timeout) as resp:
+                raw = resp.read().decode("utf-8", "replace")
+        except Exception:
+            self.remote_errors += 1
             return None
         record = self._decode(raw, key)
         if record is None:
-            self.dropped += 1
-            self.misses += 1
-            self._remove(path)
-            telemetry.emit("cache_miss", run=key[:12], tier="disk",
-                           dropped=True)
+            self.remote_errors += 1
             return None
-        self.hits += 1
-        telemetry.emit("cache_hit", run=key[:12], tier="disk")
-        try:  # LRU touch
-            os.utime(path)
-        except OSError:
-            pass
+        self._write_raw(key, raw)
         return record
 
     def _decode(self, raw, key=None):
@@ -197,19 +310,43 @@ class DiskCache:
 
     def put(self, key, record):
         """Atomically persist ``record`` under ``key``; never raises
-        (a cache that cannot write degrades to a smaller cache)."""
-        doc = json.loads(_canonical(asdict(record)))
-        entry = {"schema": CACHE_SCHEMA, "key": key,
+        (a cache that cannot write degrades to a smaller cache).
+
+        That contract covers *encoding* too: a record carrying an
+        unserializable field (circular structure, an object whose
+        ``str()`` raises) is counted under ``dropped`` and skipped —
+        it must degrade to an uncached run, never fail the sweep that
+        produced it (docs/RESILIENCE.md)."""
+        try:
+            doc = json.loads(_canonical(asdict(record)))
+            entry = json.dumps(
+                {"schema": CACHE_SCHEMA, "key": key,
                  "sha": hashlib.sha256(
                      _canonical(doc).encode()).hexdigest(),
-                 "record": doc}
+                 "record": doc})
+        except Exception:
+            # TypeError/ValueError from JSON canonicalization, but a
+            # hostile field's __str__/__float__ can raise anything
+            self.dropped += 1
+            return False
+        if not self._write_raw(key, entry):
+            return False
+        self.writes += 1
+        self._evict()
+        return True
+
+    def _write_raw(self, key, text):
+        """Atomic write of pre-encoded entry text into ``key``'s shard
+        (temp file + ``os.replace`` in the same directory). Returns
+        False instead of raising on any filesystem refusal."""
+        path = self._path(key)
         try:
-            self.root.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             try:
                 with os.fdopen(fd, "w") as handle:
-                    json.dump(entry, handle)
-                os.replace(tmp, self._path(key))
+                    handle.write(text)
+                os.replace(tmp, path)
             except BaseException:
                 try:
                     os.unlink(tmp)
@@ -218,8 +355,6 @@ class DiskCache:
                 raise
         except OSError:
             return False
-        self.writes += 1
-        self._evict()
         return True
 
     def _evict(self):
@@ -257,7 +392,10 @@ class DiskCache:
                 "bytes": size, "max_entries": self.max_entries,
                 "hits": self.hits, "misses": self.misses,
                 "writes": self.writes, "dropped": self.dropped,
-                "repaired": self.repaired}
+                "repaired": self.repaired, "migrated": self.migrated,
+                "remote": self.remote or "",
+                "remote_hits": self.remote_hits,
+                "remote_errors": self.remote_errors}
 
     def clear(self):
         """Remove every entry file; returns how many were removed."""
@@ -301,6 +439,7 @@ class DiskCache:
 
 _UNSET = object()
 _configured = _UNSET
+_configured_remote = _UNSET
 _instances = {}
 
 
@@ -311,20 +450,24 @@ def default_root():
     return os.path.join(base, "repro-diag", "runs")
 
 
-def configure(root):
+def configure(root, remote=_UNSET):
     """Programmatically select the active cache directory (None
-    disables). Overrides the ``REPRO_DISK_CACHE`` environment variable
-    until :func:`reset` is called."""
-    global _configured
+    disables) and, optionally, the remote read-through peer URL.
+    Overrides the ``REPRO_DISK_CACHE`` / ``REPRO_CACHE_REMOTE``
+    environment variables until :func:`reset` is called."""
+    global _configured, _configured_remote
     _configured = None if root is None else str(root)
+    if remote is not _UNSET:
+        _configured_remote = remote
     return active()
 
 
 def reset():
     """Forget any :func:`configure` override and cached instances
-    (the environment variable is consulted again)."""
-    global _configured
+    (the environment variables are consulted again)."""
+    global _configured, _configured_remote
     _configured = _UNSET
+    _configured_remote = _UNSET
     _instances.clear()
 
 
@@ -339,13 +482,20 @@ def _resolve_root():
     return value
 
 
+def _resolve_remote():
+    if _configured_remote is not _UNSET:
+        return _configured_remote
+    return os.environ.get("REPRO_CACHE_REMOTE", "").strip() or None
+
+
 def active():
     """The process-wide :class:`DiskCache`, or None when disabled."""
     root = _resolve_root()
     if root is None:
         return None
-    cache = _instances.get(root)
+    remote = _resolve_remote()
+    cache = _instances.get((root, remote))
     if cache is None:
-        cache = DiskCache(root)
-        _instances[root] = cache
+        cache = DiskCache(root, remote=remote)
+        _instances[(root, remote)] = cache
     return cache

@@ -121,10 +121,24 @@ class RunJournal:
     def append(self, key, record):
         """Durably journal one completed record (flush + fsync before
         returning, so a crash after this call can never lose it).
-        Append failures degrade to no journal, never to a failed run."""
-        if self._handle is None:
-            self.open()
-        blob = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+        Append failures degrade to no journal, never to a failed run —
+        and that covers *encoding*: an unpicklable record (before
+        ISSUE 10, ``pickle.dumps`` sat outside the try) is skipped
+        with a ``journal_skip`` telemetry event, not raised through
+        the campaign."""
+        try:
+            if self._handle is None:
+                self.open()
+            blob = pickle.dumps(record,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            # pickling raises PicklingError but also TypeError,
+            # AttributeError, RecursionError... — and open() can be
+            # refused by the filesystem; all of it degrades
+            telemetry.emit("journal_skip", path=str(self.path),
+                           key=key,
+                           error=f"{type(exc).__name__}: {exc}")
+            return False
         line = json.dumps({
             "schema": JOURNAL_SCHEMA, "key": key,
             "sha": hashlib.sha256(blob).hexdigest(),
@@ -134,7 +148,10 @@ class RunJournal:
             self._handle.write(line + "\n")
             self._handle.flush()
             os.fsync(self._handle.fileno())
-        except (OSError, ValueError):
+        except (OSError, ValueError) as exc:
+            telemetry.emit("journal_skip", path=str(self.path),
+                           key=key,
+                           error=f"{type(exc).__name__}: {exc}")
             return False
         self.appends += 1
         return True

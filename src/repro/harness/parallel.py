@@ -109,6 +109,35 @@ class RunSpec:
     def ooo(cls, workload, **kwargs):
         return cls(machine="ooo", workload=workload, **kwargs)
 
+    @classmethod
+    def from_dict(cls, doc):
+        """Canonicalize a JSON-shaped mapping (a service request body,
+        a saved sweep point) into a RunSpec. Unknown fields raise
+        ``ValueError`` — a typo'd knob must never silently alias the
+        default-config run's cache identity."""
+        import dataclasses
+        if not isinstance(doc, dict):
+            raise ValueError(f"spec must be an object, got "
+                             f"{type(doc).__name__}")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(doc) - known
+        if unknown:
+            raise ValueError(
+                f"unknown spec field(s): {', '.join(sorted(unknown))}")
+        kwargs = dict(doc)
+        overrides = kwargs.get("config_overrides")
+        if isinstance(overrides, list):
+            try:
+                kwargs["config_overrides"] = tuple(
+                    sorted((str(k), v) for k, v in overrides))
+            except (TypeError, ValueError):
+                raise ValueError("config_overrides must be a mapping "
+                                 "or a list of [knob, value] pairs")
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise ValueError(str(exc))
+
     def failure_record(self, status, error, failure_class):
         """Synthesize the record for a spec the harness could not
         execute (quarantine, serial-retry timeout) — same protocol any
@@ -236,6 +265,26 @@ def _pool(max_workers):
     except (ValueError, OSError):
         pass
     return ProcessPoolExecutor(max_workers=max_workers)
+
+
+def build_pool(max_workers):
+    """Public pool factory for layers that keep a *persistent* pool
+    across many requests (the :mod:`repro.service` scheduler) — same
+    fork-preferring policy as :func:`run_specs`' internal pool."""
+    return _pool(max_workers)
+
+
+def abandon_pool(pool):
+    """Public alias of the hung-pool teardown (terminate without
+    joining) for external pool owners; see :func:`_abandon`."""
+    _abandon(pool)
+
+
+def default_worker_timeout():
+    """The effective per-spec watchdog (``REPRO_WORKER_TIMEOUT`` or
+    900 s) — exported so the service scheduler shares one knob with
+    the sweep harness."""
+    return _worker_timeout(None)
 
 
 def _failure_record(spec, status, error, failure_class):

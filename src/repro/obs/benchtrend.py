@@ -56,6 +56,8 @@ TRACKED = {
     "obs": (("nn.diag.sim_cycles_per_sec", "higher"),
             ("hotspot.ooo.sim_cycles_per_sec", "higher")),
     "sampling": (("speedup", "higher"),),
+    "service": (("throughput_rps", "higher"),
+                ("cache_hit_ratio", "higher")),
 }
 
 #: subtrees never flattened into history entries (bulk stats dumps and

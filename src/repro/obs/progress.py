@@ -65,22 +65,41 @@ class CampaignProgress:
             self.executed += 1
             if kind == "failed":
                 self.failed += 1
-            owner = self._owner.pop(run, None)
-            if owner in self.workers:
-                self.workers[owner] = None
+            self._release(run)
             self._clock(ev)
         elif kind == "retry":
+            # the previous attempt's worker is done with this run
+            # (the resubmission emits its own ``started``)
             self.retries += 1
+            self._release(run)
         elif kind == "requeue":
+            # the pool died: every worker of the old pool is gone, so
+            # any busy label they held is stale (resubmitted attempts
+            # re-mark their new worker via ``started``)
             self.requeues += ev.get("count", 1)
+            for pid_ in self.workers:
+                self.workers[pid_] = None
+            self._owner.clear()
         elif kind == "quarantine":
             self.quarantines += 1
+            self._release(run)
         elif kind == "timeout":
             self.timeouts += 1
+            self._release(run)
         elif kind == "cache_hit":
             self.cache_hits += 1
         elif kind == "cache_miss":
             self.cache_misses += 1
+
+    def _release(self, run):
+        """Mark the worker owning ``run`` idle. Every terminal event —
+        finished / failed / retry / quarantine / timeout — must free
+        the owner, or ``busy_workers()`` (and the OpenMetrics
+        ``campaign.workers.busy`` gauge) overcounts for the rest of a
+        long campaign (the ISSUE 10 leak)."""
+        owner = self._owner.pop(run, None)
+        if owner in self.workers:
+            self.workers[owner] = None
 
     def _clock(self, ev):
         ts = ev.get("ts")

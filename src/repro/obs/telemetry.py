@@ -71,6 +71,7 @@ EVENTS = frozenset((
     "checkpoint_save",    # simulator state captured (bytes, ms)
     "checkpoint_restore",  # simulator state reloaded
     "journal_load",       # write-ahead journal scanned (entries)
+    "journal_skip",       # a record could not be journaled (degraded)
     "sample_window",      # one detailed timing window measured
 ))
 

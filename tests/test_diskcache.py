@@ -10,6 +10,7 @@ degrades to a miss.
 """
 
 import json
+import os
 import threading
 
 import pytest
@@ -128,8 +129,9 @@ class TestRoundtrip:
         # be served under that key
         cache = DiskCache(tmp_path)
         cache.put("a" * 64, make_record())
-        (tmp_path / ("a" * 64 + ".json")).rename(
-            tmp_path / ("b" * 64 + ".json"))
+        target = cache._path("b" * 64)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        cache._path("a" * 64).rename(target)
         assert cache.get("b" * 64) is None
 
     def test_unwritable_root_degrades(self):
@@ -161,7 +163,7 @@ class TestDamage:
         cache = DiskCache(tmp_path)
         key = "c" * 64
         cache.put(key, make_record())
-        path = tmp_path / (key + ".json")
+        path = cache._path(key)
         path.write_text(DAMAGES[kind](path.read_text()))
         assert cache.get(key) is None
         assert cache.stats()["dropped"] == 1
@@ -171,23 +173,23 @@ class TestDamage:
         cache = DiskCache(tmp_path)
         cache.put("a" * 64, make_record())
         cache.put("b" * 64, make_record(cycles=999))
-        (tmp_path / ("b" * 64 + ".json")).write_text("junk")
+        cache._path("b" * 64).write_text("junk")
         report = cache.verify()
         assert report == {"checked": 2, "ok": 1, "corrupt": 1,
                           "removed": 0}
         # the audit must not mutate the cache under audit
-        assert (tmp_path / ("b" * 64 + ".json")).exists()
+        assert cache._path("b" * 64).exists()
         assert cache.stats()["repaired"] == 0
 
     def test_verify_repair_removes_only_damaged(self, tmp_path):
         cache = DiskCache(tmp_path)
         cache.put("a" * 64, make_record())
         cache.put("b" * 64, make_record(cycles=999))
-        (tmp_path / ("b" * 64 + ".json")).write_text("junk")
+        cache._path("b" * 64).write_text("junk")
         report = cache.verify(repair=True)
         assert report == {"checked": 2, "ok": 1, "corrupt": 1,
                           "removed": 1}
-        assert not (tmp_path / ("b" * 64 + ".json")).exists()
+        assert not cache._path("b" * 64).exists()
         assert cache.get("a" * 64) is not None
         assert cache.stats()["repaired"] == 1
         # a second pass finds a clean cache
@@ -236,7 +238,7 @@ class TestConcurrency:
         for i, key in enumerate(keys):
             cache.put(key, make_record(cycles=i))
             # distinct mtimes without sleeping wall-clock time
-            os.utime(tmp_path / (key + ".json"), (i, i))
+            os.utime(cache._path(key), (i, i))
         cache._evict()
         assert cache.stats()["entries"] == 3
         assert cache.get(keys[0]) is None
@@ -295,7 +297,7 @@ class TestRunnerIntegration:
     def test_corrupt_disk_entry_falls_back_to_rerun(self, tmp_path):
         cache = diskcache.configure(tmp_path)
         fresh = run_diag("nn", config="F4C2", scale=0.2)
-        [entry] = list(cache.root.iterdir())
+        [entry] = cache._entries()
         entry.write_text("oops")
         clear_cache()
         rerun = run_diag("nn", config="F4C2", scale=0.2)
@@ -392,7 +394,7 @@ class TestVerifyRepairMatrix:
         cache = DiskCache(tmp_path)
         cache.put("a" * 64, make_record())
         cache.put("b" * 64, make_record(cycles=999))
-        path = tmp_path / ("b" * 64 + ".json")
+        path = cache._path("b" * 64)
         path.write_text(DAMAGES[kind](path.read_text()))
         audit = cache.verify()
         assert audit == {"checked": 2, "ok": 1, "corrupt": 1,
@@ -413,7 +415,7 @@ class TestVerifyRepairMatrix:
         cache = DiskCache(tmp_path)
         cache.put("a" * 64, make_record())
         cache.put("b" * 64, make_record(cycles=7))
-        path = tmp_path / ("a" * 64 + ".json")
+        path = cache._path("a" * 64)
         path.write_text("junk")
         assert main(["cache", "verify", "--dir", str(tmp_path)]) == 1
         assert path.exists()  # report-only
@@ -479,3 +481,121 @@ class TestSampledCacheKey:
         assert sampled.status == full.status == "ok"
         assert cache.stats()["writes"] == 2
         assert sampled.cycles != 0 and full.cycles != 0
+
+
+# =====================================================================
+# put() never raises — the encode-outside-try regression (ISSUE 10)
+# =====================================================================
+
+class _ExplodingStr:
+    """An object no JSON canonicalization can stringify."""
+
+    def __str__(self):
+        raise RuntimeError("unprintable")
+
+    __repr__ = __str__
+
+
+class TestPutNeverRaises:
+    """``DiskCache.put`` documents "never raises"; before ISSUE 10 the
+    JSON encode ran *outside* the try, so an unserializable RunRecord
+    field blew a TypeError/ValueError through the sweep that produced
+    it instead of degrading to a skipped write."""
+
+    def test_circular_record_degrades_to_dropped(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        loop = {}
+        loop["self"] = loop  # json.dumps -> ValueError (circular)
+        record = make_record(extra=loop)
+        assert cache.put("e" * 64, record) is False
+        assert cache.stats()["dropped"] == 1
+        assert cache.stats()["writes"] == 0
+        assert cache.get("e" * 64) is None  # nothing half-written
+
+    def test_unstringifiable_field_degrades(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        record = make_record(extra={"bad": _ExplodingStr()})
+        assert cache.put("f" * 64, record) is False
+        assert cache.stats()["dropped"] == 1
+
+    def test_non_dataclass_record_degrades(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        assert cache.put("a" * 64, {"not": "a RunRecord"}) is False
+        assert cache.stats()["dropped"] == 1
+
+    def test_healthy_writes_still_land_afterwards(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        loop = {}
+        loop["self"] = loop
+        assert cache.put("e" * 64, make_record(extra=loop)) is False
+        assert cache.put("a" * 64, make_record()) is True
+        assert cache.get("a" * 64) is not None
+
+
+# =====================================================================
+# sharded layout: first-byte fan-out + migration on open (ISSUE 10)
+# =====================================================================
+
+class TestSharding:
+    def test_entries_land_in_first_byte_shards(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        for char in "abc":
+            cache.put(char * 64, make_record())
+        for char in "abc":
+            assert (tmp_path / (char * 2)
+                    / (char * 64 + ".json")).exists()
+        assert cache.stats()["entries"] == 3
+
+    def test_flat_entries_migrate_on_open(self, tmp_path):
+        old = DiskCache(tmp_path)
+        key = "a" * 64
+        old.put(key, make_record(cycles=77))
+        # simulate a pre-shard cache: move the entry back to the flat
+        # location an old writer would have used
+        flat = tmp_path / (key + ".json")
+        os.replace(old._path(key), flat)
+        fresh = DiskCache(tmp_path)  # migration on open
+        assert fresh.migrated == 1
+        assert not flat.exists()
+        assert fresh._path(key).exists()
+        got = fresh.get(key)
+        assert got is not None and got.cycles == 77
+        assert fresh.stats()["hits"] == 1
+
+    def test_flat_straggler_migrates_on_access(self, tmp_path):
+        # an old-version concurrent writer can still drop flat entries
+        # after this instance opened; get() migrates them on touch
+        cache = DiskCache(tmp_path)
+        key = "b" * 64
+        cache.put(key, make_record(cycles=5))
+        os.replace(cache._path(key), tmp_path / (key + ".json"))
+        got = cache.get(key)
+        assert got is not None and got.cycles == 5
+        assert cache._path(key).exists()
+        assert not (tmp_path / (key + ".json")).exists()
+
+    def test_stats_clear_verify_span_shards_and_flat(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put("a" * 64, make_record())
+        cache.put("b" * 64, make_record())
+        # one flat straggler from an old writer
+        flat = tmp_path / ("c" * 64 + ".json")
+        flat.write_text(cache._path("a" * 64).read_text())
+        assert cache.stats()["entries"] == 3
+        audit = cache.verify()
+        assert audit["checked"] == 3
+        # the straggler's content names key a..a, not c..c -> corrupt
+        assert audit["corrupt"] == 1
+        assert cache.clear() == 3
+        assert cache.stats()["entries"] == 0
+
+    def test_eviction_spans_shards(self, tmp_path):
+        cache = DiskCache(tmp_path, max_entries=2)
+        keys = [c * 64 for c in "abcd"]
+        for i, key in enumerate(keys):
+            cache.put(key, make_record(cycles=i))
+            os.utime(cache._path(key), (i, i))
+        cache._evict()
+        assert cache.stats()["entries"] == 2
+        assert cache.get(keys[0]) is None
+        assert cache.get(keys[-1]) is not None

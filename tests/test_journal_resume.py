@@ -233,6 +233,79 @@ class TestJournal:
         assert resolve_path(explicit, specs) == explicit
 
 
+class TestAppendNeverRaises:
+    """``append`` documents "append failures degrade to no journal,
+    never to a failed run"; before ISSUE 10 ``pickle.dumps`` sat
+    outside the try, so an unpicklable record raised straight through
+    a campaign instead of degrading."""
+
+    def test_unpicklable_record_degrades(self, tmp_path):
+        jrnl = RunJournal(tmp_path / "j.jsonl")
+        assert jrnl.append("k1", {"n": 1}) is True
+        # a lambda cannot be pickled: must skip, not raise
+        assert jrnl.append("k2", {"fn": lambda: 0}) is False
+        assert jrnl.append("k3", {"n": 3}) is True  # journal survives
+        jrnl.close()
+        done = RunJournal(jrnl.path).load()
+        assert set(done) == {"k1", "k3"}
+        assert jrnl.appends == 2
+
+    def test_unpicklable_record_emits_journal_skip(self, tmp_path):
+        from repro.obs import telemetry
+
+        bus = telemetry.configure(path=tmp_path / "t.jsonl")
+        try:
+            jrnl = RunJournal(tmp_path / "j.jsonl")
+            assert jrnl.append("bad", {"fn": lambda: 0}) is False
+            jrnl.close()
+            events = telemetry.read_events(bus.path)
+        finally:
+            telemetry.reset()
+        skips = [ev for ev in events if ev["ev"] == "journal_skip"]
+        assert len(skips) == 1
+        assert skips[0]["key"] == "bad"
+        assert "Error" in skips[0]["error"]
+
+    def test_unopenable_journal_degrades(self, tmp_path):
+        bad = Path("/proc/definitely/not/writable/j.jsonl")
+        jrnl = RunJournal(bad)
+        assert jrnl.append("k1", {"n": 1}) is False  # open() refused
+        jrnl.close()
+
+    def test_unpicklable_record_mid_campaign_still_completes(
+            self, tmp_path):
+        """End-to-end shape of the original bug: one cell whose record
+        cannot be pickled must not fail the sweep — every record still
+        lands, the journal just misses that cell."""
+        path = tmp_path / "j.jsonl"
+        specs = [AddSpec(a=0, b=0), UnpicklableResultSpec(tag=1),
+                 AddSpec(a=2, b=20)]
+        records = run_specs(specs, jobs=1, journal=path)
+        assert len(records) == 3
+        assert records[1]["status"] == "ok"
+        done = RunJournal(path).load()
+        assert len(done) == 2  # the unpicklable record is skipped
+
+
+@dataclass(frozen=True)
+class UnpicklableResultSpec:
+    """A spec whose *record* defeats pickle (the run itself is fine)."""
+
+    tag: int
+
+    @property
+    def workload(self):
+        return f"unpicklable{self.tag}"
+
+    def execute(self):
+        return {"tag": self.tag, "status": "ok",
+                "hostile": lambda: None}
+
+    def failure_record(self, status, error, failure_class):
+        return {"tag": self.tag, "status": status,
+                "failure_class": failure_class}
+
+
 # ---------------------------------------------------------------------
 # journaled run_specs + resume
 # ---------------------------------------------------------------------

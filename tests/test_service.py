@@ -1,0 +1,420 @@
+"""The run service: admission, dedup, equivalence, degradation.
+
+Covers the docs/SERVICE.md contract end to end over real HTTP (a
+:func:`serve_in_thread` instance per test class):
+
+* tenancy primitives (token bucket with an injectable clock, fair
+  round-robin queue with a depth bound)
+* service-level equivalence — a record obtained through ``POST
+  /v1/runs`` is byte-identical (deterministic stats view) to the same
+  spec executed locally through ``run_specs``
+* duplicate concurrent posts share one execution (asserted three
+  ways: ``cache.writes``, the scheduler's execution counter, and the
+  count of ``started`` telemetry events)
+* cache read-through (second post is ``cached``), the ``/v1/cache``
+  remote tier, and the remote read-through :class:`DiskCache`
+* admission control: per-tenant 429s with ``Retry-After``, queue
+  depth bounds
+* worker SIGKILL mid-request degrades to a rebuilt pool and a
+  successful response — never a 500
+"""
+
+import json
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.harness import clear_cache, diskcache, run_specs
+from repro.obs import deterministic_view, telemetry
+from repro.obs.resilience import reset_resilience
+from repro.service import (
+    FairQueue,
+    JobScheduler,
+    RejectedRequest,
+    ServiceClient,
+    ServiceError,
+    TokenBucket,
+    serve_in_thread,
+)
+
+SPEC = {"machine": "diag", "workload": "nn", "config": "F4C2",
+        "scale": 0.2}
+
+
+@pytest.fixture(autouse=True)
+def isolated(tmp_path):
+    """Fresh telemetry stream, no ambient disk cache, cold caches."""
+    telemetry.reset()
+    diskcache.configure(None)
+    reset_resilience()
+    clear_cache()
+    telemetry.configure(path=tmp_path / "telemetry.jsonl")
+    yield
+    telemetry.reset()
+    diskcache.reset()
+    reset_resilience()
+    clear_cache()
+
+
+def start_service(tmp_path, **kwargs):
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("inline", True)
+    kwargs.setdefault("stream_interval", 0.05)
+    if "cache" not in kwargs:
+        kwargs["cache"] = diskcache.DiskCache(tmp_path / "svc-cache")
+    handle = serve_in_thread(**kwargs)
+    return handle, ServiceClient(handle.url)
+
+
+# =====================================================================
+# Tenancy primitives
+# =====================================================================
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        now = [0.0]
+        bucket = TokenBucket(rate=1.0, burst=2, clock=lambda: now[0])
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        assert bucket.retry_after() == pytest.approx(1.0)
+        now[0] = 0.5
+        assert not bucket.try_acquire()
+        now[0] = 1.0
+        assert bucket.try_acquire()
+
+    def test_refill_caps_at_burst(self):
+        now = [0.0]
+        bucket = TokenBucket(rate=10.0, burst=3, clock=lambda: now[0])
+        now[0] = 100.0
+        assert bucket.try_acquire(3)
+        assert not bucket.try_acquire()
+
+    def test_zero_rate_never_refills(self):
+        now = [0.0]
+        bucket = TokenBucket(rate=0.0, burst=1, clock=lambda: now[0])
+        assert bucket.try_acquire()
+        now[0] = 1e9
+        assert not bucket.try_acquire()
+        assert bucket.retry_after() == float("inf")
+
+
+class TestFairQueue:
+    def test_round_robin_across_tenants(self):
+        queue = FairQueue(depth=8)
+        for item in ("a1", "a2", "a3"):
+            queue.push("a", item)
+        queue.push("b", "b1")
+        queue.push("c", "c1")
+        # tenant a cannot starve b and c: one item each per rotation
+        assert [queue.pop() for _ in range(5)] == \
+            ["a1", "b1", "c1", "a2", "a3"]
+        assert queue.pop() is None
+        assert len(queue) == 0
+
+    def test_depth_bound_is_per_tenant(self):
+        queue = FairQueue(depth=2)
+        assert queue.push("a", 1)
+        assert queue.push("a", 2)
+        assert not queue.push("a", 3)   # a is full...
+        assert queue.push("b", 1)       # ...b is not
+        assert queue.depth_of("a") == 2
+        assert len(queue) == 3
+
+    def test_drained_tenant_leaves_rotation(self):
+        queue = FairQueue()
+        queue.push("a", 1)
+        assert queue.pop() == 1
+        assert "a" not in queue._queues
+        queue.push("a", 2)   # re-registering is fine
+        assert queue.pop() == 2
+
+
+class TestSchedulerAdmission:
+    """Unit-level admission checks (no HTTP, no dispatcher running —
+    submissions just land in the fair queue)."""
+
+    def test_queue_depth_rejects(self):
+        import asyncio
+
+        async def main():
+            sched = JobScheduler(workers=1, queue_depth=2)
+            sched._loop = asyncio.get_running_loop()
+            sched._wake = asyncio.Event()
+            for scale in (0.1, 0.2):
+                sched.submit(dict(SPEC, scale=scale), tenant="t")
+            with pytest.raises(RejectedRequest) as err:
+                sched.submit(dict(SPEC, scale=0.3), tenant="t")
+            assert "queue is full" in str(err.value)
+            assert sched.rejected_depth == 1
+            # a different tenant still gets in (per-tenant bound)
+            job, outcome = sched.submit(dict(SPEC, scale=0.3),
+                                        tenant="u")
+            assert outcome == "scheduled"
+
+        asyncio.run(main())
+
+    def test_rate_limit_rejects_fresh_work_only(self):
+        import asyncio
+
+        async def main():
+            sched = JobScheduler(workers=1, rate=0.0001, burst=1)
+            sched._loop = asyncio.get_running_loop()
+            sched._wake = asyncio.Event()
+            job, outcome = sched.submit(SPEC, tenant="t")
+            assert outcome == "scheduled"
+            # an identical duplicate is deduped, not rate-limited —
+            # it consumes no worker, so it spends no tokens
+            dup, outcome2 = sched.submit(SPEC, tenant="t")
+            assert outcome2 == "deduped" and dup is job
+            with pytest.raises(RejectedRequest) as err:
+                sched.submit(dict(SPEC, scale=0.3), tenant="t")
+            assert err.value.retry_after > 0
+            assert sched.rejected_rate == 1
+
+        asyncio.run(main())
+
+    def test_malformed_specs_raise_value_error(self):
+        import asyncio
+
+        async def main():
+            sched = JobScheduler(workers=1)
+            sched._loop = asyncio.get_running_loop()
+            sched._wake = asyncio.Event()
+            with pytest.raises(ValueError):
+                sched.submit(dict(SPEC, bogus=1))
+            with pytest.raises(ValueError):
+                sched.submit(["not", "a", "spec"])
+            with pytest.raises(ValueError):
+                sched.submit(dict(SPEC, machine="quantum"))
+
+        asyncio.run(main())
+
+
+# =====================================================================
+# End-to-end over HTTP
+# =====================================================================
+
+class TestServiceBasics:
+    def test_health_routes_and_errors(self, tmp_path):
+        handle, client = start_service(tmp_path)
+        try:
+            health = client.health()
+            assert health["status"] == "ok"
+            assert health["service.requests"] == 0
+            with pytest.raises(ServiceError) as err:
+                client._get_json("/nope")
+            assert err.value.status == 404
+            # malformed body and unknown spec fields are 400s
+            with pytest.raises(ServiceError) as err:
+                client.run({"machine": "diag", "workload": "nn",
+                            "bogus": 1})
+            assert err.value.status == 400
+            assert "bogus" in err.value.reason
+        finally:
+            handle.close()
+
+    def test_streaming_protocol_shape(self, tmp_path):
+        handle, client = start_service(tmp_path, stream_interval=0.01)
+        try:
+            seen = []
+            outcome = client.run(SPEC, on_event=seen.append)
+            kinds = [e["event"] for e in outcome.events]
+            assert kinds[0] == "queued"
+            assert kinds[-1] == "result"
+            assert seen == outcome.events
+            queued = outcome.events[0]
+            assert queued["outcome"] == "scheduled"
+            assert queued["key"] == outcome.key
+            assert len(queued["key"]) == 64
+            # a ~1s simulation at a 10ms heartbeat must have streamed
+            # progress, and progress lines carry the campaign fold
+            progress = outcome.progress_events()
+            assert progress
+            assert "busy_workers" in progress[0]["stats"]
+            assert outcome.status == "ok"
+            assert outcome.record["workload"] == "nn"
+        finally:
+            handle.close()
+
+
+class TestEquivalence:
+    def test_service_record_matches_local_run(self, tmp_path):
+        """The service is a transport, not a different engine: the
+        deterministic stats view of a served record is byte-identical
+        to a local ``run_specs`` execution of the same spec."""
+        from repro.harness import RunSpec
+
+        handle, client = start_service(tmp_path)
+        try:
+            served = client.run(SPEC).record
+        finally:
+            handle.close()
+        clear_cache()
+        local = run_specs([RunSpec.from_dict(SPEC)])[0]
+        served_bytes = json.dumps(
+            deterministic_view(served["stats"]), sort_keys=True)
+        local_bytes = json.dumps(
+            deterministic_view(local.stats), sort_keys=True)
+        assert served_bytes == local_bytes
+        assert served["status"] == local.status
+        assert served["cycles"] == local.cycles
+
+
+class TestDedupAndCache:
+    def test_concurrent_duplicates_execute_once(self, tmp_path):
+        cache = diskcache.DiskCache(tmp_path / "svc-cache")
+        handle, client = start_service(tmp_path, cache=cache)
+        spec = {"machine": "diag", "workload": "hotspot",
+                "config": "F4C2", "scale": 0.2}
+        outs = [None] * 6
+        try:
+            def post(i):
+                outs[i] = client.run(spec, tenant=f"t{i % 3}")
+
+            threads = [threading.Thread(target=post, args=(i,))
+                       for i in range(len(outs))]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            handle.close()
+        outcomes = sorted(o.outcome for o in outs)
+        assert outcomes.count("scheduled") == 1
+        assert all(o in ("scheduled", "deduped", "cached")
+                   for o in outcomes)
+        # executed exactly once — by every measure we have
+        assert cache.writes == 1
+        assert handle.service.scheduler.executions == 1
+        events = telemetry.read_events(handle.service.bus.path)
+        assert sum(1 for e in events if e["ev"] == "started") == 1
+        # and everyone got the same bytes back
+        views = {json.dumps(deterministic_view(o.record["stats"]),
+                            sort_keys=True) for o in outs}
+        assert len(views) == 1
+
+    def test_repeat_is_cached_and_metered(self, tmp_path):
+        cache = diskcache.DiskCache(tmp_path / "svc-cache")
+        handle, client = start_service(tmp_path, cache=cache)
+        try:
+            first = client.run(SPEC)
+            second = client.run(SPEC)
+            assert first.outcome == "scheduled"
+            assert second.outcome == "cached"
+            assert second.record["stats"] == first.record["stats"]
+            assert cache.writes == 1 and cache.hits == 1
+            metrics = client.metrics()
+            assert "repro_service_cache_hit_ratio 0.5" in metrics
+            assert "repro_service_executions 1" in metrics
+            assert "repro_service_requests 2" in metrics
+            # the campaign fold is in the same exposition
+            assert "repro_campaign_workers_busy" in metrics
+            assert "repro_harness_retries" in metrics
+        finally:
+            handle.close()
+
+    def test_cache_endpoint_serves_verbatim_entries(self, tmp_path):
+        cache = diskcache.DiskCache(tmp_path / "svc-cache")
+        handle, client = start_service(tmp_path, cache=cache)
+        try:
+            out = client.run(SPEC)
+            raw = client.cache_entry(out.key)
+            assert raw is not None
+            assert raw == cache.raw_entry(out.key)
+            assert json.loads(raw)["key"] == out.key
+            assert client.cache_entry("ab" * 32) is None  # miss -> 404
+            with pytest.raises(ServiceError) as err:
+                client.cache_entry("not-a-key")
+            assert err.value.status == 400
+        finally:
+            handle.close()
+
+
+class TestRemoteTier:
+    def test_peer_miss_reads_through_and_persists(self, tmp_path):
+        peer_cache = diskcache.DiskCache(tmp_path / "peer")
+        handle, client = start_service(tmp_path, cache=peer_cache)
+        try:
+            key = client.run(SPEC).key
+            assert peer_cache.writes == 1
+            local = diskcache.DiskCache(tmp_path / "local",
+                                        remote=handle.url)
+            record = local.get(key)
+            assert record is not None
+            assert record.workload == "nn"
+            assert local.remote_hits == 1
+            # read-through persisted it: the next get is purely local
+            assert local.get(key) is not None
+            assert local.remote_hits == 1
+            assert local.hits == 2
+        finally:
+            handle.close()
+
+    def test_dead_peer_degrades_to_a_miss(self, tmp_path):
+        local = diskcache.DiskCache(tmp_path / "local",
+                                    remote="http://127.0.0.1:9",
+                                    remote_timeout=0.2)
+        assert local.get("ab" * 32) is None
+        assert local.remote_errors == 1
+        assert local.misses == 1
+
+
+class TestAdmissionOverHTTP:
+    def test_rate_limited_post_is_429_with_retry_after(self, tmp_path):
+        handle, client = start_service(tmp_path, rate=0.001, burst=1)
+        try:
+            assert client.run(SPEC).status == "ok"
+            with pytest.raises(ServiceError) as err:
+                client.run(dict(SPEC, scale=0.3), tenant="anon")
+            assert err.value.status == 429
+            assert err.value.retry_after is not None
+            assert err.value.retry_after > 0
+            # another tenant has its own bucket
+            out = client.run(dict(SPEC, scale=0.2), tenant="other")
+            assert out.status == "ok"
+        finally:
+            handle.close()
+
+
+class TestWorkerLoss:
+    def test_sigkilled_worker_degrades_not_500(self, tmp_path):
+        """SIGKILL a pool worker mid-request: the scheduler rebuilds
+        the pool, resubmits, and the stream still ends in a result —
+        the ISSUE 10 acceptance scenario."""
+        handle, client = start_service(
+            tmp_path, inline=False, workers=1, retries=2,
+            stream_interval=0.05)
+        spec = {"machine": "ooo", "workload": "nn", "scale": 0.25}
+        result = {}
+        try:
+            def post():
+                result["out"] = client.run(spec)
+
+            poster = threading.Thread(target=post)
+            poster.start()
+            scheduler = handle.service.scheduler
+            deadline = time.monotonic() + 30
+            killed = False
+            while time.monotonic() < deadline and not killed:
+                procs = list((getattr(scheduler._pool, "_processes",
+                                      None) or {}).values())
+                if procs:
+                    os.kill(procs[0].pid, signal.SIGKILL)
+                    killed = True
+                time.sleep(0.02)
+            poster.join(180)
+            assert killed, "no pool worker appeared to kill"
+            out = result.get("out")
+            assert out is not None, "request never completed"
+            # no 500, no exception: a clean streamed result
+            assert out.result is not None
+            assert out.status == "ok"
+            assert scheduler._generation >= 1
+            events = telemetry.read_events(handle.service.bus.path)
+            assert any(e["ev"] == "requeue" for e in events)
+        finally:
+            handle.close()

@@ -93,7 +93,8 @@ class TestBus:
     def test_vocabulary_is_closed(self):
         assert "started" in telemetry.EVENTS
         assert "sample_window" in telemetry.EVENTS
-        assert len(telemetry.EVENTS) == 18
+        assert "journal_skip" in telemetry.EVENTS
+        assert len(telemetry.EVENTS) == 19
 
     def test_run_scope_supplies_identity(self, tmp_path):
         bus = telemetry.configure(path=tmp_path / "t.jsonl")
@@ -319,6 +320,49 @@ class TestProgress:
         line = progress.status_line("torture")
         assert "3/4" in line and "replayed 1" in line
         assert "failed 1" in line and "cache 50%" in line
+
+    def test_terminal_events_release_workers(self):
+        """The ISSUE 10 leak: timeout / quarantine / retry are
+        terminal for the attempt that was occupying a worker, so each
+        must free that worker — before the fix ``busy_workers()`` and
+        the ``campaign.workers.busy`` gauge overcounted for the rest
+        of a long campaign."""
+        for terminal in ("timeout", "quarantine", "retry"):
+            progress = self._fold([
+                {"ev": "started", "run": "r1", "pid": 7, "ts": 1.0},
+                {"ev": "started", "run": "r2", "pid": 8, "ts": 1.0},
+                {"ev": terminal, "run": "r1"},
+            ])
+            assert progress.busy_workers() == 1, terminal
+            assert progress._owner == {"r2": 8}, terminal
+            registry = progress.to_registry().as_dict()
+            assert registry["campaign.workers.busy"] == 1, terminal
+
+    def test_sigkilled_worker_sequence_frees_everyone(self):
+        """A SIGKILL'd pool worker: both in-flight runs die with the
+        pool, the harness emits ``requeue`` and re-runs them on the
+        rebuilt pool. The fold must not leave the dead pids counted
+        busy forever."""
+        progress = self._fold([
+            {"ev": "campaign_begin", "cells": 2},
+            {"ev": "started", "run": "rA", "pid": 100, "ts": 1.0},
+            {"ev": "started", "run": "rB", "pid": 101, "ts": 1.0},
+            # pool dies (worker 100 SIGKILLed) -> both requeued
+            {"ev": "requeue", "count": 2},
+        ])
+        assert progress.busy_workers() == 0
+        assert progress._owner == {}
+        # the rebuilt pool re-runs both; accounting recovers cleanly
+        for ev in [
+            {"ev": "started", "run": "rA", "pid": 200, "ts": 2.0},
+            {"ev": "started", "run": "rB", "pid": 201, "ts": 2.0},
+            {"ev": "finished", "run": "rA", "ts": 3.0},
+        ]:
+            progress.observe(ev)
+        assert progress.busy_workers() == 1
+        progress.observe({"ev": "finished", "run": "rB", "ts": 4.0})
+        assert progress.busy_workers() == 0
+        assert progress.completed == 2
 
     def test_fold_to_registry(self):
         progress = self._fold([
