@@ -231,12 +231,17 @@ class DiskCache:
         except OSError:
             return None
 
-    def get(self, key):
+    def get(self, key, remote=True):
         """The cached :class:`RunRecord` for ``key``, or None. Any
         kind of damage — missing, truncated, garbage, wrong schema,
         mismatched key — is a miss; damaged files are removed. A local
         miss consults the remote tier (when configured) before being
-        reported as a miss."""
+        reported as a miss.
+
+        ``remote=False`` skips the peer probe — a blocking HTTP fetch
+        — entirely. Latency-critical callers (the service's event-loop
+        thread) take the local-only answer and retry the peer later
+        via :meth:`remote_probe` on a thread that may block."""
         path = self._path(key)
         raw = self._read_raw(key)
         if raw is not None:
@@ -251,15 +256,31 @@ class DiskCache:
                 return record
             self.dropped += 1
             self._remove(path)
+        if remote:
+            record = self._remote_get(key)
+            if record is not None:
+                self.hits += 1
+                self.remote_hits += 1
+                telemetry.emit("cache_hit", run=key[:12], tier="remote")
+                return record
+        self.misses += 1
+        telemetry.emit("cache_miss", run=key[:12], tier="disk")
+        return None
+
+    def remote_probe(self, key):
+        """Probe *only* the peer tier for ``key``; a validated entry
+        is persisted locally (read-through) and counted as a remote
+        hit. No local read and no miss accounting — the caller already
+        took the miss via ``get(key, remote=False)``. This call blocks
+        on HTTP for up to ``remote_timeout`` seconds: never invoke it
+        from an event-loop thread (the service runs it in an
+        executor)."""
         record = self._remote_get(key)
         if record is not None:
             self.hits += 1
             self.remote_hits += 1
             telemetry.emit("cache_hit", run=key[:12], tier="remote")
-            return record
-        self.misses += 1
-        telemetry.emit("cache_miss", run=key[:12], tier="disk")
-        return None
+        return record
 
     def raw_entry(self, key):
         """The verbatim entry text for ``key`` — what the service's

@@ -10,12 +10,18 @@
 * **Dedup before work** — a key already in flight attaches the new
   request to the existing job (shared asyncio future: duplicate
   concurrent posts cost zero extra executions); a key already in the
-  disk cache resolves immediately without queueing.
+  disk cache resolves immediately without queueing. Only the *local*
+  cache tier is consulted on the submit path (the remote tier is a
+  blocking HTTP probe — scheduled jobs retry it off-loop just before
+  execution), and only ``status == "ok"`` records are served, the
+  same read-side invariant ``runner.py`` enforces.
 * **Admission control** — per-tenant :class:`TokenBucket` rate limits
   and a bounded round-robin :class:`FairQueue`; both reject with
   :class:`RejectedRequest` (HTTP 429 + Retry-After) instead of
   queueing unboundedly. Dedup and cache hits are checked *first*:
-  they consume no worker, so they spend no tokens.
+  they consume no worker, so they spend no tokens. Queue capacity is
+  probed *before* the token bucket, so a bounce off a full queue
+  costs the tenant nothing on retry.
 * **Pool bridge** — admitted jobs run through a persistent process
   pool (``repro.harness.parallel.build_pool``) via
   ``loop.run_in_executor``, with the PR-6 degradation ladder
@@ -106,6 +112,7 @@ class JobScheduler:
         self.executions = 0      # jobs dispatched to a worker
         self.dedup_shared = 0    # requests attached to an in-flight job
         self.cache_immediate = 0  # requests satisfied straight from cache
+        self.cache_stale = 0     # cached non-ok records skipped on read
         self.rejected_rate = 0
         self.rejected_depth = 0
         self.completed = 0
@@ -188,14 +195,31 @@ class JobScheduler:
             shared.sharers += 1
             return shared, "deduped"
         if self.cache is not None:
-            record = self.cache.get(key)
+            # local tier only: the remote probe is a blocking HTTP
+            # fetch, so scheduled jobs retry the peer off-loop in
+            # _run_job instead of stalling every connection here
+            record = self.cache.get(key, remote=False)
             if record is not None:
-                self.cache_immediate += 1
-                future = self._loop.create_future()
-                job = Job(spec, key, tenant, future)
-                job.state = "done"
-                future.set_result(record)
-                return job, "cached"
+                # mirror runner.py's read-side invariant: only an
+                # "ok" record is trusted — a persisted failure (old
+                # writer, poisoned peer) must not short-circuit a
+                # fresh attempt
+                if self._status(record) != "ok":
+                    self.cache_stale += 1
+                else:
+                    self.cache_immediate += 1
+                    future = self._loop.create_future()
+                    job = Job(spec, key, tenant, future)
+                    job.state = "done"
+                    future.set_result(record)
+                    return job, "cached"
+        # capacity before tokens: a bounce off a full queue admits no
+        # work, so it must not also drain the tenant's rate budget
+        if self._queue.full(tenant):
+            self.rejected_depth += 1
+            raise RejectedRequest(
+                f"tenant {tenant!r} queue is full "
+                f"({self._queue.depth} pending)", retry_after=1.0)
         bucket = self._bucket(tenant)
         if bucket is not None and not bucket.try_acquire():
             self.rejected_rate += 1
@@ -204,6 +228,10 @@ class JobScheduler:
                 retry_after=bucket.retry_after())
         job = Job(spec, key, tenant, self._loop.create_future())
         if not self._queue.push(tenant, job):
+            # unreachable (no await between full() and push()), but if
+            # it ever trips, refund the token: no work was admitted
+            if bucket is not None:
+                bucket.refund()
             self.rejected_depth += 1
             raise RejectedRequest(
                 f"tenant {tenant!r} queue is full "
@@ -229,17 +257,25 @@ class JobScheduler:
 
     async def _run_job(self, job):
         job.state = "running"
-        self.executions += 1
-        try:
-            record = await self._execute(job)
-        except Exception as exc:
-            record = self._quarantine(job, exc)
+        record = await self._remote_lookup(job)
+        executed = record is None
+        if executed:
+            self.executions += 1
+            try:
+                record = await self._execute(job)
+            except Exception as exc:
+                record = self._quarantine(job, exc)
         job.state = "done"
         self._inflight.pop(job.key, None)
-        if self.cache is not None and dataclasses.is_dataclass(record) \
+        status = self._status(record)
+        # never cache failed or truncated records (runner.py's write
+        # invariant): a transient timeout or worker crash must not be
+        # served "cached" to every later post of this spec — or worse,
+        # spread to peers through the /v1/cache remote tier
+        if executed and status == "ok" and self.cache is not None \
+                and dataclasses.is_dataclass(record) \
                 and not isinstance(record, type):
             self.cache.put(job.key, record)
-        status = self._status(record)
         telemetry.emit("failed" if status != "ok" else "finished",
                        run=job.run_id, span=job.attempts,
                        status=status)
@@ -251,6 +287,29 @@ class JobScheduler:
             job.future.set_result(record)
         self._active -= 1
         self._wake.set()
+
+    async def _remote_lookup(self, job):
+        """Retry the cache's remote tier off-loop before paying for an
+        execution. ``submit`` checked only the local tier (a blocking
+        HTTP probe would stall the event loop — every connection,
+        heartbeat and /metrics — for up to ``remote_timeout`` per
+        miss, worst exactly when the peer is down), so scheduled jobs
+        probe the peer here, on an executor thread. Only an "ok"
+        record is trusted; anything else falls through to a fresh
+        execution."""
+        if self.cache is None or not getattr(self.cache, "remote", None):
+            return None
+        probe = getattr(self.cache, "remote_probe", None)
+        if probe is None:
+            return None
+        try:
+            record = await self._loop.run_in_executor(None, probe,
+                                                      job.key)
+        except Exception:
+            return None
+        if record is None or self._status(record) != "ok":
+            return None
+        return record
 
     async def _execute(self, job):
         """The degradation ladder for one job (never raises except for
@@ -345,6 +404,7 @@ class JobScheduler:
             "service.executions": self.executions,
             "service.dedup.shared": self.dedup_shared,
             "service.cache.immediate": self.cache_immediate,
+            "service.cache.stale_skips": self.cache_stale,
             "service.rejected.rate": self.rejected_rate,
             "service.rejected.depth": self.rejected_depth,
             "service.completed": self.completed,

@@ -36,6 +36,11 @@ class TokenBucket:
             return True
         return False
 
+    def refund(self, n=1):
+        """Return ``n`` tokens (capped at ``burst``) — for an admission
+        path that charged the bucket but then admitted no work."""
+        self.tokens = min(self.burst, self.tokens + n)
+
     def retry_after(self, n=1):
         """Seconds until ``n`` tokens will be available (the 429
         ``Retry-After`` hint)."""
@@ -70,6 +75,12 @@ class FairQueue:
     def depth_of(self, tenant):
         queue = self._queues.get(tenant)
         return len(queue) if queue else 0
+
+    def full(self, tenant):
+        """Would a ``push`` for ``tenant`` be rejected right now? Lets
+        the scheduler check capacity *before* charging a rate-limit
+        token, so a bounce off a full queue costs the tenant nothing."""
+        return self.depth_of(tenant) >= self.depth
 
     def push(self, tenant, item):
         """Enqueue for ``tenant``; False when its sub-queue is full."""

@@ -177,6 +177,30 @@ class TestSchedulerAdmission:
 
         asyncio.run(main())
 
+    def test_depth_rejection_does_not_charge_tokens(self):
+        """Bouncing off a full queue admits no work, so it must not
+        also drain the tenant's rate budget (capacity is probed
+        before the bucket)."""
+        import asyncio
+
+        async def main():
+            # rate=0: tokens never refill, so the count is exact
+            sched = JobScheduler(workers=1, rate=0.0, burst=5,
+                                 queue_depth=1)
+            sched._loop = asyncio.get_running_loop()
+            sched._wake = asyncio.Event()
+            sched.submit(SPEC, tenant="t")
+            assert sched._buckets["t"].tokens == 4
+            for _ in range(3):
+                with pytest.raises(RejectedRequest):
+                    sched.submit(dict(SPEC, scale=0.3), tenant="t")
+            assert sched.rejected_depth == 3
+            assert sched.rejected_rate == 0
+            # the three bounces cost nothing
+            assert sched._buckets["t"].tokens == 4
+
+        asyncio.run(main())
+
     def test_malformed_specs_raise_value_error(self):
         import asyncio
 
@@ -334,6 +358,66 @@ class TestDedupAndCache:
             handle.close()
 
 
+class TestFailureRecordInvariant:
+    """runner.py's cache invariant holds through the service: failure
+    records are never written under a spec's content-hash key, and a
+    persisted failure (old writer, poisoned peer) is never served."""
+
+    def test_stale_failure_record_is_not_served(self, tmp_path):
+        import asyncio
+
+        from repro.harness import RunSpec
+        from repro.harness.journal import spec_key
+
+        async def main():
+            cache = diskcache.DiskCache(tmp_path / "poisoned")
+            spec = RunSpec.from_dict(SPEC)
+            key = spec_key(spec)
+            assert cache.put(key, spec.failure_record(
+                "timeout", "exceeded watchdog", "hang"))
+            sched = JobScheduler(workers=1, cache=cache)
+            sched._loop = asyncio.get_running_loop()
+            sched._wake = asyncio.Event()
+            job, outcome = sched.submit(SPEC, tenant="t")
+            # a fresh attempt, not the stale failure "cached" forever
+            assert outcome == "scheduled"
+            assert sched.cache_immediate == 0
+            assert sched.cache_stale == 1
+            assert "service.cache.stale_skips" in sched.snapshot()
+
+        asyncio.run(main())
+
+    def test_failure_records_are_never_cached(self, tmp_path):
+        import asyncio
+
+        async def main():
+            cache = diskcache.DiskCache(tmp_path / "svc-cache")
+            sched = JobScheduler(workers=1, cache=cache, inline=True)
+            sched.start(asyncio.get_running_loop())
+            try:
+                # every execution "times out" (transient infra, not a
+                # property of the spec)
+                async def fake_execute(job):
+                    job.attempts += 1
+                    return job.spec.failure_record(
+                        "timeout", "synthetic watchdog", "hang")
+
+                sched._execute = fake_execute
+                job, outcome = sched.submit(SPEC, tenant="t")
+                assert outcome == "scheduled"
+                record = await asyncio.wait_for(job.future, 30)
+                assert record.status == "timeout"
+                assert cache.writes == 0
+                assert cache.get(job.key) is None
+                # the next post of the same spec tries again
+                job2, outcome2 = sched.submit(SPEC, tenant="t")
+                assert outcome2 == "scheduled"
+            finally:
+                await sched.aclose()
+
+        asyncio.run(main())
+
+
 class TestRemoteTier:
     def test_peer_miss_reads_through_and_persists(self, tmp_path):
         peer_cache = diskcache.DiskCache(tmp_path / "peer")
@@ -361,6 +445,78 @@ class TestRemoteTier:
         assert local.get("ab" * 32) is None
         assert local.remote_errors == 1
         assert local.misses == 1
+
+    def test_local_only_get_skips_the_peer(self, tmp_path):
+        """``get(remote=False)`` must never touch the network — even a
+        dead peer with a long timeout costs nothing."""
+        local = diskcache.DiskCache(tmp_path / "local",
+                                    remote="http://127.0.0.1:9",
+                                    remote_timeout=30.0)
+        start = time.monotonic()
+        assert local.get("ab" * 32, remote=False) is None
+        assert time.monotonic() - start < 5.0
+        assert local.remote_errors == 0
+        assert local.misses == 1
+
+    def test_remote_probe_fetches_and_persists(self, tmp_path):
+        peer_cache = diskcache.DiskCache(tmp_path / "peer")
+        handle, client = start_service(tmp_path, cache=peer_cache)
+        try:
+            key = client.run(SPEC).key
+            local = diskcache.DiskCache(tmp_path / "local",
+                                        remote=handle.url)
+            record = local.remote_probe(key)
+            assert record is not None and record.workload == "nn"
+            assert local.remote_hits == 1
+            # read-through persisted it: local-only get now hits
+            assert local.get(key, remote=False) is not None
+        finally:
+            handle.close()
+
+    def test_submit_path_never_probes_the_peer(self, tmp_path):
+        """The event-loop thread must not block on HTTP: submit()
+        consults only the local tier (the peer is retried off-loop by
+        the scheduled job)."""
+        import asyncio
+
+        async def main():
+            cache = diskcache.DiskCache(tmp_path / "local",
+                                        remote="http://127.0.0.1:9",
+                                        remote_timeout=30.0)
+            sched = JobScheduler(workers=1, cache=cache)
+            sched._loop = asyncio.get_running_loop()
+            sched._wake = asyncio.Event()
+            start = time.monotonic()
+            job, outcome = sched.submit(SPEC, tenant="t")
+            assert time.monotonic() - start < 5.0
+            assert outcome == "scheduled"
+            assert cache.remote_errors == 0
+
+        asyncio.run(main())
+
+    def test_scheduled_job_reads_through_peer_before_executing(
+            self, tmp_path):
+        """End to end: a service whose cache names a warm peer serves
+        the peer's record without executing anything itself."""
+        peer_cache = diskcache.DiskCache(tmp_path / "peer")
+        peer, peer_client = start_service(tmp_path, cache=peer_cache)
+        try:
+            assert peer_client.run(SPEC).status == "ok"
+            local_cache = diskcache.DiskCache(tmp_path / "local",
+                                              remote=peer.url)
+            mirror, client = start_service(tmp_path, cache=local_cache)
+            try:
+                out = client.run(SPEC)
+                # a local miss at submit time, satisfied off-loop by
+                # the peer: no execution on the mirror
+                assert out.outcome == "scheduled"
+                assert out.status == "ok"
+                assert mirror.service.scheduler.executions == 0
+                assert local_cache.remote_hits == 1
+            finally:
+                mirror.close()
+        finally:
+            peer.close()
 
 
 class TestAdmissionOverHTTP:
